@@ -1,0 +1,116 @@
+// VFI granularity ablation: how many islands should the 64-core chip have?
+//
+// The paper fixes m = 4 (four 4x4 VFIs); this extension sweeps m in
+// {1, 2, 4, 8, 16} through the same Eq. 1 clustering + V/F selection and a
+// core-side execution/energy model (map phase under Eq. 3 assignment
+// stealing).  More islands track the utilization profile more closely
+// (lower energy) but fragment the stealing pool; m = 1 degenerates to the
+// NVFI system.  Network effects are held out (islands are a core-side
+// concept here), so this isolates the V/F-granularity trade-off of
+// Ogras et al. [12].
+
+#include "bench/bench_util.hpp"
+#include "power/core_power.hpp"
+#include "sysmodel/task_sim.hpp"
+#include "vfi/clustering.hpp"
+#include "vfi/vf_assign.hpp"
+
+using namespace vfimr;
+
+namespace {
+
+struct Outcome {
+  double time_ratio;    // vs all-cores-at-fmax
+  double energy_ratio;  // map-phase core energy vs baseline
+  double edp_ratio;
+};
+
+Outcome evaluate(const workload::AppProfile& profile, std::size_t clusters) {
+  const auto& table = power::VfTable::standard();
+  const power::CorePowerModel power_model;
+  const double fmax = table.max().freq_hz;
+
+  // Cluster + select V/F (m == 1: plain mean-utilization selection).
+  std::vector<std::size_t> assignment(64, 0);
+  if (clusters > 1) {
+    vfi::ClusteringProblem problem;
+    problem.utilization = profile.utilization;
+    problem.traffic = profile.traffic;
+    problem.clusters = clusters;
+    vfi::AnnealParams anneal;
+    anneal.iterations = 100'000;
+    anneal.restarts = 2;
+    assignment = vfi::solve_anneal(problem, anneal).assignment;
+  }
+  const auto vf =
+      vfi::select_vf(profile.utilization, assignment, clusters, table);
+
+  std::vector<sysmodel::SimCore> cores(64);
+  std::vector<sysmodel::SimCore> nominal(64, {fmax, 1.0});
+  for (std::size_t t = 0; t < 64; ++t) {
+    cores[t] = {vf[assignment[t]].freq_hz, vf[assignment[t]].freq_hz / fmax};
+  }
+
+  Rng rng{0xAB1E};
+  const auto tasks =
+      sysmodel::materialize_tasks(profile.phases.map, profile.utilization, rng);
+  const auto actual = sysmodel::simulate_phase(
+      tasks, cores, 1.0, sysmodel::StealingPolicy::kVfiAssignment);
+  const auto base = sysmodel::simulate_phase(
+      tasks, nominal, 1.0, sysmodel::StealingPolicy::kPhoenixDefault);
+
+  auto energy = [&](const sysmodel::TaskSimResult& r,
+                    const std::vector<sysmodel::SimCore>& cs,
+                    const std::vector<power::VfPoint>& points,
+                    const std::vector<std::size_t>& assign) {
+    double e = 0.0;
+    for (std::size_t t = 0; t < 64; ++t) {
+      const double u =
+          r.makespan_s > 0.0
+              ? std::min(1.0, r.busy_seconds[t] / r.makespan_s *
+                                  profile.utilization[t] /
+                                  std::max(0.05, profile.mean_utilization()))
+              : 0.0;
+      e += power_model.energy_j(u, points[assign[t]], r.makespan_s);
+    }
+    (void)cs;
+    return e;
+  };
+  const std::vector<power::VfPoint> base_vf(1, table.max());
+  const std::vector<std::size_t> base_assign(64, 0);
+
+  Outcome out;
+  out.time_ratio = actual.makespan_s / base.makespan_s;
+  out.energy_ratio = energy(actual, cores, vf, assignment) /
+                     energy(base, nominal, base_vf, base_assign);
+  out.edp_ratio = out.time_ratio * out.time_ratio * out.energy_ratio;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TextTable t{{"App", "m=1 EDP", "m=2 EDP", "m=4 EDP", "m=8 EDP", "m=16 EDP",
+               "best m"}};
+  for (workload::App app :
+       {workload::App::kKmeans, workload::App::kWC, workload::App::kMM}) {
+    const auto profile = workload::make_profile(app);
+    std::vector<std::string> cells = {profile.name()};
+    double best = 1e300;
+    std::size_t best_m = 1;
+    for (std::size_t m : {1u, 2u, 4u, 8u, 16u}) {
+      const auto r = evaluate(profile, m);
+      cells.push_back(fmt(r.edp_ratio));
+      if (r.edp_ratio < best) {
+        best = r.edp_ratio;
+        best_m = m;
+      }
+    }
+    cells.push_back(std::to_string(best_m));
+    t.add_row(cells);
+  }
+  bench::emit(t, "cluster_count_ablation",
+              "VFI granularity ablation: core-side map-phase EDP vs island "
+              "count m (normalized to NVFI)");
+  return 0;
+}

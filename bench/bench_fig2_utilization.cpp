@@ -1,0 +1,43 @@
+// Fig. 2 — per-core utilization of Kmeans, PCA, MM and HIST on the 64-core
+// NVFI platform, sorted from highest to lowest, with the average marked.
+// The paper's observations to reproduce: Kmeans varies widely across cores;
+// PCA/MM/HIST are nearly homogeneous except a few bottleneck (master) cores.
+
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const workload::App apps[] = {workload::App::kKmeans, workload::App::kPCA,
+                                workload::App::kMM, workload::App::kHist};
+
+  TextTable csv{{"app", "rank", "utilization"}};
+  for (workload::App app : apps) {
+    const auto p = workload::make_profile(app);
+    std::vector<double> u = p.utilization;
+    std::sort(u.begin(), u.end(), std::greater<>{});
+    const double avg = mean(u);
+
+    std::cout << "== Fig. 2 (" << p.name() << "): sorted core utilization, "
+              << "avg = " << fmt(avg) << ", bottleneck(master) = "
+              << fmt(p.bottleneck_utilization()) << "\n";
+    // ASCII bars, 4 cores per row marker for compactness.
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      csv.add_row({p.name(), std::to_string(i + 1), fmt(u[i])});
+      if (i % 8 == 0) {
+        const auto bar = static_cast<std::size_t>(u[i] * 50);
+        std::cout << "  core#" << (i + 1 < 10 ? " " : "") << i + 1 << " "
+                  << std::string(bar, '#') << " " << fmt(u[i], 2) << "\n";
+      }
+    }
+    const double cv = coeff_variation(p.utilization);
+    std::cout << "  coefficient of variation: " << fmt(cv) << "  ("
+              << (cv > 0.15 ? "non-homogeneous" : "nearly homogeneous")
+              << ")\n\n";
+  }
+  bench::emit(csv, "fig2_utilization", "Fig. 2 raw series");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 4 — impact of bottleneck cores: execution time and EDP of the VFI 1
+// (initial V/F) vs VFI 2 (bottleneck-reassigned) systems for PCA, HIST and
+// MM, normalized to the NVFI mesh.  Also Fig. 5 — average vs bottleneck-core
+// utilization for the same applications.
+//
+// Expected shapes (paper §7.1): PCA benefits most from the reassignment,
+// then MM; HIST pays no EDP penalty; bottleneck/average utilization ratio is
+// highest for PCA and lowest for HIST.
+
+#include "bench/bench_util.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const workload::App apps[] = {workload::App::kPCA, workload::App::kHist,
+                                workload::App::kMM};
+  const sysmodel::FullSystemSim sim;
+
+  TextTable fig4{{"App", "VFI1 norm. time", "VFI2 norm. time", "VFI1 norm. EDP",
+                  "VFI2 norm. EDP"}};
+  TextTable fig5{{"App", "Average utilization", "Bottleneck utilization",
+                  "Ratio"}};
+
+  for (workload::App app : apps) {
+    const auto profile = workload::make_profile(app);
+
+    sysmodel::PlatformParams params;
+    params.kind = sysmodel::SystemKind::kNvfiMesh;
+    const auto nvfi = sim.run(profile, params);
+    const double base_lat = nvfi.net.avg_latency_cycles;
+
+    params.kind = sysmodel::SystemKind::kVfiMesh;
+    params.use_vfi2 = false;
+    const auto vfi1 = sim.run(profile, params, base_lat);
+    params.use_vfi2 = true;
+    const auto vfi2 = sim.run(profile, params, base_lat);
+
+    fig4.add_row({profile.name(), fmt(vfi1.exec_s / nvfi.exec_s),
+                  fmt(vfi2.exec_s / nvfi.exec_s),
+                  fmt(vfi1.edp_js() / nvfi.edp_js()),
+                  fmt(vfi2.edp_js() / nvfi.edp_js())});
+
+    const double avg = profile.mean_utilization();
+    const double bneck = profile.bottleneck_utilization();
+    fig5.add_row({profile.name(), fmt(avg), fmt(bneck), fmt(bneck / avg)});
+  }
+
+  bench::emit(fig4, "fig4_bottleneck", "Fig. 4: VFI 1 vs VFI 2 (vs NVFI mesh)");
+  bench::emit(fig5, "fig5_bottleneck_util", "Fig. 5: core utilization values");
+  return 0;
+}

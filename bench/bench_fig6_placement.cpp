@@ -1,0 +1,38 @@
+// Fig. 6 — EDP of the maximized-wireless-utilization placement methodology
+// relative to the minimized-hop-count methodology, per application.  The
+// paper reports max-wireless-utilization at or below 1.0x for every
+// benchmark (y-axis 0.90-1.00).
+
+#include "bench/bench_util.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const sysmodel::FullSystemSim sim;
+  TextTable t{{"App", "min-hop EDP (norm)", "max-wireless EDP (norm)",
+               "relative", "min-hop wless%", "max-wless wless%"}};
+
+  for (workload::App app : workload::kAllApps) {
+    const auto profile = workload::make_profile(app);
+    sysmodel::PlatformParams params;
+    params.kind = sysmodel::SystemKind::kNvfiMesh;
+    const auto nvfi = sim.run(profile, params);
+    const double base_lat = nvfi.net.avg_latency_cycles;
+    const double base_edp = nvfi.edp_js();
+
+    params.kind = sysmodel::SystemKind::kVfiWinoc;
+    params.placement = winoc::PlacementStrategy::kMinHopCount;
+    const auto minhop = sim.run(profile, params, base_lat);
+    params.placement = winoc::PlacementStrategy::kMaxWirelessUtilization;
+    const auto maxwl = sim.run(profile, params, base_lat);
+
+    t.add_row({profile.name(), fmt(minhop.edp_js() / base_edp),
+               fmt(maxwl.edp_js() / base_edp),
+               fmt(maxwl.edp_js() / minhop.edp_js()),
+               fmt_pct(minhop.net.wireless_utilization),
+               fmt_pct(maxwl.net.wireless_utilization)});
+  }
+  bench::emit(t, "fig6_placement",
+              "Fig. 6: max-wireless-utilization vs min-hop-count placement");
+  return 0;
+}

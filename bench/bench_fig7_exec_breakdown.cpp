@@ -1,0 +1,46 @@
+// Fig. 7 — normalized execution time of each Phoenix++ execution operation
+// (Map, Reduce, Merge, Library Init) for VFI Mesh and VFI WiNoC, relative to
+// the NVFI mesh total.
+//
+// Expected shapes (paper §7.3): VFI-mesh degradation up to ~10%; the WiNoC
+// recovers it, with MM, WC, LR and Kmeans executing quicker than the NVFI
+// mesh; WC and Kmeans gain the most from the improved interconnect, LR the
+// least.
+
+#include "bench/bench_util.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const sysmodel::FullSystemSim sim;
+  TextTable t{{"App", "System", "Map", "Reduce", "Merge", "LibInit", "Total"}};
+
+  double max_winoc_gain_vs_mesh = 0.0;
+  std::string max_gain_app;
+  for (workload::App app : workload::kAllApps) {
+    const auto profile = workload::make_profile(app);
+    const auto cmp = sysmodel::compare_systems(profile, sim);
+    const double base = cmp.nvfi_mesh.exec_s;
+
+    auto add = [&](const sysmodel::SystemReport& r) {
+      t.add_row({profile.name(), sysmodel::system_name(r.kind),
+                 fmt(r.phases.map_s / base), fmt(r.phases.reduce_s / base),
+                 fmt(r.phases.merge_s / base),
+                 fmt(r.phases.lib_init_s / base), fmt(r.exec_s / base)});
+    };
+    add(cmp.nvfi_mesh);
+    add(cmp.vfi_mesh);
+    add(cmp.vfi_winoc);
+
+    const double gain = 1.0 - cmp.vfi_winoc.exec_s / cmp.vfi_mesh.exec_s;
+    if (gain > max_winoc_gain_vs_mesh) {
+      max_winoc_gain_vs_mesh = gain;
+      max_gain_app = profile.name();
+    }
+  }
+  bench::emit(t, "fig7_exec_breakdown",
+              "Fig. 7: normalized execution time by phase (vs NVFI mesh)");
+  std::cout << "Largest WiNoC-over-mesh execution gain: " << max_gain_app
+            << " (" << fmt_pct(max_winoc_gain_vs_mesh) << ")\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 8 — full-system energy-delay product of VFI Mesh and VFI WiNoC
+// relative to the NVFI mesh, for all six applications.
+//
+// Headline numbers to compare against the paper: average WiNoC EDP saving
+// 33.7%, maximum 66.2% (Kmeans); execution-time penalty of the WiNoC system
+// at most 3.22% (checked in the exec column).
+
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const sysmodel::FullSystemSim sim;
+  TextTable t{{"App", "VFI Mesh EDP", "VFI WiNoC EDP", "WiNoC exec time",
+               "Core E (norm)", "Net E (norm)"}};
+
+  std::vector<double> savings;
+  double max_saving = 0.0;
+  double max_penalty = 0.0;
+  std::string max_app;
+  for (workload::App app : workload::kAllApps) {
+    const auto profile = workload::make_profile(app);
+    const auto cmp = sysmodel::compare_systems(profile, sim);
+    const double base_edp = cmp.nvfi_mesh.edp_js();
+
+    const double winoc_edp = cmp.vfi_winoc.edp_js() / base_edp;
+    const double saving = 1.0 - winoc_edp;
+    savings.push_back(saving);
+    if (saving > max_saving) {
+      max_saving = saving;
+      max_app = profile.name();
+    }
+    max_penalty = std::max(
+        max_penalty, cmp.vfi_winoc.exec_s / cmp.nvfi_mesh.exec_s - 1.0);
+
+    t.add_row({profile.name(), fmt(cmp.vfi_mesh.edp_js() / base_edp),
+               fmt(winoc_edp), fmt(cmp.vfi_winoc.exec_s / cmp.nvfi_mesh.exec_s),
+               fmt(cmp.vfi_winoc.core_energy_j / cmp.nvfi_mesh.core_energy_j),
+               fmt((cmp.vfi_winoc.net_dynamic_j + cmp.vfi_winoc.net_static_j) /
+                   (cmp.nvfi_mesh.net_dynamic_j + cmp.nvfi_mesh.net_static_j))});
+  }
+  bench::emit(t, "fig8_full_system_edp",
+              "Fig. 8: full-system EDP vs NVFI mesh");
+  std::cout << "Average VFI-WiNoC EDP saving: " << fmt_pct(mean(savings))
+            << "  (paper: 33.7%)\n"
+            << "Maximum saving: " << fmt_pct(max_saving) << " for " << max_app
+            << "  (paper: 66.2% for KMEANS)\n"
+            << "Maximum execution-time penalty: " << fmt_pct(max_penalty)
+            << "  (paper: 3.22%)\n";
+  return 0;
+}

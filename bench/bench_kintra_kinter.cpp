@@ -1,0 +1,46 @@
+// §7.2 — network parameter exploration: with <k> = 4, the split
+// (<k_intra>, <k_inter>) can be (3,1) or (2,2).  The paper finds (3,1)
+// consistently better; this bench reproduces the comparison on network EDP
+// (energy per flit x latency) for all six applications.
+
+#include "bench/bench_util.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const power::VfTable& table = power::VfTable::standard();
+  const power::NocPowerModel noc_power;
+
+  TextTable t{{"App", "(3,1) latency", "(2,2) latency", "(3,1) net EDP",
+               "(2,2) net EDP", "(2,2)/(3,1)"}};
+  double worst = 0.0;
+  for (workload::App app : workload::kAllApps) {
+    const auto profile = workload::make_profile(app);
+    double edp[2] = {};
+    double lat[2] = {};
+    int i = 0;
+    for (const double k_intra : {3.0, 2.0}) {
+      sysmodel::PlatformParams params;
+      params.kind = sysmodel::SystemKind::kVfiWinoc;
+      params.smallworld.k_intra = k_intra;
+      params.smallworld.k_inter = 4.0 - k_intra;
+      const auto built = sysmodel::build_platform(profile, params, table);
+      const auto eval =
+          sysmodel::evaluate_network(built, profile, params, noc_power);
+      edp[i] = eval.network_edp();
+      lat[i] = eval.avg_latency_cycles;
+      ++i;
+    }
+    const double ratio = edp[1] / edp[0];
+    worst = std::max(worst, ratio);
+    t.add_row({profile.name(), fmt(lat[0], 1), fmt(lat[1], 1),
+               fmt(edp[0] * 1e12, 1), fmt(edp[1] * 1e12, 1), fmt(ratio, 2)});
+  }
+  bench::emit(t, "kintra_kinter",
+              "Sec. 7.2: (k_intra,k_inter) = (3,1) vs (2,2), network EDP "
+              "(pJ*cycles/flit)");
+  std::cout << ((worst >= 1.0)
+                    ? "(3,1) is never worse than (2,2), as in the paper.\n"
+                    : "WARNING: (2,2) beat (3,1) for some application.\n");
+  return 0;
+}

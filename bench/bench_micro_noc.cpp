@@ -1,0 +1,69 @@
+// Microbenchmarks (google-benchmark): simulator and design-flow throughput.
+// Not a paper figure — engineering numbers for the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "sysmodel/platform.hpp"
+#include "winoc/design.hpp"
+#include "workload/profile.hpp"
+
+using namespace vfimr;
+
+namespace {
+
+void BM_MeshSimCycles(benchmark::State& state) {
+  const auto topo = noc::make_mesh(8, 8);
+  const noc::XyRouting routing{topo.graph, 8, 8};
+  noc::Network net{topo, routing};
+  noc::UniformRandomTraffic gen{64, 0.02, 4, 7};
+  for (auto _ : state) {
+    net.run(&gen, 1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MeshSimCycles)->Unit(benchmark::kMillisecond);
+
+void BM_WinocSimCycles(benchmark::State& state) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const auto design =
+      winoc::build_winoc(profile.traffic, winoc::quadrant_clusters(),
+                         winoc::PlacementStrategy::kMaxWirelessUtilization);
+  const noc::UpDownRouting routing{design.topology.graph, 2.0};
+  noc::Network net{design.topology, routing, {}, design.wireless};
+  noc::UniformRandomTraffic gen{64, 0.02, 4, 7};
+  for (auto _ : state) {
+    net.run(&gen, 1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WinocSimCycles)->Unit(benchmark::kMillisecond);
+
+void BM_UpDownTableConstruction(benchmark::State& state) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const auto design =
+      winoc::build_winoc(profile.traffic, winoc::quadrant_clusters(),
+                         winoc::PlacementStrategy::kMaxWirelessUtilization);
+  for (auto _ : state) {
+    noc::UpDownRouting routing{design.topology.graph, 2.0};
+    benchmark::DoNotOptimize(routing.root());
+  }
+}
+BENCHMARK(BM_UpDownTableConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_WinocDesignFlow(benchmark::State& state) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const auto clusters = winoc::quadrant_clusters();
+  for (auto _ : state) {
+    auto design = winoc::build_winoc(
+        profile.traffic, clusters,
+        winoc::PlacementStrategy::kMaxWirelessUtilization);
+    benchmark::DoNotOptimize(design.topology.graph.edge_count());
+  }
+}
+BENCHMARK(BM_WinocDesignFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

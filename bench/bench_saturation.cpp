@@ -1,0 +1,81 @@
+// Load-latency saturation sweep — the standard NoC characterization behind
+// the paper's §7.2 network analysis.  Drives the baseline 8x8 mesh and the
+// (3,1) WiNoC with uniform-random and transpose traffic at increasing
+// injection rates and prints average latency, throughput and the hottest
+// link's utilization.  Not a paper figure; it documents where each fabric
+// saturates and why LR-class loads are capped in the calibration.
+
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "noc/traffic.hpp"
+#include "winoc/design.hpp"
+
+using namespace vfimr;
+
+namespace {
+
+struct Fabric {
+  std::string name;
+  noc::Topology topo;
+  std::unique_ptr<noc::RoutingAlgorithm> routing;
+  noc::WirelessConfig wireless;
+};
+
+Fabric make_mesh_fabric() {
+  Fabric f;
+  f.name = "Mesh";
+  f.topo = noc::make_mesh(8, 8);
+  f.routing = std::make_unique<noc::XyRouting>(f.topo.graph, 8, 8);
+  return f;
+}
+
+Fabric make_winoc_fabric() {
+  Fabric f;
+  f.name = "WiNoC";
+  const auto profile = workload::make_profile(workload::App::kWC);
+  auto design =
+      winoc::build_winoc(profile.traffic, winoc::quadrant_clusters(),
+                         winoc::PlacementStrategy::kMaxWirelessUtilization);
+  f.topo = std::move(design.topology);
+  f.wireless = std::move(design.wireless);
+  f.routing = std::make_unique<noc::UpDownRouting>(f.topo.graph, 2.0);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  TextTable t{{"Pattern", "Fabric", "Inj (flits/node/cyc)", "Avg latency",
+               "Throughput", "Hottest link", "Drained"}};
+
+  Fabric fabrics[2] = {make_mesh_fabric(), make_winoc_fabric()};
+  const double rates[] = {0.005, 0.01, 0.02, 0.04, 0.06, 0.08};
+  constexpr std::uint32_t kFlits = 4;
+
+  for (const char* pattern : {"uniform", "transpose"}) {
+    for (auto& fabric : fabrics) {
+      for (double rate : rates) {
+        noc::Network net{fabric.topo, *fabric.routing, {}, fabric.wireless};
+        std::unique_ptr<noc::TrafficGenerator> gen;
+        if (std::string(pattern) == "uniform") {
+          gen = std::make_unique<noc::UniformRandomTraffic>(64, rate, kFlits,
+                                                            17);
+        } else {
+          gen = std::make_unique<noc::PermutationTraffic>(
+              64, noc::Pattern::kTranspose, rate, kFlits, 17);
+        }
+        net.run(gen.get(), 30'000);
+        const bool drained = net.drain(60'000);
+        const auto& m = net.metrics();
+        t.add_row({pattern, fabric.name, fmt(rate * kFlits, 3),
+                   fmt(m.avg_latency(), 1), fmt(m.throughput(64), 4),
+                   fmt_pct(net.max_link_utilization()),
+                   drained ? "yes" : "NO"});
+      }
+    }
+  }
+  bench::emit(t, "saturation_sweep",
+              "Load-latency saturation sweep (mesh vs WiNoC)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §4.3 case study — modified task stealing on Word Count.
+//
+// Reproduces the paper's scenario: 100 map tasks on 64 cores, half running
+// at f1 = 2.5 GHz (task duration 0.268-0.284 s) and half at f2 = 2.0 GHz
+// (0.280-0.342 s).  Without modification, low-frequency cores that finish
+// early steal tasks that a high-frequency core would have completed sooner.
+// Compares the default Phoenix stealing with both Eq. 3 readings (hard
+// execution cap; assignment shaping), and also reports the paper's exact
+// duration ranges as a calibration check.
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sysmodel/task_sim.hpp"
+
+using namespace vfimr;
+using sysmodel::StealingPolicy;
+
+int main() {
+  const auto profile = workload::make_profile(workload::App::kWC);
+
+  // The paper's exact setup: 100 tasks; WC map-task calibration W = 0.5
+  // G-cycles + 70 ms memory time (solving the paper's duration ranges).
+  workload::TaskSet spec;
+  spec.count = 100;
+  spec.cycles_mean = 0.5e9;
+  spec.cycles_cv = 0.015;
+  spec.mem_seconds_mean = 0.070;
+  spec.mem_cv = 0.05;
+
+  Rng rng{42};
+  const auto tasks = sysmodel::materialize_tasks(spec, rng);
+
+  // Duration ranges per frequency (calibration check vs §4.3).
+  for (const double f : {2.5e9, 2.0e9}) {
+    std::vector<double> durations;
+    for (const auto& t : tasks) {
+      durations.push_back(t.cycles / f + t.mem_seconds);
+    }
+    std::cout << "f = " << f / 1e9 << " GHz: task duration " << fmt(min_of(durations))
+              << " - " << fmt(max_of(durations)) << " s (average "
+              << fmt(mean(durations)) << ")   [paper: "
+              << (f > 2.2e9 ? "0.268-0.284, avg 0.270" : "0.280-0.342, avg 0.320")
+              << "]\n";
+  }
+
+  // 32 fast cores (f1) + 32 slow cores (f2), as in the paper's WC VFI system.
+  std::vector<sysmodel::SimCore> cores(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double f = i < 32 ? 2.5e9 : 2.0e9;
+    cores[i] = sysmodel::SimCore{f, f / 2.5e9};
+  }
+  std::vector<sysmodel::SimCore> nvfi(64, sysmodel::SimCore{2.5e9, 1.0});
+
+  const auto base = simulate_phase(tasks, nvfi, 1.0,
+                                   StealingPolicy::kPhoenixDefault);
+
+  TextTable t{{"Scheduler", "Makespan (s)", "vs NVFI", "Steals",
+               "Slow-core tasks (max)"}};
+  auto add = [&](const char* name, StealingPolicy policy) {
+    const auto r = simulate_phase(tasks, cores, 1.0, policy);
+    std::uint64_t slow_max = 0;
+    for (std::size_t i = 32; i < 64; ++i) {
+      slow_max = std::max(slow_max, r.tasks_executed[i]);
+    }
+    t.add_row({name, fmt(r.makespan_s), fmt(r.makespan_s / base.makespan_s),
+               std::to_string(r.steals), std::to_string(slow_max)});
+  };
+  add("Phoenix default", StealingPolicy::kPhoenixDefault);
+  add("Eq. 3 hard cap", StealingPolicy::kVfiHardCap);
+  add("Eq. 3 assignment", StealingPolicy::kVfiAssignment);
+
+  std::cout << "NVFI (all cores 2.5 GHz) makespan: " << fmt(base.makespan_s)
+            << " s\n";
+  bench::emit(t, "stealing_casestudy",
+              "Sec. 4.3: Word Count task-stealing case study (100 tasks)");
+  return 0;
+}

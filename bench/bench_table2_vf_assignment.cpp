@@ -1,0 +1,82 @@
+// Table 2 — V/F assignments per cluster for all six applications, VFI 1 and
+// VFI 2.  Cluster numbering is arbitrary in the paper; clusters are reported
+// here in descending mean-utilization order, and the multiset of V/F values
+// is compared against the paper's row.
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
+#include "vfi/vf_assign.hpp"
+
+using namespace vfimr;
+
+namespace {
+
+/// Paper Table 2, as multisets of GHz values per configuration.
+struct PaperRow {
+  workload::App app;
+  std::vector<double> vfi1_ghz;
+  std::vector<double> vfi2_ghz;
+};
+
+const PaperRow kPaper[] = {
+    {workload::App::kMM, {2.5, 2.25, 2.5, 2.25}, {2.5, 2.5, 2.5, 2.25}},
+    {workload::App::kHist, {2.5, 2.25, 2.5, 2.25}, {2.5, 2.5, 2.5, 2.25}},
+    {workload::App::kKmeans, {1.5, 1.5, 2.0, 2.0}, {1.5, 1.5, 2.0, 2.0}},
+    {workload::App::kWC, {2.0, 2.0, 2.5, 2.5}, {2.0, 2.0, 2.5, 2.5}},
+    {workload::App::kPCA, {2.25, 2.25, 2.25, 2.25}, {2.25, 2.25, 2.25, 2.5}},
+    {workload::App::kLR, {2.5, 2.5, 2.25, 2.25}, {2.5, 2.5, 2.25, 2.25}},
+};
+
+std::vector<double> sorted_ghz(const std::vector<power::VfPoint>& vf) {
+  std::vector<double> out;
+  for (const auto& p : vf) out.push_back(p.freq_hz / 1e9);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string join(const std::vector<power::VfPoint>& vf) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < vf.size(); ++i) {
+    if (i) os << ", ";
+    os << vf[i].label();
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const auto& table = power::VfTable::standard();
+  TextTable t{{"App", "VFI 1 (V/GHz per cluster)", "VFI 2 (V/GHz per cluster)",
+               "Raised clusters", "Matches paper"}};
+  int mismatches = 0;
+  for (const auto& row : kPaper) {
+    const auto profile = workload::make_profile(row.app);
+    const auto design = vfi::design_vfi(profile.utilization, profile.traffic,
+                                        profile.master_threads, table);
+
+    auto got1 = sorted_ghz(design.vfi1);
+    auto got2 = sorted_ghz(design.vfi2);
+    auto want1 = row.vfi1_ghz;
+    auto want2 = row.vfi2_ghz;
+    std::sort(want1.begin(), want1.end());
+    std::sort(want2.begin(), want2.end());
+    const bool match = got1 == want1 && got2 == want2;
+    if (!match) ++mismatches;
+
+    std::string raised;
+    for (std::size_t c : design.raised_clusters) {
+      raised += (raised.empty() ? "" : ",") + std::to_string(c + 1);
+    }
+    t.add_row({profile.name(), join(design.vfi1), join(design.vfi2),
+               raised.empty() ? "-" : raised, match ? "yes" : "NO"});
+  }
+  bench::emit(t, "table2_vf_assignment", "Table 2: V/F assignments");
+  std::cout << (mismatches == 0
+                    ? "All six applications match the paper's Table 2.\n"
+                    : std::to_string(mismatches) + " mismatches vs paper.\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#pragma once
+// Shared helpers for the per-figure benchmark binaries.  Every bench prints
+// the paper's rows as an ASCII table and mirrors them to <name>.csv in the
+// working directory.
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::bench {
+
+/// Print the table and write `<csv_name>.csv`; CSV failures are reported but
+/// non-fatal (benches may run in read-only directories).
+inline void emit(const TextTable& table, const std::string& csv_name,
+                 const std::string& title) {
+  std::cout << "== " << title << "\n" << table.to_string();
+  try {
+    table.write_csv(csv_name + ".csv");
+    std::cout << "(csv: " << csv_name << ".csv)\n\n";
+  } catch (const std::exception& e) {
+    std::cout << "(csv not written: " << e.what() << ")\n\n";
+  }
+}
+
+}  // namespace vfimr::bench

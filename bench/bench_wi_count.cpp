@@ -1,0 +1,42 @@
+// Wireless-interface count ablation.
+//
+// §6 of the paper adopts 12 WIs (3 per cluster, one per mm-wave channel)
+// citing Wettin et al. [20] for the optimum at 64 cores.  This extension
+// sweeps the per-cluster WI count (with one channel per WI rank, so total
+// WIs = 4w and channels = w) and measures network latency and EDP under
+// each application's traffic — checking that 3 per cluster (12 total) sits
+// at the knee: fewer WIs starve long-range traffic, more add token-sharing
+// and static power without latency benefit.
+
+#include "bench/bench_util.hpp"
+
+using namespace vfimr;
+
+int main() {
+  const power::VfTable& table = power::VfTable::standard();
+  const power::NocPowerModel noc_power;
+
+  TextTable t{{"App", "WIs/cluster", "Total WIs", "Avg latency", "Net EDP",
+               "Wireless %", "Drained"}};
+  for (workload::App app :
+       {workload::App::kWC, workload::App::kKmeans, workload::App::kLR}) {
+    const auto profile = workload::make_profile(app);
+    for (std::size_t w : {1u, 2u, 3u, 4u}) {
+      sysmodel::PlatformParams params;
+      params.kind = sysmodel::SystemKind::kVfiWinoc;
+      params.smallworld.wis_per_cluster = w;
+      params.smallworld.channels = static_cast<int>(w);
+      const auto built = sysmodel::build_platform(profile, params, table);
+      const auto eval =
+          sysmodel::evaluate_network(built, profile, params, noc_power);
+      t.add_row({profile.name(), std::to_string(w), std::to_string(4 * w),
+                 fmt(eval.avg_latency_cycles, 1),
+                 fmt(eval.network_edp() * 1e12, 1),
+                 fmt_pct(eval.wireless_utilization),
+                 eval.drained ? "yes" : "NO"});
+    }
+  }
+  bench::emit(t, "wi_count_ablation",
+              "WI count ablation (network latency + EDP, pJ*cycles/flit)");
+  return 0;
+}

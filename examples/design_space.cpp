@@ -1,0 +1,90 @@
+// Design-space exploration / ablation study for one application.
+//
+// Sweeps the WiNoC construction knobs the paper fixes by experiment —
+// (k_intra, k_inter) split, WI placement methodology, wiring-cost exponent
+// alpha — plus the scheduler policy (Eq. 3 readings), and reports
+// full-system execution time and EDP relative to the NVFI mesh baseline.
+//
+// Run: ./build/examples/design_space [APP]   (default KMEANS)
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+using namespace vfimr;
+
+int main(int argc, char** argv) {
+  workload::App app = workload::App::kKmeans;
+  if (argc > 1) {
+    for (workload::App a : workload::kAllApps) {
+      if (workload::app_name(a) == argv[1]) app = a;
+    }
+  }
+  const auto profile = workload::make_profile(app);
+  const sysmodel::FullSystemSim sim;
+
+  sysmodel::PlatformParams base;
+  base.kind = sysmodel::SystemKind::kNvfiMesh;
+  const auto nvfi = sim.run(profile, base);
+  const double base_lat = nvfi.net.avg_latency_cycles;
+  const double base_edp = nvfi.edp_js();
+  std::cout << "Design-space exploration for " << profile.name()
+            << " (all numbers vs NVFI mesh)\n\n";
+
+  TextTable t{{"Variant", "Exec time", "EDP", "Net latency (cyc)",
+               "Wireless %"}};
+  auto run = [&](const std::string& label, sysmodel::PlatformParams params) {
+    params.kind = sysmodel::SystemKind::kVfiWinoc;
+    const auto r = sim.run(profile, params, base_lat);
+    t.add_row({label, fmt(r.exec_s / nvfi.exec_s), fmt(r.edp_js() / base_edp),
+               fmt(r.net.avg_latency_cycles, 1),
+               fmt_pct(r.net.wireless_utilization)});
+  };
+
+  {
+    sysmodel::PlatformParams p;
+    run("baseline: (3,1), max-wireless, Eq.3 assignment", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.smallworld.k_intra = 2.0;
+    p.smallworld.k_inter = 2.0;
+    run("(k_intra,k_inter) = (2,2)", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.placement = winoc::PlacementStrategy::kMinHopCount;
+    run("min-hop-count WI placement", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.smallworld.alpha = 3.0;
+    run("wiring alpha = 3.0 (very local links)", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.smallworld.alpha = 1.2;
+    run("wiring alpha = 1.2 (long links)", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.vfi_stealing = sysmodel::StealingPolicy::kPhoenixDefault;
+    run("unmodified Phoenix stealing", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.vfi_stealing = sysmodel::StealingPolicy::kVfiHardCap;
+    run("Eq.3 hard execution cap", p);
+  }
+  {
+    sysmodel::PlatformParams p;
+    p.use_vfi2 = false;
+    run("VFI 1 (no bottleneck reassignment)", p);
+  }
+
+  std::cout << t.to_string();
+  return 0;
+}

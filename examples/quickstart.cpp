@@ -1,0 +1,73 @@
+// Quickstart: the complete VFI + WiNoC design flow on one MapReduce
+// application, printing the paper's headline metrics.
+//
+//   1. load the calibrated Word Count profile (utilization, traffic, tasks);
+//   2. run the Fig. 3 design flow (Eq. 1 clustering -> V/F -> reassignment);
+//   3. simulate NVFI mesh, VFI mesh and VFI WiNoC full systems;
+//   4. report execution time and EDP normalized to the NVFI mesh.
+//
+// Build & run:  ./build/examples/quickstart [APP]
+// APP is one of HIST, KMEANS, LR, MM, PCA, WC (default WC).
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+using namespace vfimr;
+
+int main(int argc, char** argv) {
+  workload::App app = workload::App::kWC;
+  if (argc > 1) {
+    const std::string want = argv[1];
+    bool found = false;
+    for (workload::App a : workload::kAllApps) {
+      if (workload::app_name(a) == want) {
+        app = a;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown app '" << want
+                << "' (use HIST, KMEANS, LR, MM, PCA or WC)\n";
+      return 1;
+    }
+  }
+
+  const workload::AppProfile profile = workload::make_profile(app);
+  std::cout << "Application: " << profile.name() << " ("
+            << workload::app_dataset(app) << ")\n"
+            << "Mean utilization: " << fmt(profile.mean_utilization())
+            << ", masters: " << profile.master_threads.size()
+            << ", MapReduce iterations: " << profile.iterations << "\n\n";
+
+  const sysmodel::FullSystemSim sim;
+  const auto cmp = sysmodel::compare_systems(profile, sim);
+
+  // VFI design summary (from the WiNoC run; mesh/WiNoC share the design).
+  const auto& design = cmp.vfi_winoc.vfi;
+  TextTable vf_table{{"Cluster", "VFI 1 (V/GHz)", "VFI 2 (V/GHz)"}};
+  for (std::size_t c = 0; c < design.vfi1.size(); ++c) {
+    vf_table.add_row({std::to_string(c + 1), design.vfi1[c].label(),
+                      design.vfi2[c].label()});
+  }
+  std::cout << "VFI design (Eq. 1 clustering + V/F assignment):\n"
+            << vf_table.to_string() << "\n";
+
+  const double base_t = cmp.nvfi_mesh.exec_s;
+  const double base_edp = cmp.nvfi_mesh.edp_js();
+  TextTable results{{"System", "Exec time (s)", "Norm. time", "Energy (J)",
+                     "Norm. EDP", "Avg net latency (cyc)"}};
+  for (const auto* r : {&cmp.nvfi_mesh, &cmp.vfi_mesh, &cmp.vfi_winoc}) {
+    results.add_row({sysmodel::system_name(r->kind), fmt(r->exec_s),
+                     fmt(r->exec_s / base_t), fmt(r->total_energy_j(), 1),
+                     fmt(r->edp_js() / base_edp),
+                     fmt(r->net.avg_latency_cycles, 1)});
+  }
+  std::cout << results.to_string() << "\n"
+            << "EDP saving of VFI WiNoC over NVFI mesh: "
+            << fmt_pct(1.0 - cmp.vfi_winoc.edp_js() / base_edp) << "\n";
+  return 0;
+}

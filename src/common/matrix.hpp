@@ -1,0 +1,92 @@
+#pragma once
+// Dense row-major matrix of doubles.  Used for traffic matrices (packets per
+// cycle between core pairs), covariance matrices in the PCA application, and
+// the MatrixMultiply workload itself.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace vfimr {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_{rows}, cols_{cols}, data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m{n, n};
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    VFIMR_REQUIRE(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    VFIMR_REQUIRE(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  double sum() const {
+    double s = 0.0;
+    for (double v : data_) s += v;
+    return s;
+  }
+
+  double max() const {
+    double m = 0.0;
+    for (double v : data_) m = v > m ? v : m;
+    return m;
+  }
+
+  /// Scale every element so the max becomes 1 (no-op on all-zero matrices).
+  void normalize_by_max() {
+    const double m = max();
+    if (m <= 0.0) return;
+    for (double& v : data_) v /= m;
+  }
+
+  Matrix transposed() const {
+    Matrix t{cols_, rows_};
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  Matrix operator*(const Matrix& rhs) const {
+    VFIMR_REQUIRE(cols_ == rhs.rows_);
+    Matrix out{rows_, rhs.cols_};
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = (*this)(i, k);
+        if (a == 0.0) continue;
+        for (std::size_t j = 0; j < rhs.cols_; ++j) {
+          out(i, j) += a * rhs(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const Matrix& rhs) const {
+    return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace vfimr

@@ -1,0 +1,40 @@
+#pragma once
+// Lightweight precondition checking.  VFIMR_REQUIRE throws on violation so
+// misuse of the public API fails loudly in both debug and release builds
+// (simulation correctness matters more than the branch cost).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vfimr {
+
+class RequirementError : public std::logic_error {
+ public:
+  explicit RequirementError(const std::string& what) : std::logic_error{what} {}
+};
+
+[[noreturn]] inline void requirement_failed(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw RequirementError{os.str()};
+}
+
+}  // namespace vfimr
+
+#define VFIMR_REQUIRE(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::vfimr::requirement_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define VFIMR_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream vfimr_req_os_;                                  \
+      vfimr_req_os_ << msg;                                              \
+      ::vfimr::requirement_failed(#expr, __FILE__, __LINE__,             \
+                                  vfimr_req_os_.str());                  \
+    }                                                                    \
+  } while (false)

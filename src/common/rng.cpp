@@ -1,0 +1,47 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace vfimr {
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) {
+  // Inverse-CDF; uniform() < 1 so log argument is in (0, 1].
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) {
+    return weights.empty() ? 0 : static_cast<std::size_t>(
+                                     uniform_u64(weights.size()));
+  }
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace vfimr

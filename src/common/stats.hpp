@@ -1,0 +1,80 @@
+#pragma once
+// Streaming and batch statistics used throughout the simulators: packet
+// latency accumulation, utilization summaries, benchmark result tables.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vfimr {
+
+/// Streaming accumulator (Welford) — numerically stable mean/variance plus
+/// min/max/sum without storing samples.
+class Accumulator {
+ public:
+  void add(double x);
+  void add_n(double x, std::uint64_t n);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over sample vectors.
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);           // by-value: sorts a copy
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+double sum(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); 0 when mean is 0.
+double coeff_variation(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets.  Out-of-range
+/// samples are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Render a compact textual summary ("[0.0,0.1): ####  12" style).
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vfimr

@@ -1,0 +1,98 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vfimr {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_{std::move(header)} {
+  if (header_.empty()) throw std::invalid_argument("TextTable needs columns");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c] << " ";
+    }
+    os << "|\n";
+  };
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "+" << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      os << csv_escape(cells[c]);
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream f{path};
+  if (!f) throw std::runtime_error("cannot open CSV output: " + path);
+  f << to_csv();
+  if (!f) throw std::runtime_error("failed writing CSV output: " + path);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace vfimr

@@ -1,0 +1,43 @@
+#pragma once
+// ASCII table and CSV emission for benchmark harnesses.  Every bench binary
+// prints the paper's rows with TextTable and mirrors them to a CSV file so
+// results can be post-processed/plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vfimr {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers format
+/// with a fixed precision.  Example:
+///
+///   TextTable t({"App", "VFI Mesh", "VFI WiNoC"});
+///   t.add_row({"WC", fmt(0.81), fmt(0.55)});
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Write CSV to a file path; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 3 decimals).
+std::string fmt(double v, int precision = 3);
+
+/// Format as a percentage, e.g. fmt_pct(0.337) -> "33.7%".
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace vfimr

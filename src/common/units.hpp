@@ -1,0 +1,32 @@
+#pragma once
+// Unit conventions used across the power and timing models.
+//
+// Internally everything is SI: seconds, hertz, volts, watts, joules, meters.
+// These constants make literals in model code self-documenting, e.g.
+// `2.5 * GHz` or `0.98 * pJ`.
+
+namespace vfimr::units {
+
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+inline constexpr double pJ = 1e-12;
+inline constexpr double nJ = 1e-9;
+inline constexpr double uJ = 1e-6;
+inline constexpr double mJ = 1e-3;
+
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+
+}  // namespace vfimr::units

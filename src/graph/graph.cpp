@@ -1,0 +1,173 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace vfimr::graph {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+EdgeId Graph::add_edge(NodeId a, NodeId b, EdgeKind kind, double length_mm) {
+  VFIMR_REQUIRE(a < node_count() && b < node_count());
+  VFIMR_REQUIRE_MSG(a != b, "self-loops are not valid NoC links");
+  VFIMR_REQUIRE_MSG(!has_edge(a, b), "parallel links are not modeled");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{a, b, kind, length_mm});
+  adjacency_[a].push_back(id);
+  adjacency_[b].push_back(id);
+  return id;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  return find_edge(a, b).has_value();
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId a, NodeId b) const {
+  VFIMR_REQUIRE(a < node_count() && b < node_count());
+  const auto& inc = adjacency_[a];
+  for (EdgeId e : inc) {
+    if (other_end(e, a) == b) return e;
+  }
+  return std::nullopt;
+}
+
+const Edge& Graph::edge(EdgeId id) const {
+  VFIMR_REQUIRE(id < edges_.size());
+  return edges_[id];
+}
+
+const std::vector<EdgeId>& Graph::incident(NodeId n) const {
+  VFIMR_REQUIRE(n < node_count());
+  return adjacency_[n];
+}
+
+std::vector<NodeId> Graph::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  out.reserve(incident(n).size());
+  for (EdgeId e : incident(n)) out.push_back(other_end(e, n));
+  return out;
+}
+
+NodeId Graph::other_end(EdgeId e, NodeId from) const {
+  const Edge& ed = edge(e);
+  VFIMR_REQUIRE(ed.a == from || ed.b == from);
+  return ed.a == from ? ed.b : ed.a;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId src) {
+  VFIMR_REQUIRE(src < g.node_count());
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::uint32_t>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) out.push_back(bfs_hops(g, s));
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto dist = bfs_hops(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+double average_hop_count(const Graph& g) {
+  VFIMR_REQUIRE_MSG(is_connected(g), "average_hop_count needs connectivity");
+  const std::size_t n = g.node_count();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    const auto dist = bfs_hops(g, s);
+    for (NodeId d = 0; d < n; ++d) {
+      if (d != s) total += static_cast<double>(dist[d]);
+    }
+  }
+  return total / static_cast<double>(n * (n - 1));
+}
+
+double weighted_hop_count(const Graph& g,
+                          const std::vector<std::vector<double>>& traffic) {
+  VFIMR_REQUIRE(traffic.size() == g.node_count());
+  double weight_total = 0.0;
+  double acc = 0.0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    VFIMR_REQUIRE(traffic[s].size() == g.node_count());
+    const auto dist = bfs_hops(g, s);
+    for (NodeId d = 0; d < g.node_count(); ++d) {
+      const double w = traffic[s][d];
+      if (w <= 0.0 || s == d) continue;
+      VFIMR_REQUIRE_MSG(dist[d] != kUnreachable,
+                        "traffic between disconnected nodes");
+      acc += w * static_cast<double>(dist[d]);
+      weight_total += w;
+    }
+  }
+  return weight_total > 0.0 ? acc / weight_total : 0.0;
+}
+
+std::vector<NodeId> bfs_spanning_tree(const Graph& g, NodeId root) {
+  VFIMR_REQUIRE(root < g.node_count());
+  VFIMR_REQUIRE_MSG(is_connected(g), "spanning tree needs connectivity");
+  std::vector<NodeId> parent(g.node_count(), kInvalidId);
+  std::queue<NodeId> q;
+  parent[root] = root;
+  q.push(root);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (parent[v] == kInvalidId) {
+        parent[v] = u;
+        q.push(v);
+      }
+    }
+  }
+  return parent;
+}
+
+NodeId max_degree_node(const Graph& g) {
+  VFIMR_REQUIRE(g.node_count() > 0);
+  // Highest degree, ties broken by closeness centrality (smallest total hop
+  // distance) — as the up*/down* root this keeps "up" detours short and
+  // spreads root-adjacent load.
+  NodeId best = 0;
+  std::uint64_t best_dist = 0;
+  auto total_dist = [&](NodeId n) {
+    std::uint64_t acc = 0;
+    for (std::uint32_t d : bfs_hops(g, n)) {
+      if (d != kUnreachable) acc += d;
+    }
+    return acc;
+  };
+  best_dist = total_dist(0);
+  for (NodeId n = 1; n < g.node_count(); ++n) {
+    if (g.degree(n) < g.degree(best)) continue;
+    const std::uint64_t dist = total_dist(n);
+    if (g.degree(n) > g.degree(best) ||
+        (g.degree(n) == g.degree(best) && dist < best_dist)) {
+      best = n;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+}  // namespace vfimr::graph

@@ -1,0 +1,92 @@
+#pragma once
+// Undirected graph with per-edge attributes.  This is the substrate for NoC
+// topologies (mesh, small-world wireline, wireless overlay), for routing
+// table construction and for the VFI clustering cost evaluation.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vfimr::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+enum class EdgeKind : std::uint8_t {
+  kWire,      ///< planar metal link, energy scales with physical length
+  kWireless,  ///< mm-wave broadcast shortcut (token-arbitrated channel)
+};
+
+struct Edge {
+  NodeId a = kInvalidId;
+  NodeId b = kInvalidId;
+  EdgeKind kind = EdgeKind::kWire;
+  double length_mm = 0.0;  ///< physical wire length; 0 for wireless
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds an undirected edge; parallel edges and self-loops are rejected.
+  EdgeId add_edge(NodeId a, NodeId b, EdgeKind kind = EdgeKind::kWire,
+                  double length_mm = 0.0);
+
+  bool has_edge(NodeId a, NodeId b) const;
+  std::optional<EdgeId> find_edge(NodeId a, NodeId b) const;
+
+  const Edge& edge(EdgeId id) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids incident on `n`.
+  const std::vector<EdgeId>& incident(NodeId n) const;
+
+  /// Neighbor node ids of `n` (one per incident edge).
+  std::vector<NodeId> neighbors(NodeId n) const;
+
+  std::size_t degree(NodeId n) const { return incident(n).size(); }
+
+  /// The other endpoint of edge `e` as seen from `from`.
+  NodeId other_end(EdgeId e, NodeId from) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+/// Breadth-first hop distances from `src`; unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId src);
+
+/// All-pairs hop counts via repeated BFS. result[s][d].
+std::vector<std::vector<std::uint32_t>> all_pairs_hops(const Graph& g);
+
+/// True iff every node is reachable from node 0 (or the graph is empty).
+bool is_connected(const Graph& g);
+
+/// Average shortest-path hop count over all ordered pairs (s != d).
+/// Requires a connected graph.
+double average_hop_count(const Graph& g);
+
+/// Traffic-weighted average hop count: sum_{s,d} traffic[s][d] * hops(s,d) /
+/// sum traffic.  `traffic` is row-major n*n; requires connectivity where
+/// traffic > 0.
+double weighted_hop_count(const Graph& g,
+                          const std::vector<std::vector<double>>& traffic);
+
+/// BFS spanning tree rooted at `root`: parent[i] is the parent node of i
+/// (root's parent is itself).  Requires a connected graph.
+std::vector<NodeId> bfs_spanning_tree(const Graph& g, NodeId root);
+
+/// Node picked as up*/down* root: the most-connected node (ties -> lowest id),
+/// the conventional heuristic for irregular-topology routing.
+NodeId max_degree_node(const Graph& g);
+
+}  // namespace vfimr::graph

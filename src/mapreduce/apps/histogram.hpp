@@ -1,0 +1,35 @@
+#pragma once
+// Histogram — counts the frequency of each R/G/B intensity value in a bitmap
+// (Phoenix++ HIST; "Medium (399 MB)" in Table 1).  768 keys: 3 channels x
+// 256 intensities.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr::apps {
+
+struct HistogramConfig {
+  std::size_t pixel_count = 500'000;  ///< synthetic RGB pixels
+  std::size_t map_tasks = 64;
+  SchedulerConfig scheduler{};
+  std::uint64_t seed = 2;
+};
+
+struct HistogramResult {
+  /// bins[channel][intensity]: channel 0=R, 1=G, 2=B.
+  std::array<std::array<std::uint64_t, 256>, 3> bins{};
+  JobProfile profile;
+};
+
+/// Generate a synthetic interleaved-RGB image (3 bytes per pixel).
+std::vector<std::uint8_t> generate_image(const HistogramConfig& cfg);
+
+HistogramResult histogram(const std::vector<std::uint8_t>& rgb,
+                          const HistogramConfig& cfg);
+
+HistogramResult run_histogram(const HistogramConfig& cfg);
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,43 @@
+#pragma once
+// Kmeans — iterative clustering of vectors (Phoenix++ Kmeans; "vectors with
+// dimension of 512" in Table 1).  Each MapReduce iteration assigns points to
+// the nearest centroid (map emits (cluster, partial centroid)) and recomputes
+// centroids (reduce).  The paper notes Kmeans runs two MapReduce iterations
+// on its dataset and that later iterations concentrate activity on fewer
+// cores as clusters converge — the source of its highly non-uniform core
+// utilization (Fig. 2a).
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr::apps {
+
+struct KmeansConfig {
+  std::size_t point_count = 20'000;
+  std::size_t dimensions = 32;  ///< paper uses 512; tests use smaller
+  std::size_t clusters = 8;
+  std::size_t max_iterations = 10;
+  double convergence_eps = 1e-3;  ///< max centroid movement to stop
+  std::size_t map_tasks = 64;
+  SchedulerConfig scheduler{};
+  std::uint64_t seed = 5;
+};
+
+struct KmeansResult {
+  std::vector<std::vector<double>> centroids;  ///< clusters x dimensions
+  std::vector<std::uint32_t> assignment;       ///< per point
+  std::size_t iterations = 0;
+  JobProfile profile;  ///< accumulated over all MapReduce iterations
+};
+
+/// Gaussian mixture around `clusters` well-separated true centers.
+std::vector<std::vector<double>> generate_points(const KmeansConfig& cfg);
+
+KmeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KmeansConfig& cfg);
+
+KmeansResult run_kmeans(const KmeansConfig& cfg);
+
+}  // namespace vfimr::mr::apps

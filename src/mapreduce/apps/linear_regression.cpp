@@ -1,0 +1,74 @@
+#include "mapreduce/apps/linear_regression.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::mr::apps {
+
+namespace {
+enum SumKey : std::uint32_t { kSx = 0, kSy, kSxx, kSyy, kSxy, kN };
+}  // namespace
+
+std::vector<Sample> generate_samples(const LinearRegressionConfig& cfg) {
+  Rng rng{cfg.seed};
+  std::vector<Sample> samples(cfg.sample_count);
+  for (auto& s : samples) {
+    s.x = rng.uniform(-100.0, 100.0);
+    s.y = cfg.true_slope * s.x + cfg.true_intercept +
+          rng.normal(0.0, cfg.noise_stddev);
+  }
+  return samples;
+}
+
+LinearRegressionResult linear_regression(const std::vector<Sample>& samples,
+                                         const LinearRegressionConfig& cfg) {
+  VFIMR_REQUIRE(cfg.map_tasks > 0);
+  VFIMR_REQUIRE(samples.size() >= 2);
+  using LrEngine = Engine<std::uint32_t, double>;
+  const std::size_t n = samples.size();
+
+  LrEngine engine{LrEngine::Options{cfg.scheduler, 0}};
+  auto result =
+      engine.run(cfg.map_tasks, [&](std::size_t task, LrEngine::Emitter& em) {
+        const std::size_t lo = task * n / cfg.map_tasks;
+        const std::size_t hi = (task + 1) * n / cfg.map_tasks;
+        double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto [x, y] = samples[i];
+          sx += x;
+          sy += y;
+          sxx += x * x;
+          syy += y * y;
+          sxy += x * y;
+        }
+        em.emit(kSx, sx);
+        em.emit(kSy, sy);
+        em.emit(kSxx, sxx);
+        em.emit(kSyy, syy);
+        em.emit(kSxy, sxy);
+        em.emit(kN, static_cast<double>(hi - lo));
+      });
+
+  double sums[6] = {};
+  for (const auto& kv : result.pairs) {
+    VFIMR_REQUIRE(kv.key < 6);
+    sums[kv.key] = kv.value;
+  }
+  const double count = sums[kN];
+  const double denom = count * sums[kSxx] - sums[kSx] * sums[kSx];
+  VFIMR_REQUIRE_MSG(denom != 0.0, "degenerate x distribution");
+
+  LinearRegressionResult out;
+  out.samples = static_cast<std::uint64_t>(count);
+  out.slope = (count * sums[kSxy] - sums[kSx] * sums[kSy]) / denom;
+  out.intercept = (sums[kSy] - out.slope * sums[kSx]) / count;
+  out.profile = std::move(result.profile);
+  return out;
+}
+
+LinearRegressionResult run_linear_regression(
+    const LinearRegressionConfig& cfg) {
+  return linear_regression(generate_samples(cfg), cfg);
+}
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,46 @@
+#pragma once
+// Linear Regression — least-squares fit over (x, y) samples (Phoenix++ LR;
+// "Medium (100 MB)" in Table 1).  Map tasks emit partial sums under five
+// fixed keys (Sx, Sy, Sxx, Syy, Sxy); the reduce phase folds them and the
+// slope/intercept fall out in closed form.  The paper notes LR has almost no
+// library-init and no merge phase and exchanges large data units with nearby
+// cores — reflected in its tiny key space.
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr::apps {
+
+struct LinearRegressionConfig {
+  std::size_t sample_count = 400'000;
+  double true_slope = 2.5;
+  double true_intercept = -7.0;
+  double noise_stddev = 3.0;
+  std::size_t map_tasks = 64;
+  SchedulerConfig scheduler{};
+  std::uint64_t seed = 3;
+};
+
+struct LinearRegressionResult {
+  double slope = 0.0;
+  double intercept = 0.0;
+  std::uint64_t samples = 0;
+  JobProfile profile;
+};
+
+struct Sample {
+  double x;
+  double y;
+};
+
+std::vector<Sample> generate_samples(const LinearRegressionConfig& cfg);
+
+LinearRegressionResult linear_regression(const std::vector<Sample>& samples,
+                                         const LinearRegressionConfig& cfg);
+
+LinearRegressionResult run_linear_regression(
+    const LinearRegressionConfig& cfg);
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,58 @@
+#include "mapreduce/apps/matrix_multiply.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::mr::apps {
+
+Matrix generate_matrix(std::size_t dimension, std::uint64_t seed) {
+  Rng rng{seed};
+  Matrix m{dimension, dimension};
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+MatrixMultiplyResult matrix_multiply(const Matrix& a, const Matrix& b,
+                                     const MatrixMultiplyConfig& cfg) {
+  VFIMR_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols());
+  VFIMR_REQUIRE(a.rows() == b.rows());
+  VFIMR_REQUIRE(cfg.map_tasks > 0);
+  const std::size_t n = a.rows();
+  using Row = std::vector<double>;
+  using MmEngine = Engine<std::uint32_t, Row, ReplaceCombiner<Row>>;
+
+  MmEngine engine{MmEngine::Options{cfg.scheduler, 0}};
+  auto result =
+      engine.run(cfg.map_tasks, [&](std::size_t task, MmEngine::Emitter& em) {
+        const std::size_t lo = task * n / cfg.map_tasks;
+        const std::size_t hi = (task + 1) * n / cfg.map_tasks;
+        for (std::size_t i = lo; i < hi; ++i) {
+          Row row(n, 0.0);
+          for (std::size_t k = 0; k < n; ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < n; ++j) row[j] += aik * b(k, j);
+          }
+          em.emit(static_cast<std::uint32_t>(i), row);
+        }
+      });
+
+  MatrixMultiplyResult out;
+  out.product = Matrix{n, n};
+  for (const auto& kv : result.pairs) {
+    VFIMR_REQUIRE(kv.key < n && kv.value.size() == n);
+    for (std::size_t j = 0; j < n; ++j) out.product(kv.key, j) = kv.value[j];
+  }
+  out.profile = std::move(result.profile);
+  return out;
+}
+
+MatrixMultiplyResult run_matrix_multiply(const MatrixMultiplyConfig& cfg) {
+  const Matrix a = generate_matrix(cfg.dimension, cfg.seed);
+  const Matrix b = generate_matrix(cfg.dimension, cfg.seed + 1);
+  return matrix_multiply(a, b, cfg);
+}
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,33 @@
+#pragma once
+// Matrix Multiplication — C = A x B expressed as MapReduce (Phoenix++ MM;
+// "999 x 999" in Table 1).  Each map task computes a block of output rows
+// and emits (row index, row vector); rows are unique so the combiner is
+// last-writer-wins and the reduce phase only gathers.
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr::apps {
+
+struct MatrixMultiplyConfig {
+  std::size_t dimension = 160;  ///< paper uses 999; tests use smaller
+  std::size_t map_tasks = 64;
+  SchedulerConfig scheduler{};
+  std::uint64_t seed = 4;
+};
+
+struct MatrixMultiplyResult {
+  Matrix product;
+  JobProfile profile;
+};
+
+Matrix generate_matrix(std::size_t dimension, std::uint64_t seed);
+
+MatrixMultiplyResult matrix_multiply(const Matrix& a, const Matrix& b,
+                                     const MatrixMultiplyConfig& cfg);
+
+MatrixMultiplyResult run_matrix_multiply(const MatrixMultiplyConfig& cfg);
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,100 @@
+#include "mapreduce/apps/pca.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::mr::apps {
+
+Matrix generate_data(const PcaConfig& cfg) {
+  Rng rng{cfg.seed};
+  Matrix data{cfg.rows, cfg.dimensions};
+  // Correlated columns: a few latent factors so the covariance is non-trivial.
+  const std::size_t factors = std::max<std::size_t>(2, cfg.dimensions / 8);
+  Matrix loadings{factors, cfg.dimensions};
+  for (auto& v : loadings.data()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t r = 0; r < cfg.rows; ++r) {
+    std::vector<double> z(factors);
+    for (auto& v : z) v = rng.normal();
+    for (std::size_t d = 0; d < cfg.dimensions; ++d) {
+      double x = 0.3 * rng.normal();
+      for (std::size_t f = 0; f < factors; ++f) x += z[f] * loadings(f, d);
+      data(r, d) = x;
+    }
+  }
+  return data;
+}
+
+PcaResult pca(const Matrix& data, const PcaConfig& cfg) {
+  VFIMR_REQUIRE(data.rows() >= 2 && data.cols() >= 1);
+  VFIMR_REQUIRE(cfg.map_tasks > 0);
+  const std::size_t n = data.rows();
+  const std::size_t dims = data.cols();
+  PcaResult out;
+
+  // ---- Pass 1: per-dimension means. Key = dimension, value = partial sum.
+  {
+    using MeanEngine = Engine<std::uint32_t, double>;
+    MeanEngine engine{MeanEngine::Options{cfg.scheduler, 0}};
+    auto result = engine.run(
+        cfg.map_tasks, [&](std::size_t task, MeanEngine::Emitter& em) {
+          const std::size_t lo = task * n / cfg.map_tasks;
+          const std::size_t hi = (task + 1) * n / cfg.map_tasks;
+          std::vector<double> sums(dims, 0.0);
+          for (std::size_t r = lo; r < hi; ++r) {
+            for (std::size_t d = 0; d < dims; ++d) sums[d] += data(r, d);
+          }
+          for (std::uint32_t d = 0; d < dims; ++d) em.emit(d, sums[d]);
+        });
+    out.mean.assign(dims, 0.0);
+    for (const auto& kv : result.pairs) {
+      VFIMR_REQUIRE(kv.key < dims);
+      out.mean[kv.key] = kv.value / static_cast<double>(n);
+    }
+    out.profile.merge(result.profile);
+  }
+
+  // ---- Pass 2: covariance, upper triangle. Key = i * dims + j (i <= j).
+  {
+    using CovEngine = Engine<std::uint64_t, double>;
+    CovEngine engine{CovEngine::Options{cfg.scheduler, 0}};
+    auto result = engine.run(
+        cfg.map_tasks, [&](std::size_t task, CovEngine::Emitter& em) {
+          const std::size_t lo = task * n / cfg.map_tasks;
+          const std::size_t hi = (task + 1) * n / cfg.map_tasks;
+          // Task-local dense accumulation; one emit per (i, j) key.
+          std::vector<double> acc(dims * dims, 0.0);
+          std::vector<double> centered(dims);
+          for (std::size_t r = lo; r < hi; ++r) {
+            for (std::size_t d = 0; d < dims; ++d) {
+              centered[d] = data(r, d) - out.mean[d];
+            }
+            for (std::size_t i = 0; i < dims; ++i) {
+              for (std::size_t j = i; j < dims; ++j) {
+                acc[i * dims + j] += centered[i] * centered[j];
+              }
+            }
+          }
+          for (std::size_t i = 0; i < dims; ++i) {
+            for (std::size_t j = i; j < dims; ++j) {
+              em.emit(static_cast<std::uint64_t>(i * dims + j),
+                      acc[i * dims + j]);
+            }
+          }
+        });
+    out.covariance = Matrix{dims, dims};
+    const double denom = static_cast<double>(n - 1);
+    for (const auto& kv : result.pairs) {
+      const std::size_t i = static_cast<std::size_t>(kv.key) / dims;
+      const std::size_t j = static_cast<std::size_t>(kv.key) % dims;
+      VFIMR_REQUIRE(i < dims && j < dims);
+      out.covariance(i, j) = kv.value / denom;
+      out.covariance(j, i) = kv.value / denom;
+    }
+    out.profile.merge(result.profile);
+  }
+  return out;
+}
+
+PcaResult run_pca(const PcaConfig& cfg) { return pca(generate_data(cfg), cfg); }
+
+}  // namespace vfimr::mr::apps

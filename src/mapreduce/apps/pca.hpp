@@ -1,0 +1,36 @@
+#pragma once
+// PCA — mean vector and covariance matrix of a data matrix (Phoenix++ PCA;
+// "960 x 960" in Table 1).  Two MapReduce passes, matching the paper's note
+// that PCA runs two MapReduce iterations: pass 1 computes per-dimension
+// means, pass 2 computes the upper-triangular covariance entries.  PCA's
+// long merge phase (many covariance keys funneling through shrinking merge
+// stages) is what produces its pronounced bottleneck cores (Fig. 2b, §4.2).
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr::apps {
+
+struct PcaConfig {
+  std::size_t rows = 2'000;      ///< observations
+  std::size_t dimensions = 48;   ///< paper: 960; tests use smaller
+  std::size_t map_tasks = 64;
+  SchedulerConfig scheduler{};
+  std::uint64_t seed = 6;
+};
+
+struct PcaResult {
+  std::vector<double> mean;  ///< per dimension
+  Matrix covariance;         ///< dimensions x dimensions, symmetric
+  JobProfile profile;        ///< accumulated over both passes
+};
+
+Matrix generate_data(const PcaConfig& cfg);
+
+PcaResult pca(const Matrix& data, const PcaConfig& cfg);
+
+PcaResult run_pca(const PcaConfig& cfg);
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,87 @@
+#include "mapreduce/apps/wordcount.hpp"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::mr::apps {
+
+namespace {
+
+/// Deterministic pseudo-words: "w" + index (simple, collision-free).
+std::string word_for(std::size_t index) { return "w" + std::to_string(index); }
+
+}  // namespace
+
+std::string generate_text(const WordCountConfig& cfg) {
+  VFIMR_REQUIRE(cfg.vocabulary > 0);
+  Rng rng{cfg.seed};
+  // Zipf(s=1) weights over the vocabulary — natural-language-like skew.
+  std::vector<double> weights(cfg.vocabulary);
+  for (std::size_t i = 0; i < cfg.vocabulary; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  std::string text;
+  text.reserve(cfg.word_count * 6);
+  for (std::size_t i = 0; i < cfg.word_count; ++i) {
+    if (i) text += ' ';
+    text += word_for(rng.weighted_index(weights));
+  }
+  return text;
+}
+
+WordCountResult word_count(const std::string& text,
+                           const WordCountConfig& cfg) {
+  VFIMR_REQUIRE(cfg.map_tasks > 0);
+  using WcEngine = Engine<std::string, std::uint64_t>;
+
+  // Split: byte ranges snapped forward to whitespace so no word is cut.
+  const std::size_t n = text.size();
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  chunks.reserve(cfg.map_tasks);
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < cfg.map_tasks; ++t) {
+    std::size_t end = (t + 1 == cfg.map_tasks) ? n : (t + 1) * n / cfg.map_tasks;
+    while (end < n && !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    if (end < begin) end = begin;
+    chunks.emplace_back(begin, end);
+    begin = end;
+  }
+
+  WcEngine engine{WcEngine::Options{cfg.scheduler, 0}};
+  auto result =
+      engine.run(chunks.size(), [&](std::size_t task, WcEngine::Emitter& em) {
+        const auto [lo, hi] = chunks[task];
+        std::size_t i = lo;
+        while (i < hi) {
+          while (i < hi && std::isspace(static_cast<unsigned char>(text[i]))) {
+            ++i;
+          }
+          std::size_t j = i;
+          while (j < hi && !std::isspace(static_cast<unsigned char>(text[j]))) {
+            ++j;
+          }
+          if (j > i) em.emit(text.substr(i, j - i), 1);
+          i = j;
+        }
+      });
+
+  WordCountResult out;
+  out.profile = std::move(result.profile);
+  out.counts.reserve(result.pairs.size());
+  for (auto& kv : result.pairs) {
+    out.total_words += kv.value;
+    out.counts.emplace_back(std::move(kv.key), kv.value);
+  }
+  return out;
+}
+
+WordCountResult run_word_count(const WordCountConfig& cfg) {
+  return word_count(generate_text(cfg), cfg);
+}
+
+}  // namespace vfimr::mr::apps

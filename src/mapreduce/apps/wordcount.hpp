@@ -1,0 +1,40 @@
+#pragma once
+// Word Count — counts occurrences of each unique word in a text (the paper's
+// running example in §3.1; "Large (100 MB)" dataset in Table 1).  Keys are
+// words, values are counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr::apps {
+
+struct WordCountConfig {
+  /// Deterministically generated input: `word_count` words drawn Zipf-like
+  /// from a vocabulary of `vocabulary` distinct words.
+  std::size_t word_count = 200'000;
+  std::size_t vocabulary = 5'000;
+  std::size_t map_tasks = 100;  ///< paper: 100 map tasks for the 100 MB input
+  SchedulerConfig scheduler{};
+  std::uint64_t seed = 1;
+};
+
+struct WordCountResult {
+  std::vector<std::pair<std::string, std::uint64_t>> counts;  ///< sorted keys
+  std::uint64_t total_words = 0;
+  JobProfile profile;
+};
+
+/// Generate the synthetic corpus for `cfg` (exposed for tests/examples).
+std::string generate_text(const WordCountConfig& cfg);
+
+/// Run word count over `text` (task t processes the t-th chunk).
+WordCountResult word_count(const std::string& text,
+                           const WordCountConfig& cfg);
+
+/// Convenience: generate + count.
+WordCountResult run_word_count(const WordCountConfig& cfg);
+
+}  // namespace vfimr::mr::apps

@@ -1,0 +1,225 @@
+#pragma once
+// Phoenix++-style shared-memory MapReduce engine.
+//
+// Execution follows Fig. 1 of the paper: Split (caller decides task count),
+// Map (work-stealing over map tasks, emitting into worker-local combining
+// containers), Reduce (hash-partitioned key ranges reduced in parallel) and
+// Merge (per-partition sort + k-way merge into one ordered result).
+//
+// The engine records a JobProfile: per-phase wall times, per-worker busy
+// times and task counts, and the map-worker -> reduce-partition shuffle
+// matrix.  The profile is what couples the real runtime to the VFI clustering
+// (utilization vector u) and the WiNoC design (traffic matrix f_ip).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/require.hpp"
+#include "mapreduce/scheduler.hpp"
+
+namespace vfimr::mr {
+
+/// Combiners fold repeated emissions of the same key (Phoenix++'s
+/// "combining containers").  `operator()(acc, v)` must be associative.
+template <typename V>
+struct SumCombiner {
+  void operator()(V& acc, const V& v) const { acc += v; }
+};
+
+template <typename V>
+struct MinCombiner {
+  void operator()(V& acc, const V& v) const {
+    if (v < acc) acc = v;
+  }
+};
+
+template <typename V>
+struct MaxCombiner {
+  void operator()(V& acc, const V& v) const {
+    if (acc < v) acc = v;
+  }
+};
+
+/// Last-writer-wins; for apps whose keys are emitted exactly once (e.g.
+/// MatrixMultiply rows).
+template <typename V>
+struct ReplaceCombiner {
+  void operator()(V& acc, const V& v) const { acc = v; }
+};
+
+struct PhaseTimes {
+  double split_s = 0.0;
+  double map_s = 0.0;
+  double reduce_s = 0.0;
+  double merge_s = 0.0;
+
+  double total_s() const { return split_s + map_s + reduce_s + merge_s; }
+};
+
+struct JobProfile {
+  PhaseTimes phases;
+  SchedulerStats map_stats;
+  SchedulerStats reduce_stats;
+  /// shuffle(w, p): key/value pairs produced by map worker w that are read
+  /// by reduce partition p — the on-chip traffic footprint of the shuffle.
+  Matrix shuffle_pairs;
+  std::size_t unique_keys = 0;
+  std::uint64_t emitted_pairs = 0;
+
+  /// Accumulate another job's profile (for iterative apps: Kmeans, PCA).
+  void merge(const JobProfile& other);
+};
+
+template <typename K, typename V, typename Combiner = SumCombiner<V>,
+          typename Hash = std::hash<K>>
+class Engine {
+ public:
+  struct KeyValue {
+    K key{};
+    V value{};
+  };
+
+  struct Options {
+    SchedulerConfig scheduler;       ///< used for both map and reduce phases
+    std::size_t reduce_partitions = 0;  ///< 0 -> one per worker
+  };
+
+  struct Result {
+    std::vector<KeyValue> pairs;  ///< merged, ascending key order
+    JobProfile profile;
+  };
+
+  /// Worker-local emission sink handed to map functions.
+  class Emitter {
+   public:
+    void emit(const K& key, const V& value) {
+      auto [it, inserted] = local_->try_emplace(key, value);
+      if (!inserted) combiner_(it->second, value);
+      ++(*emitted_);
+    }
+
+   private:
+    friend class Engine;
+    Emitter(std::unordered_map<K, V, Hash>* local, std::uint64_t* emitted,
+            Combiner combiner)
+        : local_{local}, emitted_{emitted}, combiner_{combiner} {}
+    std::unordered_map<K, V, Hash>* local_;
+    std::uint64_t* emitted_;
+    Combiner combiner_;
+  };
+
+  using MapFn = std::function<void(std::size_t task, Emitter& out)>;
+
+  explicit Engine(Options options) : options_{std::move(options)} {
+    VFIMR_REQUIRE(options_.scheduler.workers > 0);
+    if (options_.reduce_partitions == 0) {
+      options_.reduce_partitions = options_.scheduler.workers;
+    }
+  }
+
+  Result run(std::size_t num_map_tasks, const MapFn& map_fn) {
+    const std::size_t workers = options_.scheduler.workers;
+    const std::size_t parts = options_.reduce_partitions;
+    Result result;
+    result.profile.shuffle_pairs = Matrix{workers, parts};
+
+    // ---- Map ----
+    std::vector<std::unordered_map<K, V, Hash>> locals(workers);
+    std::vector<std::uint64_t> emitted(workers, 0);
+    TaskScheduler sched{options_.scheduler};
+    const Combiner combiner{};
+    result.profile.map_stats =
+        sched.run(num_map_tasks, [&](std::size_t task, std::size_t worker) {
+          Emitter em{&locals[worker], &emitted[worker], combiner};
+          map_fn(task, em);
+        });
+    result.profile.phases.map_s = result.profile.map_stats.wall_seconds;
+    for (std::uint64_t e : emitted) result.profile.emitted_pairs += e;
+
+    // Shuffle accounting: every (worker-local key, value) that hashes to
+    // partition p will be read across the chip by the reducer owning p.
+    const Hash hasher{};
+    for (std::size_t w = 0; w < workers; ++w) {
+      for (const auto& [key, value] : locals[w]) {
+        const std::size_t p = hasher(key) % parts;
+        result.profile.shuffle_pairs(w, p) += 1.0;
+      }
+    }
+
+    // ---- Reduce ----
+    std::vector<std::vector<KeyValue>> partitions(parts);
+    result.profile.reduce_stats =
+        sched.run(parts, [&](std::size_t part, std::size_t /*worker*/) {
+          std::unordered_map<K, V, Hash> acc;
+          for (std::size_t w = 0; w < workers; ++w) {
+            for (const auto& [key, value] : locals[w]) {
+              if (hasher(key) % parts != part) continue;
+              auto [it, inserted] = acc.try_emplace(key, value);
+              if (!inserted) combiner(it->second, value);
+            }
+          }
+          auto& out = partitions[part];
+          out.reserve(acc.size());
+          for (auto& [key, value] : acc) {
+            out.push_back(KeyValue{key, std::move(value)});
+          }
+          std::sort(out.begin(), out.end(),
+                    [](const KeyValue& a, const KeyValue& b) {
+                      return a.key < b.key;
+                    });
+        });
+    result.profile.phases.reduce_s = result.profile.reduce_stats.wall_seconds;
+
+    // ---- Merge ---- (k-way merge of the sorted partitions; sequential on
+    // the master, matching the paper's shrinking-thread-count merge stages)
+    const auto merge_start = std::chrono::steady_clock::now();
+    result.pairs = merge_partitions(std::move(partitions));
+    result.profile.phases.merge_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_start)
+            .count();
+    result.profile.unique_keys = result.pairs.size();
+    return result;
+  }
+
+ private:
+  std::vector<KeyValue> merge_partitions(
+      std::vector<std::vector<KeyValue>> partitions) {
+    struct Cursor {
+      std::size_t part;
+      std::size_t index;
+    };
+    auto greater = [&](const Cursor& a, const Cursor& b) {
+      return partitions[b.part][b.index].key < partitions[a.part][a.index].key;
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap{
+        greater};
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < partitions.size(); ++p) {
+      total += partitions[p].size();
+      if (!partitions[p].empty()) heap.push(Cursor{p, 0});
+    }
+    std::vector<KeyValue> out;
+    out.reserve(total);
+    while (!heap.empty()) {
+      const Cursor c = heap.top();
+      heap.pop();
+      out.push_back(std::move(partitions[c.part][c.index]));
+      if (c.index + 1 < partitions[c.part].size()) {
+        heap.push(Cursor{c.part, c.index + 1});
+      }
+    }
+    return out;
+  }
+
+  Options options_;
+};
+
+}  // namespace vfimr::mr

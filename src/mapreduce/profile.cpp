@@ -1,0 +1,39 @@
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr {
+
+void JobProfile::merge(const JobProfile& other) {
+  phases.split_s += other.phases.split_s;
+  phases.map_s += other.phases.map_s;
+  phases.reduce_s += other.phases.reduce_s;
+  phases.merge_s += other.phases.merge_s;
+  emitted_pairs += other.emitted_pairs;
+  unique_keys = std::max(unique_keys, other.unique_keys);
+
+  auto merge_stats = [](SchedulerStats& into, const SchedulerStats& from) {
+    if (into.tasks_executed.size() < from.tasks_executed.size()) {
+      into.tasks_executed.resize(from.tasks_executed.size(), 0);
+      into.tasks_stolen.resize(from.tasks_stolen.size(), 0);
+      into.busy_seconds.resize(from.busy_seconds.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < from.tasks_executed.size(); ++i) {
+      into.tasks_executed[i] += from.tasks_executed[i];
+      into.tasks_stolen[i] += from.tasks_stolen[i];
+      into.busy_seconds[i] += from.busy_seconds[i];
+    }
+    into.wall_seconds += from.wall_seconds;
+  };
+  merge_stats(map_stats, other.map_stats);
+  merge_stats(reduce_stats, other.reduce_stats);
+
+  if (shuffle_pairs.rows() == other.shuffle_pairs.rows() &&
+      shuffle_pairs.cols() == other.shuffle_pairs.cols()) {
+    for (std::size_t i = 0; i < shuffle_pairs.data().size(); ++i) {
+      shuffle_pairs.data()[i] += other.shuffle_pairs.data()[i];
+    }
+  } else if (shuffle_pairs.empty()) {
+    shuffle_pairs = other.shuffle_pairs;
+  }
+}
+
+}  // namespace vfimr::mr

@@ -1,0 +1,170 @@
+#include "mapreduce/scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "common/require.hpp"
+
+namespace vfimr::mr {
+
+std::size_t stealing_cap(std::size_t total_tasks, std::size_t cores,
+                         double rel_freq) {
+  VFIMR_REQUIRE(cores > 0);
+  VFIMR_REQUIRE_MSG(rel_freq > 0.0 && rel_freq <= 1.0,
+                    "rel_freq must be f/f_max in (0, 1]");
+  if (rel_freq >= 1.0) return total_tasks;  // Eq. 3 only applies below f_max
+  const double nf = static_cast<double>(total_tasks) /
+                    static_cast<double>(cores) * rel_freq;
+  return static_cast<std::size_t>(std::floor(nf));
+}
+
+TaskScheduler::TaskScheduler(SchedulerConfig config)
+    : config_{std::move(config)} {
+  VFIMR_REQUIRE(config_.workers > 0);
+  if (!config_.rel_freq.empty()) {
+    VFIMR_REQUIRE(config_.rel_freq.size() == config_.workers);
+    for (double f : config_.rel_freq) {
+      VFIMR_REQUIRE(f > 0.0 && f <= 1.0);
+    }
+  }
+}
+
+namespace {
+
+/// One worker's task deque.  A plain mutex keeps this simple and correct;
+/// tasks in this repository are coarse (workload chunks), so lock cost is
+/// negligible next to task bodies.
+class WorkDeque {
+ public:
+  void push_back(std::size_t t) {
+    std::lock_guard lk{mu_};
+    tasks_.push_back(t);
+  }
+  bool pop_front(std::size_t& t) {
+    std::lock_guard lk{mu_};
+    if (tasks_.empty()) return false;
+    t = tasks_.front();
+    tasks_.pop_front();
+    return true;
+  }
+  bool steal_back(std::size_t& t) {
+    std::lock_guard lk{mu_};
+    if (tasks_.empty()) return false;
+    t = tasks_.back();
+    tasks_.pop_back();
+    return true;
+  }
+  std::size_t size() const {
+    std::lock_guard lk{mu_};
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::size_t> tasks_;
+};
+
+}  // namespace
+
+SchedulerStats TaskScheduler::run(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t w = config_.workers;
+  SchedulerStats stats;
+  stats.tasks_executed.assign(w, 0);
+  stats.tasks_stolen.assign(w, 0);
+  stats.busy_seconds.assign(w, 0.0);
+  if (num_tasks == 0) return stats;
+
+  // Block distribution, like the Phoenix splitter: worker i gets the
+  // contiguous range [i*N/W, (i+1)*N/W).
+  std::vector<WorkDeque> deques(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t lo = i * num_tasks / w;
+    const std::size_t hi = (i + 1) * num_tasks / w;
+    for (std::size_t t = lo; t < hi; ++t) deques[i].push_back(t);
+  }
+
+  // Per-worker execution caps (Eq. 3).
+  std::vector<std::size_t> cap(w, std::numeric_limits<std::size_t>::max());
+  if (config_.vfi_stealing_cap && !config_.rel_freq.empty()) {
+    for (std::size_t i = 0; i < w; ++i) {
+      if (config_.rel_freq[i] < 1.0) {
+        cap[i] = stealing_cap(num_tasks, w, config_.rel_freq[i]);
+      }
+    }
+  }
+
+  std::atomic<std::size_t> remaining{num_tasks};
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto worker_fn = [&](std::size_t me) {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    double busy = 0.0;
+    while (remaining.load(std::memory_order_acquire) > 0 &&
+           executed < cap[me]) {
+      std::size_t task = 0;
+      bool got = deques[me].pop_front(task);
+      if (!got) {
+        // Steal from the victim with the most remaining tasks.
+        std::size_t best = w;
+        std::size_t best_size = 0;
+        for (std::size_t v = 0; v < w; ++v) {
+          if (v == me) continue;
+          const std::size_t s = deques[v].size();
+          if (s > best_size) {
+            best_size = s;
+            best = v;
+          }
+        }
+        if (best == w) break;  // nothing anywhere: done (or racing stragglers)
+        got = deques[best].steal_back(task);
+        if (got) ++stolen;
+      }
+      if (!got) continue;  // lost a race; rescan
+      const auto t0 = std::chrono::steady_clock::now();
+      body(task, me);
+      const auto t1 = std::chrono::steady_clock::now();
+      busy += std::chrono::duration<double>(t1 - t0).count();
+      ++executed;
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    stats.tasks_executed[me] = executed;
+    stats.tasks_stolen[me] = stolen;
+    stats.busy_seconds[me] = busy;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) threads.emplace_back(worker_fn, i);
+  for (auto& t : threads) t.join();
+
+  // Capped workers may exit while tasks remain; finish stragglers on the
+  // calling thread attributed to worker 0 (the master), mirroring Phoenix's
+  // master-side cleanup.  With sane caps (fast cores uncapped) this is empty.
+  std::size_t task = 0;
+  for (auto& d : deques) {
+    while (d.pop_front(task)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body(task, 0);
+      const auto t1 = std::chrono::steady_clock::now();
+      stats.busy_seconds[0] +=
+          std::chrono::duration<double>(t1 - t0).count();
+      ++stats.tasks_executed[0];
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  return stats;
+}
+
+}  // namespace vfimr::mr

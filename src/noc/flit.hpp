@@ -1,0 +1,37 @@
+#pragma once
+// Flit-level datatypes for the wormhole NoC simulator.  The paper uses
+// 32-bit flits; a packet is a head flit, zero or more body flits and a tail
+// flit (single-flit packets are both head and tail).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace vfimr::noc {
+
+using Cycle = std::uint64_t;
+using PacketId = std::uint64_t;
+
+struct Flit {
+  PacketId packet = 0;
+  graph::NodeId src = graph::kInvalidId;
+  graph::NodeId dest = graph::kInvalidId;
+  std::uint32_t seq = 0;       ///< position within the packet (0 == head)
+  std::uint32_t size = 1;      ///< total flits in the packet
+  Cycle inject_cycle = 0;      ///< cycle the packet entered the source queue
+  Cycle ready_cycle = 0;       ///< earliest cycle this flit may move again
+  bool down_phase = false;     ///< up*/down* routing phase (head flit only)
+  /// Virtual network: 0 before the packet's wireless hop, 1 after.  The two
+  /// VNs have separate buffers and wormhole states on every wired port, so
+  /// post-wireless traffic can never block behind pre-wireless traffic —
+  /// this breaks the TX -> RX -> wire -> TX dependency cycle of the
+  /// token-arbitrated wireless layer (layered routing).
+  std::uint8_t vn = 0;
+  /// While queued at a wireless TX port: the WI node this flit is sent to.
+  graph::NodeId wi_dest = graph::kInvalidId;
+
+  bool is_head() const { return seq == 0; }
+  bool is_tail() const { return seq + 1 == size; }
+};
+
+}  // namespace vfimr::noc

@@ -1,0 +1,382 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vfimr::noc {
+
+Network::Network(const Topology& topology, const RoutingAlgorithm& routing,
+                 SimConfig config, WirelessConfig wireless)
+    : topo_{&topology}, routing_{&routing}, cfg_{config} {
+  const auto& g = topo_->graph;
+  routers_.resize(g.node_count());
+  edge_flits_.assign(g.edge_count(), 0);
+  channels_.resize(static_cast<std::size_t>(
+      std::max(wireless.channel_count, 0)));
+  if (!cfg_.node_cluster.empty()) {
+    VFIMR_REQUIRE(cfg_.node_cluster.size() == g.node_count());
+  }
+
+  // Wire ports, one input + one output per incident wire edge.
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    auto& r = routers_[n];
+    for (graph::EdgeId e : g.incident(n)) {
+      const auto& ed = g.edge(e);
+      if (ed.kind != graph::EdgeKind::kWire) continue;
+      InPort in;
+      in.capacity = cfg_.wire_buffer_depth;
+      in.via_edge = e;
+      r.in.push_back(std::move(in));
+      OutPort out;
+      out.kind = OutKind::kWire;
+      out.edge = e;
+      out.neighbor = g.other_end(e, n);
+      out.length_mm = ed.length_mm;
+      r.out.push_back(out);
+    }
+  }
+
+  // Wireless interfaces.
+  std::vector<std::int32_t> wi_channel(g.node_count(), -1);
+  for (const auto& wi : wireless.interfaces) {
+    VFIMR_REQUIRE(wi.node < g.node_count());
+    VFIMR_REQUIRE_MSG(wi.channel >= 0 && wi.channel < wireless.channel_count,
+                      "WI channel out of range");
+    VFIMR_REQUIRE_MSG(wi_channel[wi.node] < 0, "duplicate WI on node");
+    wi_channel[wi.node] = wi.channel;
+    auto& r = routers_[wi.node];
+    InPort rx;
+    rx.capacity = cfg_.wi_buffer_depth;
+    rx.is_wireless_rx = true;
+    r.wireless_rx = static_cast<std::int32_t>(r.in.size());
+    r.in.push_back(std::move(rx));
+    OutPort tx;
+    tx.kind = OutKind::kWirelessTx;
+    r.wireless_tx = static_cast<std::int32_t>(r.out.size());
+    r.out.push_back(tx);
+    r.wi_channel = wi.channel;
+    channels_[static_cast<std::size_t>(wi.channel)].members.push_back(wi.node);
+  }
+  for (auto& ch : channels_) std::sort(ch.members.begin(), ch.members.end());
+
+  // Validate wireless edges connect same-channel WIs.
+  for (const auto& ed : g.edges()) {
+    if (ed.kind != graph::EdgeKind::kWireless) continue;
+    VFIMR_REQUIRE_MSG(wi_channel[ed.a] >= 0 && wi_channel[ed.b] >= 0,
+                      "wireless edge endpoint lacks a WI");
+    VFIMR_REQUIRE_MSG(wi_channel[ed.a] == wi_channel[ed.b],
+                      "wireless edge endpoints on different channels");
+  }
+
+  // Resolve downstream input-port indices for wire outputs.
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    for (auto& out : routers_[n].out) {
+      if (out.kind != OutKind::kWire) continue;
+      const auto& nb = routers_[out.neighbor];
+      bool found = false;
+      for (std::size_t i = 0; i < nb.in.size(); ++i) {
+        if (nb.in[i].via_edge == out.edge) {
+          out.downstream_in = static_cast<std::uint32_t>(i);
+          found = true;
+          break;
+        }
+      }
+      VFIMR_REQUIRE(found);
+    }
+  }
+}
+
+void Network::inject(graph::NodeId src, graph::NodeId dest,
+                     std::uint32_t flits) {
+  VFIMR_REQUIRE(src < routers_.size() && dest < routers_.size());
+  VFIMR_REQUIRE_MSG(src != dest, "self-traffic never enters the network");
+  VFIMR_REQUIRE(flits >= 1);
+  const PacketId id = next_packet_++;
+  auto& q = routers_[src].source_queue;
+  for (std::uint32_t s = 0; s < flits; ++s) {
+    Flit f;
+    f.packet = id;
+    f.src = src;
+    f.dest = dest;
+    f.seq = s;
+    f.size = flits;
+    f.inject_cycle = metrics_.cycles;
+    f.ready_cycle = metrics_.cycles;
+    q.push_back(f);
+  }
+  ++metrics_.packets_injected;
+  in_flight_flits_ += flits;
+}
+
+std::deque<Flit>* Network::input_queue(RouterState& r, std::int32_t idx,
+                                       std::size_t vn) {
+  if (idx == kSourceInput) {
+    // Injection queue carries only VN0 packets.
+    return vn == 0 ? &r.source_queue : nullptr;
+  }
+  VFIMR_REQUIRE(idx >= 0 && static_cast<std::size_t>(idx) < r.in.size());
+  return &r.in[static_cast<std::size_t>(idx)].buf[vn];
+}
+
+std::uint32_t Network::output_for_edge(const RouterState& r,
+                                       graph::EdgeId e) const {
+  for (std::size_t i = 0; i < r.out.size(); ++i) {
+    if (r.out[i].kind == OutKind::kWire && r.out[i].edge == e) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  VFIMR_REQUIRE_MSG(false, "no output port for edge");
+  return 0;
+}
+
+bool Network::downstream_has_space(const OutPort& out, std::size_t vn) const {
+  VFIMR_REQUIRE(out.kind == OutKind::kWire);
+  const auto& nb = routers_[out.neighbor];
+  const auto& in = nb.in[out.downstream_in];
+  return in.buf[vn].size() < in.capacity;
+}
+
+void Network::eject_ready_flits() {
+  const Cycle now = metrics_.cycles;
+  for (graph::NodeId n = 0; n < routers_.size(); ++n) {
+    auto& r = routers_[n];
+    auto try_eject = [&](std::deque<Flit>& q) {
+      if (q.empty()) return;
+      Flit& f = q.front();
+      if (f.dest != n || f.ready_cycle > now) return;
+      ++metrics_.energy.buffer_reads;
+      ++metrics_.flits_ejected;
+      --in_flight_flits_;
+      if (f.is_tail()) {
+        ++metrics_.packets_ejected;
+        metrics_.packet_latency.add(static_cast<double>(now - f.inject_cycle));
+      }
+      q.pop_front();
+    };
+    for (auto& in : r.in) {
+      for (std::size_t vn = 0; vn < kVns; ++vn) try_eject(in.buf[vn]);
+    }
+  }
+}
+
+void Network::service_wireless_channels() {
+  const Cycle now = metrics_.cycles;
+  for (auto& ch : channels_) {
+    if (ch.members.empty()) continue;
+    auto& holder = routers_[ch.members[ch.token]];
+    bool sent = false;
+    if (!holder.tx_queue.empty()) {
+      Flit& f = holder.tx_queue.front();
+      if (f.ready_cycle <= now) {
+        VFIMR_REQUIRE(f.wi_dest != graph::kInvalidId);
+        auto& dest_router = routers_[f.wi_dest];
+        VFIMR_REQUIRE(dest_router.wireless_rx >= 0);
+        // Post-wireless flits live on VN1.
+        auto& rx =
+            dest_router.in[static_cast<std::size_t>(dest_router.wireless_rx)]
+                .buf[1];
+        const std::uint32_t rx_cap = cfg_.wi_buffer_depth;
+        // Whole-packet reservation: a head flit starts transmitting only if
+        // the destination RX can absorb the entire packet.  The RX has a
+        // single writer (this channel), so the reservation cannot be stolen
+        // and a started packet always completes — the token is never held
+        // behind a blocked receiver.
+        const bool can_go = f.is_head() ? rx.size() + f.size <= rx_cap
+                                        : rx.size() < rx_cap;
+        if (can_go) {
+          // No synchronizer penalty on the wireless path: the deep (8-flit)
+          // WI buffers exist precisely to absorb resynchronization at the
+          // island boundary (§7, [8]) — one of the WiNoC's advantages for
+          // inter-VFI exchanges.
+          Flit moved = f;
+          const graph::NodeId hop_dest = f.wi_dest;
+          holder.tx_queue.pop_front();
+          moved.ready_cycle = now + 1;
+          moved.wi_dest = graph::kInvalidId;
+          moved.vn = 1;
+          rx.push_back(moved);
+          if (const auto e =
+                  topo_->graph.find_edge(ch.members[ch.token], hop_dest)) {
+            ++edge_flits_[*e];
+          }
+          ++metrics_.energy.wireless_flits;
+          ++metrics_.energy.buffer_reads;
+          ++metrics_.energy.buffer_writes;
+          sent = true;
+          if (moved.is_tail()) {
+            ch.mid_packet = false;
+            ch.token = (ch.token + 1) % ch.members.size();
+          } else {
+            ch.mid_packet = true;
+          }
+        }
+      }
+    }
+    if (!sent && !ch.mid_packet) {
+      // Idle or head-blocked holder without a packet in flight: pass token.
+      ch.token = (ch.token + 1) % ch.members.size();
+    }
+  }
+}
+
+std::int32_t Network::arbitrate(graph::NodeId node, std::uint32_t out_idx,
+                                std::size_t vn) {
+  auto& r = routers_[node];
+  auto& out = r.out[out_idx];
+  auto& owner = out.vn[vn];
+  const Cycle now = metrics_.cycles;
+  const auto candidates = static_cast<std::uint32_t>(r.in.size()) + 1;
+  for (std::uint32_t k = 0; k < candidates; ++k) {
+    const std::uint32_t slot = (owner.rr_next + k) % candidates;
+    const std::int32_t idx = slot == static_cast<std::uint32_t>(r.in.size())
+                                 ? kSourceInput
+                                 : static_cast<std::int32_t>(slot);
+    auto* q = input_queue(r, idx, vn);
+    if (q == nullptr || q->empty()) continue;
+    const Flit& f = q->front();
+    if (!f.is_head() || f.ready_cycle > now || f.dest == node) continue;
+    VFIMR_REQUIRE(f.vn == vn);
+    const RouteDecision dec =
+        routing_->next_hop(node, f.dest, f.down_phase, f.vn == 1);
+    const auto& ed = topo_->graph.edge(dec.edge);
+    std::uint32_t target = 0;
+    graph::NodeId wi_dest = graph::kInvalidId;
+    if (ed.kind == graph::EdgeKind::kWireless) {
+      VFIMR_REQUIRE_MSG(r.wireless_tx >= 0,
+                        "route uses wireless at a non-WI node");
+      VFIMR_REQUIRE_MSG(f.size <= cfg_.wi_buffer_depth,
+                        "packet larger than the WI buffer cannot cross a "
+                        "wireless link");
+      VFIMR_REQUIRE_MSG(f.vn == 0,
+                        "route takes a second wireless hop (layered routing "
+                        "supports one wireless segment per packet)");
+      // Virtual cut-through at the wireless boundary: admit a packet into
+      // the TX queue only when the whole packet fits.  Together with
+      // whole-packet channel reservation (service_wireless_channels) this
+      // decouples the wireless layer and keeps the token MAC deadlock-free.
+      if (r.tx_queue.size() + f.size > cfg_.wi_buffer_depth) continue;
+      target = static_cast<std::uint32_t>(r.wireless_tx);
+      wi_dest = topo_->graph.other_end(dec.edge, node);
+    } else {
+      target = output_for_edge(r, dec.edge);
+    }
+    if (target != out_idx) continue;
+    // Grant: this input streams the whole packet through `out` on `vn`.
+    owner.owner_input = idx;
+    owner.owner_packet = f.packet;
+    owner.remaining = f.size;
+    owner.wi_dest = wi_dest;
+    owner.owner_down_phase = dec.down_phase;
+    owner.rr_next = (slot + 1) % candidates;
+    return idx;
+  }
+  return -1;
+}
+
+bool Network::try_move_vn(graph::NodeId node, OutPort& out, std::size_t vn) {
+  auto& r = routers_[node];
+  auto& owner = out.vn[vn];
+  const Cycle now = metrics_.cycles;
+  if (owner.owner_input == -1) {
+    if (arbitrate(node, static_cast<std::uint32_t>(&out - r.out.data()), vn) <
+        0) {
+      return false;
+    }
+  }
+  auto* q = input_queue(r, owner.owner_input, vn);
+  if (q == nullptr || q->empty()) return false;
+  Flit& f = q->front();
+  if (f.packet != owner.owner_packet || f.ready_cycle > now) return false;
+
+  // Flow control: check downstream capacity.
+  if (out.kind == OutKind::kWire) {
+    if (!downstream_has_space(out, vn)) return false;
+  } else {
+    if (r.tx_queue.size() >= cfg_.wi_buffer_depth) return false;
+  }
+
+  Flit moved = f;
+  q->pop_front();
+  ++metrics_.energy.buffer_reads;
+  moved.ready_cycle = now + 1;
+  if (out.kind == OutKind::kWire && !cfg_.node_cluster.empty() &&
+      cfg_.node_cluster[node] != cfg_.node_cluster[out.neighbor]) {
+    moved.ready_cycle += cfg_.sync_penalty_cycles;  // VFI boundary crossing
+  }
+  if (moved.is_head()) moved.down_phase = owner.owner_down_phase;
+  ++metrics_.energy.switch_traversals;
+  if (out.kind == OutKind::kWire) {
+    ++metrics_.energy.wire_hops;
+    metrics_.energy.wire_mm_flits += out.length_mm;
+    ++edge_flits_[out.edge];
+    auto& nb = routers_[out.neighbor];
+    nb.in[out.downstream_in].buf[vn].push_back(moved);
+    ++metrics_.energy.buffer_writes;
+  } else {
+    moved.wi_dest = owner.wi_dest;
+    r.tx_queue.push_back(moved);
+    ++metrics_.energy.buffer_writes;
+  }
+  VFIMR_REQUIRE(owner.remaining > 0);
+  if (--owner.remaining == 0) {
+    owner.owner_input = -1;
+    owner.wi_dest = graph::kInvalidId;
+  }
+  return true;
+}
+
+void Network::move_through_output(graph::NodeId node, OutPort& out) {
+  // One flit per output per cycle; round-robin the virtual networks so
+  // neither can starve the other on the shared physical link.
+  for (std::size_t k = 0; k < kVns; ++k) {
+    const std::size_t vn = (out.vn_rr + k) % kVns;
+    if (try_move_vn(node, out, vn)) {
+      out.vn_rr = (vn + 1) % kVns;
+      return;
+    }
+  }
+}
+
+void Network::service_router_outputs() {
+  for (graph::NodeId n = 0; n < routers_.size(); ++n) {
+    for (auto& out : routers_[n].out) {
+      move_through_output(n, out);
+    }
+  }
+}
+
+void Network::step() {
+  eject_ready_flits();
+  service_wireless_channels();
+  service_router_outputs();
+  ++metrics_.cycles;
+}
+
+void Network::run(TrafficGenerator* gen, Cycle cycles) {
+  std::vector<Injection> staged;
+  for (Cycle c = 0; c < cycles; ++c) {
+    if (gen != nullptr) {
+      staged.clear();
+      gen->tick(metrics_.cycles, staged);
+      for (const auto& inj : staged) {
+        if (inj.src != inj.dest) inject(inj.src, inj.dest, inj.flits);
+      }
+    }
+    step();
+  }
+}
+
+bool Network::drain(Cycle max_cycles) {
+  for (Cycle c = 0; c < max_cycles && in_flight_flits_ > 0; ++c) step();
+  return in_flight_flits_ == 0;
+}
+
+double Network::max_link_utilization() const {
+  if (metrics_.cycles == 0) return 0.0;
+  std::uint64_t peak = 0;
+  for (std::uint64_t f : edge_flits_) peak = std::max(peak, f);
+  return static_cast<double>(peak) / static_cast<double>(metrics_.cycles);
+}
+
+}  // namespace vfimr::noc

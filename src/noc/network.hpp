@@ -1,0 +1,209 @@
+#pragma once
+// Cycle-level wormhole NoC simulator.
+//
+// Models, per the paper's experimental setup (§7):
+//  * wormhole switching with per-input-port FIFO buffers, depth 2 flits on
+//    wire ports and depth 8 on wireless-interface (WI) ports;
+//  * one flit per wire link per cycle;
+//  * three non-overlapping mm-wave wireless channels arbitrated by a
+//    rotating token; the token holder transmits one flit per cycle and keeps
+//    the token until its current packet's tail has been sent;
+//  * deterministic table routing (XY on the mesh, up*/down* on irregular
+//    WiNoC topologies) — both deadlock-free;
+//  * event counters for the power models: switch traversals, wire
+//    millimeters traversed, wireless flits, buffer accesses.
+//
+// The simulator is single-threaded and deterministic given the injected
+// traffic.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+namespace vfimr::noc {
+
+/// A wireless interface: one per equipped switch, tuned to one channel.
+struct WirelessInterface {
+  graph::NodeId node = graph::kInvalidId;
+  int channel = 0;
+};
+
+struct WirelessConfig {
+  int channel_count = 3;
+  std::vector<WirelessInterface> interfaces;
+};
+
+struct SimConfig {
+  std::uint32_t wire_buffer_depth = 2;  ///< paper: "buffer depth of two flits"
+  std::uint32_t wi_buffer_depth = 8;    ///< paper: WI ports have depth eight
+  /// VFI domain of each node (empty = single clock domain).  A flit crossing
+  /// a domain boundary pays `sync_penalty_cycles` extra (mixed-clock FIFO
+  /// synchronizers) — the "unnecessary latency overhead" of inter-VFI
+  /// exchanges over conventional meshes that motivates the WiNoC (§1).
+  std::vector<std::size_t> node_cluster;
+  std::uint32_t sync_penalty_cycles = 1;
+};
+
+/// Raw event counts consumed by the power library.
+struct EnergyCounters {
+  std::uint64_t switch_traversals = 0;  ///< flit crossing a router crossbar
+  std::uint64_t wire_hops = 0;          ///< flit over a wireline link
+  double wire_mm_flits = 0.0;           ///< sum of link length per wire hop
+  std::uint64_t wireless_flits = 0;     ///< flit over a wireless channel
+  std::uint64_t buffer_writes = 0;
+  std::uint64_t buffer_reads = 0;
+};
+
+struct Metrics {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_ejected = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t cycles = 0;
+  Accumulator packet_latency;  ///< inject -> tail-eject, in cycles
+  EnergyCounters energy;
+
+  double avg_latency() const { return packet_latency.mean(); }
+  /// Fraction of hop traversals carried by wireless links.
+  double wireless_utilization() const {
+    const double total = static_cast<double>(energy.wire_hops) +
+                         static_cast<double>(energy.wireless_flits);
+    return total > 0.0 ? static_cast<double>(energy.wireless_flits) / total
+                       : 0.0;
+  }
+  /// Ejected flits per node per cycle.
+  double throughput(std::size_t nodes) const {
+    if (cycles == 0 || nodes == 0) return 0.0;
+    return static_cast<double>(flits_ejected) /
+           (static_cast<double>(cycles) * static_cast<double>(nodes));
+  }
+};
+
+struct Injection {
+  graph::NodeId src = graph::kInvalidId;
+  graph::NodeId dest = graph::kInvalidId;
+  std::uint32_t flits = 1;
+};
+
+/// Produces injections cycle by cycle; implementations in noc/traffic.hpp.
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+  virtual void tick(Cycle now, std::vector<Injection>& out) = 0;
+};
+
+class Network {
+ public:
+  /// `topology` and `routing` must outlive the Network.  Wireless edges in
+  /// the topology require a matching WirelessConfig entry at both endpoints
+  /// sharing one channel.
+  Network(const Topology& topology, const RoutingAlgorithm& routing,
+          SimConfig config = {}, WirelessConfig wireless = {});
+
+  /// Queue a packet of `flits` flits at `src`'s source queue.
+  void inject(graph::NodeId src, graph::NodeId dest, std::uint32_t flits);
+
+  /// Advance one cycle.
+  void step();
+
+  /// Run `cycles` cycles, pulling traffic from `gen` each cycle (nullable).
+  void run(TrafficGenerator* gen, Cycle cycles);
+
+  /// Step until all in-flight flits eject, at most `max_cycles` more cycles.
+  /// Returns true if the network fully drained.
+  bool drain(Cycle max_cycles);
+
+  const Metrics& metrics() const { return metrics_; }
+  Cycle now() const { return metrics_.cycles; }
+  std::uint64_t in_flight_flits() const { return in_flight_flits_; }
+  std::size_t node_count() const { return topo_->node_count(); }
+
+  /// Flits carried per topology edge (wire and wireless), for hotspot
+  /// analysis.  Indexed by graph::EdgeId.
+  const std::vector<std::uint64_t>& edge_flits() const { return edge_flits_; }
+
+  /// Peak per-link utilization: max over edges of flits / elapsed cycles.
+  double max_link_utilization() const;
+
+ private:
+  /// Virtual networks on wired ports: VN0 carries packets before their
+  /// wireless hop, VN1 after (layered routing; see Flit::vn).
+  static constexpr std::size_t kVns = 2;
+
+  struct InPort {
+    std::deque<Flit> buf[kVns];
+    std::uint32_t capacity = 2;  ///< per virtual network
+    graph::EdgeId via_edge = graph::kInvalidId;  ///< feeding wire edge
+    bool is_wireless_rx = false;
+  };
+
+  enum class OutKind : std::uint8_t { kWire, kWirelessTx };
+
+  /// Wormhole ownership of one output for one virtual network.
+  struct OwnerState {
+    std::int32_t owner_input = -1;  ///< -1 = free; source queue = kSourceInput
+    PacketId owner_packet = 0;
+    std::uint32_t remaining = 0;
+    graph::NodeId wi_dest = graph::kInvalidId;  ///< wireless hop target
+    bool owner_down_phase = false;              ///< phase after taking edge
+    std::uint32_t rr_next = 0;                  ///< round-robin pointer
+  };
+
+  struct OutPort {
+    OutKind kind = OutKind::kWire;
+    graph::EdgeId edge = graph::kInvalidId;  ///< wire edge (kWire only)
+    graph::NodeId neighbor = graph::kInvalidId;
+    std::uint32_t downstream_in = 0;  ///< input-port index at neighbor (wire)
+    double length_mm = 0.0;
+    OwnerState vn[kVns];
+    std::size_t vn_rr = 0;  ///< flit-level link arbitration between VNs
+  };
+
+  struct RouterState {
+    std::vector<InPort> in;
+    std::vector<OutPort> out;
+    std::deque<Flit> source_queue;  ///< unbounded injection queue (VN0)
+    std::deque<Flit> tx_queue;      ///< wireless TX buffer (depth 8)
+    std::int32_t wireless_tx = -1;  ///< index into `out`, -1 if no WI
+    std::int32_t wireless_rx = -1;  ///< index into `in`, -1 if no WI
+    std::int32_t wi_channel = -1;
+    // Map edge id -> output index, lazily scanned (few ports per router).
+  };
+
+  struct Channel {
+    std::vector<graph::NodeId> members;  ///< WI nodes, in id order
+    std::size_t token = 0;
+    bool mid_packet = false;
+  };
+
+  static constexpr std::int32_t kSourceInput = -2;
+
+  void eject_ready_flits();
+  void service_wireless_channels();
+  void service_router_outputs();
+  std::int32_t arbitrate(graph::NodeId node, std::uint32_t out_idx,
+                         std::size_t vn);
+  std::deque<Flit>* input_queue(RouterState& r, std::int32_t idx,
+                                std::size_t vn);
+  std::uint32_t output_for_edge(const RouterState& r, graph::EdgeId e) const;
+  bool downstream_has_space(const OutPort& out, std::size_t vn) const;
+  bool try_move_vn(graph::NodeId node, OutPort& out, std::size_t vn);
+  void move_through_output(graph::NodeId node, OutPort& out);
+
+  const Topology* topo_;
+  const RoutingAlgorithm* routing_;
+  SimConfig cfg_;
+  std::vector<RouterState> routers_;
+  std::vector<Channel> channels_;
+  std::vector<std::uint64_t> edge_flits_;
+  Metrics metrics_;
+  std::uint64_t in_flight_flits_ = 0;
+  PacketId next_packet_ = 0;
+};
+
+}  // namespace vfimr::noc

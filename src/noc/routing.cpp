@@ -1,0 +1,317 @@
+#include "noc/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/require.hpp"
+#include "noc/topology.hpp"
+
+namespace vfimr::noc {
+
+XyRouting::XyRouting(const graph::Graph& mesh, std::size_t width,
+                     std::size_t height)
+    : width_{width}, height_{height}, edge_to_(mesh.node_count()) {
+  VFIMR_REQUIRE(mesh.node_count() == width * height);
+  for (graph::NodeId n = 0; n < mesh.node_count(); ++n) {
+    edge_to_[n] = {graph::kInvalidId, graph::kInvalidId, graph::kInvalidId,
+                   graph::kInvalidId};
+    const auto x = mesh_x(n, width_);
+    const auto y = mesh_y(n, width_);
+    for (graph::EdgeId e : mesh.incident(n)) {
+      const graph::NodeId m = mesh.other_end(e, n);
+      const auto mx = mesh_x(m, width_);
+      const auto my = mesh_y(m, width_);
+      if (my == y && mx == x + 1) {
+        edge_to_[n][0] = e;
+      } else if (my == y && mx + 1 == x) {
+        edge_to_[n][1] = e;
+      } else if (mx == x && my == y + 1) {
+        edge_to_[n][2] = e;
+      } else if (mx == x && my + 1 == y) {
+        edge_to_[n][3] = e;
+      } else {
+        VFIMR_REQUIRE_MSG(false, "XyRouting requires a pure mesh graph");
+      }
+    }
+  }
+}
+
+RouteDecision XyRouting::next_hop(graph::NodeId node, graph::NodeId dest,
+                                  bool /*down_phase*/,
+                                  bool /*wireless_used*/) const {
+  VFIMR_REQUIRE(node < edge_to_.size() && dest < edge_to_.size());
+  VFIMR_REQUIRE(node != dest);
+  const auto x = mesh_x(node, width_);
+  const auto y = mesh_y(node, width_);
+  const auto dx = mesh_x(dest, width_);
+  const auto dy = mesh_y(dest, width_);
+  graph::EdgeId e = graph::kInvalidId;
+  if (dx > x) {
+    e = edge_to_[node][0];
+  } else if (dx < x) {
+    e = edge_to_[node][1];
+  } else if (dy > y) {
+    e = edge_to_[node][2];
+  } else {
+    e = edge_to_[node][3];
+  }
+  VFIMR_REQUIRE(e != graph::kInvalidId);
+  return RouteDecision{e, false};
+}
+
+namespace {
+
+/// Lexicographic (level, id) order used to orient edges.
+struct UpDownOrder {
+  const std::vector<std::uint32_t>& level;
+  bool less(graph::NodeId a, graph::NodeId b) const {
+    if (level[a] != level[b]) return level[a] < level[b];
+    return a < b;
+  }
+};
+
+constexpr double kInfW = std::numeric_limits<double>::max();
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
+                             graph::NodeId root)
+    : n_{g.node_count()}, graph_{&g} {
+  VFIMR_REQUIRE(n_ > 0);
+  VFIMR_REQUIRE(wireless_cost >= 1.0);
+
+  // The up*/down* order comes from the *wired* subgraph: wire-only routes
+  // (the budget-0 layer) must reach every destination, which the classic
+  // up/down construction guarantees when the order's BFS tree lives in the
+  // same graph those routes use.  Wireless edges inherit the orientation.
+  graph::Graph wired{n_};
+  for (const auto& ed : g.edges()) {
+    if (ed.kind == graph::EdgeKind::kWire) {
+      wired.add_edge(ed.a, ed.b, ed.kind, ed.length_mm);
+    }
+  }
+  VFIMR_REQUIRE_MSG(graph::is_connected(wired),
+                    "up*/down* routing needs a connected wired topology");
+  root_ = root == graph::kInvalidId ? graph::max_degree_node(wired) : root;
+  VFIMR_REQUIRE(root_ < n_);
+
+  const auto level = graph::bfs_hops(wired, root_);
+  const UpDownOrder order{level};
+
+  auto edge_cost = [&](graph::EdgeId e) {
+    return g.edge(e).kind == graph::EdgeKind::kWireless ? wireless_cost : 1.0;
+  };
+  auto is_wireless = [&](graph::EdgeId e) {
+    return g.edge(e).kind == graph::EdgeKind::kWireless;
+  };
+
+  for (auto& per_budget : layers_) {
+    for (auto& layer : per_budget) {
+      layer.table.assign(n_ * n_, RouteDecision{});
+      layer.next.assign(n_ * n_, graph::kInvalidId);
+    }
+  }
+
+  // Nodes in ascending (level, id) order: the up-move DAG points from larger
+  // to smaller keys, so processing ascending gives a valid DP order.
+  std::vector<graph::NodeId> asc(n_);
+  for (graph::NodeId v = 0; v < n_; ++v) asc[v] = v;
+  std::sort(asc.begin(), asc.end(),
+            [&](graph::NodeId a, graph::NodeId b) { return order.less(a, b); });
+
+  // Per-destination cost arrays; index 0 = wire-only, 1 = one wireless hop
+  // still available.
+  std::vector<double> du[2] = {std::vector<double>(n_),
+                               std::vector<double>(n_)};
+  std::vector<double> dup[2] = {std::vector<double>(n_),
+                                std::vector<double>(n_)};
+
+  using Item = std::pair<double, graph::NodeId>;
+
+  for (graph::NodeId dest = 0; dest < n_; ++dest) {
+    // ---- Pass 1a: wire-only all-down costs (reverse Dijkstra).  A move
+    // v->u is "down" iff u is the lower-priority end (order.less(v, u)).
+    std::fill(du[0].begin(), du[0].end(), kInfW);
+    du[0][dest] = 0.0;
+    {
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+      pq.emplace(0.0, dest);
+      while (!pq.empty()) {
+        const auto [dcur, u] = pq.top();
+        pq.pop();
+        if (dcur > du[0][u] + kEps) continue;
+        for (graph::EdgeId e : g.incident(u)) {
+          if (is_wireless(e)) continue;
+          const graph::NodeId v = g.other_end(e, u);
+          if (!order.less(v, u)) continue;  // need v -> u to be a down move
+          const double nd = du[0][u] + edge_cost(e);
+          if (nd + kEps < du[0][v]) {
+            du[0][v] = nd;
+            pq.emplace(nd, v);
+          }
+        }
+      }
+    }
+
+    // ---- Pass 1b: budget-1 all-down costs.  Wireless down-edges bridge to
+    // the budget-0 costs; wire edges relax within budget 1.
+    std::fill(du[1].begin(), du[1].end(), kInfW);
+    {
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+      du[1][dest] = 0.0;
+      pq.emplace(0.0, dest);
+      for (const auto& ed : g.edges()) {
+        if (ed.kind != graph::EdgeKind::kWireless) continue;
+        // Taking the wireless edge v -> u (down) consumes the budget, so the
+        // remainder is wire-only: candidate du1[v] = cw + du0[u].
+        for (const auto& [v, u] :
+             {std::pair{ed.a, ed.b}, std::pair{ed.b, ed.a}}) {
+          if (!order.less(v, u)) continue;
+          if (du[0][u] == kInfW) continue;
+          const double nd = du[0][u] + wireless_cost;
+          if (nd + kEps < du[1][v]) {
+            du[1][v] = nd;
+            pq.emplace(nd, v);
+          }
+        }
+      }
+      while (!pq.empty()) {
+        const auto [dcur, u] = pq.top();
+        pq.pop();
+        if (dcur > du[1][u] + kEps) continue;
+        for (graph::EdgeId e : g.incident(u)) {
+          if (is_wireless(e)) continue;
+          const graph::NodeId v = g.other_end(e, u);
+          if (!order.less(v, u)) continue;
+          const double nd = du[1][u] + edge_cost(e);
+          if (nd + kEps < du[1][v]) {
+            du[1][v] = nd;
+            pq.emplace(nd, v);
+          }
+        }
+      }
+    }
+
+    // ---- Pass 2: legal costs, DP over the (acyclic) up-move DAG.
+    for (int b = 0; b < 2; ++b) {
+      for (graph::NodeId v : asc) {
+        dup[b][v] = du[b][v];
+        for (graph::EdgeId e : g.incident(v)) {
+          const graph::NodeId w = g.other_end(e, v);
+          if (!order.less(w, v)) continue;  // need v -> w to be an up move
+          if (is_wireless(e)) {
+            if (b == 1 && dup[0][w] != kInfW) {
+              dup[1][v] = std::min(dup[1][v], dup[0][w] + wireless_cost);
+            }
+          } else if (dup[b][w] != kInfW) {
+            dup[b][v] = std::min(dup[b][v], dup[b][w] + edge_cost(e));
+          }
+        }
+      }
+    }
+
+    // ---- Pass 3: next-hop tables per budget.  When several next hops are
+    // cost-optimal the choice is spread pseudo-randomly by (node, dest) —
+    // oblivious load balancing with deterministic per-pair routes.
+    for (int b = 0; b < 2; ++b) {
+      for (graph::NodeId v = 0; v < n_; ++v) {
+        if (v == dest) continue;
+        VFIMR_REQUIRE_MSG(dup[b][v] != kInfW, "up*/down* must reach all nodes");
+        std::vector<std::pair<RouteDecision, graph::NodeId>> down_opts;
+        std::vector<std::pair<RouteDecision, graph::NodeId>> up_opts;
+        for (graph::EdgeId e : g.incident(v)) {
+          const graph::NodeId w = g.other_end(e, v);
+          const bool wless = is_wireless(e);
+          if (wless && b == 0) continue;  // budget exhausted
+          const int nb = wless ? 0 : b;   // budget after taking e
+          const bool is_down = order.less(v, w);
+          if (is_down && du[nb][w] != kInfW &&
+              du[nb][w] + edge_cost(e) <= du[b][v] + kEps) {
+            down_opts.emplace_back(RouteDecision{e, true}, w);
+          }
+          if (!is_down && dup[nb][w] != kInfW &&
+              dup[nb][w] + edge_cost(e) <= dup[b][v] + kEps) {
+            up_opts.emplace_back(RouteDecision{e, false}, w);
+          }
+        }
+        const std::size_t mix =
+            (static_cast<std::size_t>(v) * 0x9e3779b9u) ^
+            (static_cast<std::size_t>(dest) * 0x85ebca6bu) ^
+            (static_cast<std::size_t>(b) * 0xc2b2ae35u);
+        auto& down_layer = layers_[b][1];
+        auto& up_layer = layers_[b][0];
+        // Down-phase flits must have an all-down continuation.
+        if (!down_opts.empty()) {
+          const auto& pick = down_opts[mix % down_opts.size()];
+          down_layer.table[v * n_ + dest] = pick.first;
+          down_layer.next[v * n_ + dest] = pick.second;
+        }
+        // Up-phase flits prefer transitioning down when already optimal;
+        // this ends the up phase as early as possible.
+        if (du[b][v] <= dup[b][v] + kEps && !down_opts.empty()) {
+          up_layer.table[v * n_ + dest] = down_layer.table[v * n_ + dest];
+          up_layer.next[v * n_ + dest] = down_layer.next[v * n_ + dest];
+        } else {
+          VFIMR_REQUIRE(!up_opts.empty());
+          const auto& pick = up_opts[mix % up_opts.size()];
+          up_layer.table[v * n_ + dest] = pick.first;
+          up_layer.next[v * n_ + dest] = pick.second;
+        }
+      }
+    }
+  }
+}
+
+RouteDecision UpDownRouting::next_hop(graph::NodeId node, graph::NodeId dest,
+                                      bool down_phase,
+                                      bool wireless_used) const {
+  VFIMR_REQUIRE(node < n_ && dest < n_);
+  VFIMR_REQUIRE(node != dest);
+  const auto& layer = layers_[wireless_used ? 0 : 1][down_phase ? 1 : 0];
+  const auto& d = layer.table[node * n_ + dest];
+  VFIMR_REQUIRE_MSG(d.edge != graph::kInvalidId, "routing hole");
+  return d;
+}
+
+std::uint32_t UpDownRouting::walk(graph::NodeId s, graph::NodeId d,
+                                  bool count_wireless) const {
+  VFIMR_REQUIRE(s < n_ && d < n_);
+  std::uint32_t hops = 0;
+  std::uint32_t wireless = 0;
+  bool phase = false;
+  int budget = 1;
+  graph::NodeId cur = s;
+  while (cur != d) {
+    const auto& layer = layers_[budget][phase ? 1 : 0];
+    const auto dec = layer.table[cur * n_ + d];
+    const auto next = layer.next[cur * n_ + d];
+    VFIMR_REQUIRE(dec.edge != graph::kInvalidId &&
+                  next != graph::kInvalidId);
+    if (graph_->edge(dec.edge).kind == graph::EdgeKind::kWireless) {
+      VFIMR_REQUIRE_MSG(budget == 1, "second wireless hop on a route");
+      budget = 0;
+      ++wireless;
+    }
+    phase = dec.down_phase;
+    cur = next;
+    ++hops;
+    VFIMR_REQUIRE_MSG(hops <= 4 * n_, "routing loop detected");
+  }
+  return count_wireless ? wireless : hops;
+}
+
+std::uint32_t UpDownRouting::route_hops(graph::NodeId s,
+                                        graph::NodeId d) const {
+  if (s == d) return 0;
+  return walk(s, d, false);
+}
+
+std::uint32_t UpDownRouting::route_wireless_hops(graph::NodeId s,
+                                                 graph::NodeId d) const {
+  if (s == d) return 0;
+  return walk(s, d, true);
+}
+
+}  // namespace vfimr::noc

@@ -1,0 +1,56 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vfimr::noc {
+
+double distance_mm(const Point& a, const Point& b) {
+  const double dx = a.x_mm - b.x_mm;
+  const double dy = a.y_mm - b.y_mm;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Topology::node_distance_mm(graph::NodeId a, graph::NodeId b) const {
+  VFIMR_REQUIRE(a < positions.size() && b < positions.size());
+  return distance_mm(positions[a], positions[b]);
+}
+
+graph::EdgeId Topology::add_wire(graph::NodeId a, graph::NodeId b) {
+  return graph.add_edge(a, b, graph::EdgeKind::kWire, node_distance_mm(a, b));
+}
+
+graph::EdgeId Topology::add_wireless(graph::NodeId a, graph::NodeId b) {
+  return graph.add_edge(a, b, graph::EdgeKind::kWireless, 0.0);
+}
+
+Topology make_placed_grid(std::size_t width, std::size_t height,
+                          double pitch_mm) {
+  VFIMR_REQUIRE(width > 0 && height > 0);
+  Topology t;
+  t.graph = graph::Graph{width * height};
+  t.positions.resize(width * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      t.positions[y * width + x] =
+          Point{static_cast<double>(x) * pitch_mm,
+                static_cast<double>(y) * pitch_mm};
+    }
+  }
+  return t;
+}
+
+Topology make_mesh(std::size_t width, std::size_t height, double pitch_mm) {
+  Topology t = make_placed_grid(width, height, pitch_mm);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const auto n = mesh_node(x, y, width);
+      if (x + 1 < width) t.add_wire(n, mesh_node(x + 1, y, width));
+      if (y + 1 < height) t.add_wire(n, mesh_node(x, y + 1, width));
+    }
+  }
+  return t;
+}
+
+}  // namespace vfimr::noc

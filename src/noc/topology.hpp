@@ -1,0 +1,59 @@
+#pragma once
+// Physical NoC topology: connectivity graph plus planar switch placement.
+// Positions matter because wireline energy scales with physical link length,
+// and because the small-world wiring model ([19] in the paper) inserts links
+// with probability decaying with distance.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vfimr::noc {
+
+struct Point {
+  double x_mm = 0.0;
+  double y_mm = 0.0;
+};
+
+double distance_mm(const Point& a, const Point& b);
+
+struct Topology {
+  graph::Graph graph;
+  std::vector<Point> positions;  ///< one per node, switch center
+
+  std::size_t node_count() const { return graph.node_count(); }
+
+  /// Euclidean distance between two switches.
+  double node_distance_mm(graph::NodeId a, graph::NodeId b) const;
+
+  /// Adds a wire edge whose length is the Euclidean switch distance.
+  graph::EdgeId add_wire(graph::NodeId a, graph::NodeId b);
+
+  /// Adds a wireless (mm-wave) edge; length is irrelevant for energy.
+  graph::EdgeId add_wireless(graph::NodeId a, graph::NodeId b);
+};
+
+/// Regular W x H mesh, row-major node ids, neighbors at `pitch_mm` spacing.
+/// This is the paper's baseline NVFI/VFI mesh interconnect.
+Topology make_mesh(std::size_t width, std::size_t height,
+                   double pitch_mm = 2.5);
+
+/// Node id <-> mesh coordinate helpers (row-major).
+inline std::size_t mesh_x(graph::NodeId n, std::size_t width) {
+  return n % width;
+}
+inline std::size_t mesh_y(graph::NodeId n, std::size_t width) {
+  return n / width;
+}
+inline graph::NodeId mesh_node(std::size_t x, std::size_t y,
+                               std::size_t width) {
+  return static_cast<graph::NodeId>(y * width + x);
+}
+
+/// Switch placement only (no edges): W x H grid of positions, for building
+/// custom (small-world) wireline networks over the same floorplan.
+Topology make_placed_grid(std::size_t width, std::size_t height,
+                          double pitch_mm = 2.5);
+
+}  // namespace vfimr::noc

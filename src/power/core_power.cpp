@@ -1,0 +1,39 @@
+#include "power/core_power.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vfimr::power {
+
+CorePowerModel::CorePowerModel(CorePowerParams params) : params_{params} {
+  VFIMR_REQUIRE(params_.ceff_f > 0.0);
+  VFIMR_REQUIRE(params_.leak_nominal_w >= 0.0);
+  VFIMR_REQUIRE(params_.v_nominal > 0.0);
+  VFIMR_REQUIRE(params_.idle_activity >= 0.0 && params_.idle_activity <= 1.0);
+}
+
+double CorePowerModel::leakage_w(double voltage_v) const {
+  VFIMR_REQUIRE(voltage_v > 0.0);
+  return params_.leak_nominal_w *
+         std::pow(voltage_v / params_.v_nominal, params_.leak_exponent);
+}
+
+double CorePowerModel::dynamic_w(double utilization, const VfPoint& vf) const {
+  VFIMR_REQUIRE(utilization >= 0.0 && utilization <= 1.0);
+  const double activity =
+      params_.idle_activity + (1.0 - params_.idle_activity) * utilization;
+  return activity * params_.ceff_f * vf.voltage_v * vf.voltage_v * vf.freq_hz;
+}
+
+double CorePowerModel::power_w(double utilization, const VfPoint& vf) const {
+  return dynamic_w(utilization, vf) + leakage_w(vf.voltage_v);
+}
+
+double CorePowerModel::energy_j(double utilization, const VfPoint& vf,
+                                double seconds) const {
+  VFIMR_REQUIRE(seconds >= 0.0);
+  return power_w(utilization, vf) * seconds;
+}
+
+}  // namespace vfimr::power

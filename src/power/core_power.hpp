@@ -1,0 +1,52 @@
+#pragma once
+// McPAT-substitute analytical core power model.
+//
+// The paper runs GEM5 statistics through McPAT to get per-core power.  The
+// VFI savings it reports come from the first-order physics McPAT encodes:
+// dynamic power scales as u * Ceff * V^2 * f, leakage drops steeply with
+// voltage.  This model captures exactly those terms with 65 nm-class
+// constants calibrated so a fully-busy core at the 1.0 V / 2.5 GHz nominal
+// point dissipates ~2 W (a typical small x86 core in a 64-core research
+// chip).
+
+#include "power/vf_table.hpp"
+
+namespace vfimr::power {
+
+struct CorePowerParams {
+  /// Effective switched capacitance: P_dyn = u * ceff_f * V^2 * f.
+  /// 0.20 nF gives 1.25 W dynamic at u=1, 1.0 V, 2.5 GHz.
+  double ceff_f = 0.20e-9;
+  /// Leakage at the nominal voltage (W); scales superlinearly with V.
+  /// 65 nm leakage is a large share of total power (~35-40% in McPAT-era
+  /// studies), which is exactly what per-island voltage scaling attacks.
+  double leak_nominal_w = 0.60;
+  double v_nominal = 1.0;
+  /// Leakage voltage exponent: P_leak(V) = leak_nominal * (V/Vnom)^exp.
+  /// Superlinear compact fit (DIBL + junction) at 65 nm.
+  double leak_exponent = 3.5;
+  /// Fraction of dynamic power still burned when idle (clock tree etc.).
+  double idle_activity = 0.08;
+};
+
+class CorePowerModel {
+ public:
+  explicit CorePowerModel(CorePowerParams params = {});
+
+  /// Average power (W) of one core at utilization u in [0,1] and V/F `vf`.
+  double power_w(double utilization, const VfPoint& vf) const;
+
+  /// Energy (J) over `seconds` at a fixed utilization and V/F.
+  double energy_j(double utilization, const VfPoint& vf,
+                  double seconds) const;
+
+  double leakage_w(double voltage_v) const;
+  double dynamic_w(double utilization, const VfPoint& vf) const;
+
+  const CorePowerParams& params() const { return params_; }
+
+ private:
+  CorePowerParams params_;
+};
+
+}  // namespace vfimr::power

@@ -1,0 +1,58 @@
+#include "power/noc_power.hpp"
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace vfimr::power {
+
+NocPowerModel::NocPowerModel(NocPowerParams params) : params_{params} {
+  VFIMR_REQUIRE(params_.flit_bits > 0.0);
+  VFIMR_REQUIRE(params_.wire_pj_per_bit_mm >= 0.0);
+  VFIMR_REQUIRE(params_.switch_pj_per_bit >= 0.0);
+  VFIMR_REQUIRE(params_.wireless_pj_per_bit >= 0.0);
+  VFIMR_REQUIRE(params_.buffer_pj_per_bit >= 0.0);
+}
+
+double NocPowerModel::wire_energy_j(const noc::EnergyCounters& c) const {
+  return c.wire_mm_flits * params_.wire_pj_per_bit_mm * params_.flit_bits *
+         units::pJ;
+}
+
+double NocPowerModel::switch_energy_j(const noc::EnergyCounters& c) const {
+  return static_cast<double>(c.switch_traversals) * params_.switch_pj_per_bit *
+         params_.flit_bits * units::pJ;
+}
+
+double NocPowerModel::wireless_energy_j(const noc::EnergyCounters& c) const {
+  return static_cast<double>(c.wireless_flits) * params_.wireless_pj_per_bit *
+         params_.flit_bits * units::pJ;
+}
+
+double NocPowerModel::buffer_energy_j(const noc::EnergyCounters& c) const {
+  return static_cast<double>(c.buffer_reads + c.buffer_writes) *
+         params_.buffer_pj_per_bit * params_.flit_bits * units::pJ;
+}
+
+double NocPowerModel::energy_j(const noc::EnergyCounters& c) const {
+  return wire_energy_j(c) + switch_energy_j(c) + wireless_energy_j(c) +
+         buffer_energy_j(c);
+}
+
+double NocPowerModel::wireless_flit_j() const {
+  return params_.wireless_pj_per_bit * params_.flit_bits * units::pJ;
+}
+
+double NocPowerModel::wired_path_flit_j(double mm, unsigned hops) const {
+  return (mm * params_.wire_pj_per_bit_mm +
+          static_cast<double>(hops) * params_.switch_pj_per_bit) *
+         params_.flit_bits * units::pJ;
+}
+
+double NocPowerModel::static_energy_j(std::size_t switches, std::size_t wis,
+                                      double seconds) const {
+  return (static_cast<double>(switches) * params_.switch_leakage_w +
+          static_cast<double>(wis) * params_.wi_leakage_w) *
+         seconds;
+}
+
+}  // namespace vfimr::power

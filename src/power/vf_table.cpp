@@ -1,0 +1,61 @@
+#include "power/vf_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace vfimr::power {
+
+std::string VfPoint::label() const {
+  std::ostringstream os;
+  os << voltage_v << "/" << freq_hz / units::GHz;
+  return os.str();
+}
+
+const VfTable& VfTable::standard() {
+  static const VfTable table{{
+      {0.6, 1.50e9},
+      {0.7, 1.75e9},
+      {0.8, 2.00e9},
+      {0.9, 2.25e9},
+      {1.0, 2.50e9},
+  }};
+  return table;
+}
+
+VfTable::VfTable(std::vector<VfPoint> points) : points_{std::move(points)} {
+  VFIMR_REQUIRE(!points_.empty());
+  VFIMR_REQUIRE_MSG(
+      std::is_sorted(points_.begin(), points_.end(),
+                     [](const VfPoint& a, const VfPoint& b) {
+                       return a.freq_hz < b.freq_hz;
+                     }),
+      "VfTable points must be in ascending frequency order");
+  for (const auto& p : points_) {
+    VFIMR_REQUIRE(p.voltage_v > 0.0 && p.freq_hz > 0.0);
+  }
+}
+
+const VfPoint& VfTable::at_least(double freq_hz) const {
+  for (const auto& p : points_) {
+    if (p.freq_hz >= freq_hz) return p;
+  }
+  return points_.back();
+}
+
+std::size_t VfTable::index_of(const VfPoint& p) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i] == p) return i;
+  }
+  VFIMR_REQUIRE_MSG(false, "VfPoint not in table: " + p.label());
+  return 0;
+}
+
+const VfPoint& VfTable::step_up(const VfPoint& p) const {
+  const std::size_t i = index_of(p);
+  return points_[std::min(i + 1, points_.size() - 1)];
+}
+
+}  // namespace vfimr::power

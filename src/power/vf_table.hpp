@@ -1,0 +1,50 @@
+#pragma once
+// Discrete voltage/frequency operating points for the VFI platform.
+//
+// The paper's Table 2 uses the points {0.6 V/1.5 GHz, 0.8 V/2.0 GHz,
+// 0.9 V/2.25 GHz, 1.0 V/2.5 GHz}; we include 0.7 V/1.75 GHz to complete a
+// uniform ladder (0.1 V / 0.25 GHz steps), matching typical 65 nm DVFS
+// tables.  (The paper's "0.9/2.2" entry for LR is read as 0.9/2.25 — an
+// obvious typographical slip, since every other 0.9 V entry is 2.25 GHz.)
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vfimr::power {
+
+struct VfPoint {
+  double voltage_v = 1.0;
+  double freq_hz = 2.5e9;
+
+  bool operator==(const VfPoint&) const = default;
+
+  std::string label() const;  ///< e.g. "0.9/2.25"
+};
+
+class VfTable {
+ public:
+  /// The platform ladder used throughout the paper reproduction.
+  static const VfTable& standard();
+
+  explicit VfTable(std::vector<VfPoint> points);  // ascending frequency
+
+  std::size_t size() const { return points_.size(); }
+  const VfPoint& operator[](std::size_t i) const { return points_.at(i); }
+  const VfPoint& max() const { return points_.back(); }
+  const VfPoint& min() const { return points_.front(); }
+
+  /// Lowest point whose frequency is >= `freq_hz` (clamps to max()).
+  const VfPoint& at_least(double freq_hz) const;
+
+  /// Index of `p` in the ladder; throws if absent.
+  std::size_t index_of(const VfPoint& p) const;
+
+  /// One step up from `p` (clamps at the top of the ladder).
+  const VfPoint& step_up(const VfPoint& p) const;
+
+ private:
+  std::vector<VfPoint> points_;
+};
+
+}  // namespace vfimr::power

@@ -1,0 +1,114 @@
+#include "sysmodel/platform.hpp"
+
+#include <numeric>
+
+#include "common/require.hpp"
+#include "noc/traffic.hpp"
+#include "winoc/thread_mapping.hpp"
+
+namespace vfimr::sysmodel {
+
+std::string system_name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNvfiMesh:
+      return "NVFI Mesh";
+    case SystemKind::kVfiMesh:
+      return "VFI Mesh";
+    case SystemKind::kVfiWinoc:
+      return "VFI WiNoC";
+  }
+  VFIMR_REQUIRE(false);
+  return {};
+}
+
+BuiltPlatform build_platform(const workload::AppProfile& profile,
+                             const PlatformParams& params,
+                             const power::VfTable& table) {
+  VFIMR_REQUIRE_MSG(profile.threads == 64,
+                    "platform construction targets the 8x8 die");
+  BuiltPlatform built;
+
+  if (params.kind == SystemKind::kNvfiMesh) {
+    // Baseline: all cores at f_max on the mesh.  The baseline also gets a
+    // locality-optimized thread mapping (SA over quadrant blocks) so the
+    // NVFI-vs-VFI comparison isolates the VFI/interconnect effects rather
+    // than penalizing the baseline with a naive placement.
+    built.topology = noc::make_mesh(8, 8);
+    built.routing = std::make_unique<noc::XyRouting>(built.topology.graph, 8, 8);
+    std::vector<std::size_t> blocks(64);
+    for (std::size_t t = 0; t < 64; ++t) blocks[t] = t / 16;
+    Rng rng{params.smallworld.seed};
+    built.thread_to_node =
+        winoc::map_threads_min_hop(profile.traffic, blocks, rng);
+    built.node_traffic =
+        winoc::map_traffic(profile.traffic, built.thread_to_node, 64);
+    return built;
+  }
+
+  // VFI systems share the Fig. 3 design flow.
+  built.has_vfi = true;
+  built.vfi = vfi::design_vfi(profile.utilization, profile.traffic,
+                              profile.master_threads, table, params.vfi);
+
+  if (params.kind == SystemKind::kVfiMesh) {
+    Rng rng{params.smallworld.seed};
+    built.topology = noc::make_mesh(8, 8);
+    built.routing = std::make_unique<noc::XyRouting>(built.topology.graph, 8, 8);
+    built.thread_to_node =
+        winoc::map_threads_min_hop(profile.traffic, built.vfi.assignment, rng);
+    built.node_traffic =
+        winoc::map_traffic(profile.traffic, built.thread_to_node, 64);
+    return built;
+  }
+
+  // VFI WiNoC.
+  winoc::WinocDesign design = winoc::build_winoc(
+      profile.traffic, built.vfi.assignment, params.placement,
+      params.smallworld);
+  built.topology = std::move(design.topology);
+  built.wireless = std::move(design.wireless);
+  built.thread_to_node = std::move(design.thread_to_node);
+  built.node_traffic = std::move(design.node_traffic);
+  built.wi_count = built.wireless.interfaces.size();
+  built.routing = std::make_unique<noc::UpDownRouting>(built.topology.graph, 2.0);
+  return built;
+}
+
+NetworkEval evaluate_network(const BuiltPlatform& platform,
+                             const workload::AppProfile& profile,
+                             const PlatformParams& params,
+                             const power::NocPowerModel& noc_power) {
+  noc::SimConfig sim_cfg = params.noc_sim;
+  if (platform.has_vfi && sim_cfg.node_cluster.empty()) {
+    // VFI systems pay mixed-clock synchronizer latency at island borders.
+    sim_cfg.node_cluster = winoc::quadrant_clusters();
+  }
+  noc::Network net{platform.topology, *platform.routing, sim_cfg,
+                   platform.wireless};
+  noc::MatrixTraffic gen{platform.node_traffic, profile.packet_flits,
+                         params.traffic_seed};
+  net.run(&gen, params.sim_cycles);
+  const bool drained = net.drain(params.drain_cycles);
+
+  NetworkEval eval;
+  eval.metrics = net.metrics();
+  eval.drained = drained;
+  eval.avg_latency_cycles = eval.metrics.avg_latency();
+  eval.flits_delivered = eval.metrics.flits_ejected;
+  if (eval.flits_delivered > 0 && params.router_pipeline_cycles > 1) {
+    const double wire_hops_per_flit =
+        static_cast<double>(eval.metrics.energy.wire_hops) /
+        static_cast<double>(eval.flits_delivered);
+    eval.avg_latency_cycles +=
+        wire_hops_per_flit *
+        static_cast<double>(params.router_pipeline_cycles - 1);
+  }
+  eval.wireless_utilization = eval.metrics.wireless_utilization();
+  if (eval.flits_delivered > 0) {
+    eval.energy_per_flit_j = noc_power.energy_j(eval.metrics.energy) /
+                             static_cast<double>(eval.flits_delivered);
+  }
+  return eval;
+}
+
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,93 @@
+#pragma once
+// Platform construction + network evaluation for the three system
+// configurations compared throughout the paper:
+//   * NVFI Mesh  — baseline: no VFIs, all cores at f_max, 8x8 mesh NoC;
+//   * VFI Mesh   — Eq. 1 clustering + V/F assignment, mesh NoC;
+//   * VFI WiNoC  — same VFIs over the small-world wireless NoC.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "power/noc_power.hpp"
+#include "power/vf_table.hpp"
+#include "sysmodel/task_sim.hpp"
+#include "vfi/vf_assign.hpp"
+#include "winoc/design.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+
+enum class SystemKind { kNvfiMesh, kVfiMesh, kVfiWinoc };
+
+std::string system_name(SystemKind kind);
+
+struct PlatformParams {
+  SystemKind kind = SystemKind::kNvfiMesh;
+  /// VFI systems: use the VFI 2 (bottleneck-reassigned) V/F values; false
+  /// selects VFI 1 (Fig. 4's comparison).
+  bool use_vfi2 = true;
+  winoc::PlacementStrategy placement =
+      winoc::PlacementStrategy::kMaxWirelessUtilization;
+  winoc::SmallWorldParams smallworld{};
+  vfi::VfiDesignParams vfi{};
+  double network_clock_hz = 1.0e9;
+  /// Per-hop switch pipeline depth in cycles.  The event simulator moves a
+  /// flit one hop per cycle (throughput-exact for wormhole); the remaining
+  /// (depth - 1) cycles per wire hop are added to the measured latency, the
+  /// standard correction for multi-stage 65 nm router pipelines.  Wireless
+  /// hops bypass intermediate switch pipelines (single mm-wave transfer).
+  std::uint32_t router_pipeline_cycles = 4;
+  /// Scheduler used on VFI systems (NVFI always runs kPhoenixDefault).
+  /// See sysmodel/task_sim.hpp for the two Eq. 3 readings.
+  StealingPolicy vfi_stealing = StealingPolicy::kVfiAssignment;
+  noc::SimConfig noc_sim{};
+  noc::Cycle sim_cycles = 60'000;    ///< measured injection window
+  noc::Cycle drain_cycles = 60'000;  ///< post-injection drain budget
+  std::uint64_t traffic_seed = 99;
+};
+
+/// A constructed platform, ready for network simulation.
+struct BuiltPlatform {
+  noc::Topology topology;
+  std::unique_ptr<noc::RoutingAlgorithm> routing;
+  noc::WirelessConfig wireless;
+  std::vector<graph::NodeId> thread_to_node;
+  Matrix node_traffic;  ///< thread traffic pushed through the mapping
+  vfi::VfiDesign vfi;   ///< meaningful only when has_vfi
+  bool has_vfi = false;
+  std::size_t wi_count = 0;
+};
+
+/// Run the VFI design flow (if applicable), map threads and build the
+/// interconnect for `profile` under `params`.
+BuiltPlatform build_platform(const workload::AppProfile& profile,
+                             const PlatformParams& params,
+                             const power::VfTable& table);
+
+/// Aggregate network figures extracted from a cycle-accurate run.
+struct NetworkEval {
+  double avg_latency_cycles = 0.0;
+  double energy_per_flit_j = 0.0;   ///< dynamic NoC energy per delivered flit
+  double wireless_utilization = 0.0;
+  std::uint64_t flits_delivered = 0;
+  bool drained = false;
+  noc::Metrics metrics;
+
+  /// Network-only EDP figure of merit: energy/flit x latency (used for the
+  /// §7.2 / Fig. 6 network-parameter comparisons).
+  double network_edp() const { return energy_per_flit_j * avg_latency_cycles; }
+};
+
+/// Drive the platform's NoC with the profile's (mapped) traffic and measure
+/// latency and per-flit energy.
+NetworkEval evaluate_network(const BuiltPlatform& platform,
+                             const workload::AppProfile& profile,
+                             const PlatformParams& params,
+                             const power::NocPowerModel& noc_power);
+
+}  // namespace vfimr::sysmodel

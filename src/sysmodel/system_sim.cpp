@@ -1,0 +1,201 @@
+#include "sysmodel/system_sim.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vfimr::sysmodel {
+
+FullSystemSim::FullSystemSim() : FullSystemSim(Models{}) {}
+
+FullSystemSim::FullSystemSim(Models models, const power::VfTable& table)
+    : models_{std::move(models)}, table_{&table} {}
+
+namespace {
+
+/// Memory fraction of a task set's nominal task time.
+double mem_fraction(const workload::TaskSet& spec, double fmax) {
+  const double compute_s = spec.cycles_mean / fmax;
+  const double total = compute_s + spec.mem_seconds_mean;
+  return total > 0.0 ? spec.mem_seconds_mean / total : 0.0;
+}
+
+double serial_time(const workload::SerialStage& stage, double freq_hz,
+                   double mem_scale) {
+  return stage.cycles / freq_hz + stage.mem_seconds * mem_scale;
+}
+
+}  // namespace
+
+SystemReport FullSystemSim::run(const workload::AppProfile& profile,
+                                const PlatformParams& params,
+                                double baseline_latency_cycles) const {
+  const std::size_t n = profile.threads;
+  VFIMR_REQUIRE(profile.utilization.size() == n);
+
+  SystemReport report;
+  report.kind = params.kind;
+
+  // ---- Interconnect: build + cycle-accurate evaluation.
+  BuiltPlatform built = build_platform(profile, params, *table_);
+  report.net = evaluate_network(built, profile, params, models_.noc);
+  report.has_vfi = built.has_vfi;
+  if (built.has_vfi) report.vfi = built.vfi;
+
+  report.baseline_latency_cycles = baseline_latency_cycles > 0.0
+                                       ? baseline_latency_cycles
+                                       : report.net.avg_latency_cycles;
+  const double latency_ratio =
+      report.baseline_latency_cycles > 0.0
+          ? report.net.avg_latency_cycles / report.baseline_latency_cycles
+          : 1.0;
+  const double s = profile.net_sensitivity;
+  report.mem_scale = (1.0 - s) + s * latency_ratio;
+
+  // ---- Per-thread operating points.
+  const double fmax = table_->max().freq_hz;
+  std::vector<power::VfPoint> vf(n, table_->max());
+  if (built.has_vfi) {
+    for (std::size_t t = 0; t < n; ++t) {
+      vf[t] = built.vfi.vf_of_thread(t, params.use_vfi2);
+    }
+  }
+  std::vector<SimCore> cores(n);
+  std::vector<SimCore> nominal_cores(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    cores[t] = SimCore{vf[t].freq_hz, vf[t].freq_hz / fmax};
+    nominal_cores[t] = SimCore{fmax, 1.0};
+  }
+
+  const std::size_t master =
+      profile.master_threads.empty() ? 0 : profile.master_threads.front();
+  const double f_master = vf[master].freq_hz;
+
+  // Same task draws for every system configuration: the RNG depends only on
+  // the application, so reports are directly comparable.
+  Rng task_rng{0xF00Dull ^ (static_cast<std::uint64_t>(profile.app) << 8)};
+
+  // Parallel-phase energy: per-thread utilization from the profile,
+  // stretched by the busy-time dilation at the thread's frequency and
+  // normalized by the phase's overall dilation.
+  auto parallel_energy = [&](const workload::TaskSet& spec,
+                             const TaskSimResult& actual,
+                             const TaskSimResult& nominal) {
+    const double mf = mem_fraction(spec, fmax);
+    const double dilation = nominal.makespan_s > 0.0
+                                ? actual.makespan_s / nominal.makespan_s
+                                : 1.0;
+    double energy = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double stretch =
+          (1.0 - mf) * fmax / cores[t].freq_hz + mf * report.mem_scale;
+      const double u = std::min(
+          1.0, profile.utilization[t] * stretch / std::max(dilation, 1e-9));
+      energy += models_.core.energy_j(u, vf[t], actual.makespan_s);
+    }
+    return energy;
+  };
+
+  auto serial_energy = [&](double seconds) {
+    double energy = models_.core.energy_j(1.0, vf[master], seconds);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (t != master) energy += models_.core.energy_j(0.0, vf[t], seconds);
+    }
+    return energy;
+  };
+
+  for (int iter = 0; iter < profile.iterations; ++iter) {
+    // Library init (serial, master).
+    const double t_li =
+        serial_time(profile.phases.lib_init, f_master, report.mem_scale);
+    report.phases.lib_init_s += t_li;
+    report.core_energy_j += serial_energy(t_li);
+
+    const StealingPolicy policy =
+        built.has_vfi ? params.vfi_stealing : StealingPolicy::kPhoenixDefault;
+
+    // Map.
+    const auto map_tasks =
+        materialize_tasks(profile.phases.map, profile.utilization, task_rng);
+    const TaskSimResult map_actual =
+        simulate_phase(map_tasks, cores, report.mem_scale, policy);
+    const TaskSimResult map_nominal = simulate_phase(
+        map_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
+    report.phases.map_s += map_actual.makespan_s;
+    report.core_energy_j +=
+        parallel_energy(profile.phases.map, map_actual, map_nominal);
+
+    // Reduce.
+    const auto red_tasks = materialize_tasks(profile.phases.reduce,
+                                             profile.utilization, task_rng);
+    const TaskSimResult red_actual =
+        simulate_phase(red_tasks, cores, report.mem_scale, policy);
+    const TaskSimResult red_nominal = simulate_phase(
+        red_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
+    report.phases.reduce_s += red_actual.makespan_s;
+    report.core_energy_j +=
+        parallel_energy(profile.phases.reduce, red_actual, red_nominal);
+
+    // Merge (serial, master).
+    const double t_merge =
+        serial_time(profile.phases.merge, f_master, report.mem_scale);
+    report.phases.merge_s += t_merge;
+    report.core_energy_j += serial_energy(t_merge);
+  }
+
+  report.exec_s = report.phases.total_s();
+
+  // ---- Network energy over the whole run.  On VFI systems the routers and
+  // links inside each island run at the island's voltage, so interconnect
+  // dynamic energy scales with the traffic-weighted average V^2 — the
+  // "energy reduction on both processing cores and interconnection network"
+  // the paper targets.
+  double net_v2_factor = 1.0;
+  if (built.has_vfi) {
+    const double v_nom = table_->max().voltage_v;
+    const auto clusters = winoc::quadrant_clusters();
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t s = 0; s < 64; ++s) {
+      for (std::size_t d = 0; d < 64; ++d) {
+        const double w = built.node_traffic(s, d);
+        if (w <= 0.0) continue;
+        const double vs = built.vfi.vfi2[clusters[s]].voltage_v;
+        const double vd = built.vfi.vfi2[clusters[d]].voltage_v;
+        // A packet spends roughly half its hops in each endpoint's island.
+        weighted += w * 0.5 * (vs * vs + vd * vd) / (v_nom * v_nom);
+        total += w;
+      }
+    }
+    if (total > 0.0) net_v2_factor = weighted / total;
+  }
+  const double packets_per_cycle = profile.traffic.sum();
+  const double flits = packets_per_cycle * params.network_clock_hz *
+                       report.exec_s *
+                       static_cast<double>(profile.packet_flits);
+  report.net_dynamic_j = report.net.energy_per_flit_j * flits * net_v2_factor;
+  report.net_static_j = models_.noc.static_energy_j(n, built.wi_count,
+                                                    report.exec_s) *
+                        net_v2_factor;
+  return report;
+}
+
+SystemComparison compare_systems(const workload::AppProfile& profile,
+                                 const FullSystemSim& sim,
+                                 const PlatformParams& base_params) {
+  PlatformParams params = base_params;
+  SystemComparison cmp;
+
+  params.kind = SystemKind::kNvfiMesh;
+  cmp.nvfi_mesh = sim.run(profile, params);
+  const double baseline = cmp.nvfi_mesh.net.avg_latency_cycles;
+
+  params.kind = SystemKind::kVfiMesh;
+  cmp.vfi_mesh = sim.run(profile, params, baseline);
+
+  params.kind = SystemKind::kVfiWinoc;
+  cmp.vfi_winoc = sim.run(profile, params, baseline);
+  return cmp;
+}
+
+}  // namespace vfimr::sysmodel

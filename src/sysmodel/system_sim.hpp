@@ -1,0 +1,97 @@
+#pragma once
+// Full-system simulation: couples the VFI design, the task-level execution
+// model and the cycle-accurate NoC into the paper's reported metrics —
+// per-phase execution time (Fig. 7), full-system energy and EDP (Fig. 8).
+//
+// Modeling summary (details in DESIGN.md):
+//  * The NoC is simulated cycle-accurately under the application's mapped
+//    traffic; its average packet latency, relative to the NVFI-mesh
+//    baseline, scales the network-sensitive share of every task's memory
+//    time (remote-L2 model).
+//  * Map/Reduce phases run through the deterministic work-stealing task
+//    simulator (Eq. 3 cap active on VFI systems); LibInit and Merge are
+//    serial master-thread stages.
+//  * Core energy integrates P(u, V, f) per thread per phase, with per-thread
+//    utilization taken from the application profile and stretched by the
+//    thread's busy-time dilation at its VFI frequency.
+//  * Network energy = (measured energy per flit) x (flits implied by the
+//    traffic rate over the run) + switch/WI leakage.
+
+#include "power/core_power.hpp"
+#include "power/noc_power.hpp"
+#include "power/vf_table.hpp"
+#include "sysmodel/platform.hpp"
+#include "sysmodel/task_sim.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+
+struct PhaseBreakdown {
+  double lib_init_s = 0.0;
+  double map_s = 0.0;
+  double reduce_s = 0.0;
+  double merge_s = 0.0;
+
+  double total_s() const { return lib_init_s + map_s + reduce_s + merge_s; }
+};
+
+struct SystemReport {
+  SystemKind kind = SystemKind::kNvfiMesh;
+  PhaseBreakdown phases;            ///< summed over MapReduce iterations
+  double exec_s = 0.0;              ///< total execution time
+  double core_energy_j = 0.0;
+  double net_dynamic_j = 0.0;
+  double net_static_j = 0.0;
+  NetworkEval net;
+  double baseline_latency_cycles = 0.0;  ///< NVFI-mesh latency used as ref
+  double mem_scale = 1.0;                ///< memory-time multiplier applied
+  bool has_vfi = false;
+  vfi::VfiDesign vfi;
+
+  double total_energy_j() const {
+    return core_energy_j + net_dynamic_j + net_static_j;
+  }
+  double edp_js() const { return total_energy_j() * exec_s; }
+};
+
+class FullSystemSim {
+ public:
+  struct Models {
+    power::CorePowerModel core{};
+    power::NocPowerModel noc{};
+  };
+
+  /// Default power models + the standard V/F ladder.
+  FullSystemSim();
+  explicit FullSystemSim(Models models,
+                         const power::VfTable& table = power::VfTable::standard());
+
+  /// Simulate `profile` on the platform described by `params`.
+  /// `baseline_latency_cycles`: the NVFI-mesh average packet latency for
+  /// this application; pass 0 to use this run's own latency as the baseline
+  /// (correct when params.kind == kNvfiMesh).
+  SystemReport run(const workload::AppProfile& profile,
+                   const PlatformParams& params,
+                   double baseline_latency_cycles = 0.0) const;
+
+  const power::VfTable& vf_table() const { return *table_; }
+  const Models& models() const { return models_; }
+
+ private:
+  Models models_;
+  const power::VfTable* table_;
+};
+
+/// The three-system comparison used by most figures.  Runs NVFI mesh first
+/// and feeds its latency to the VFI systems as the baseline.
+struct SystemComparison {
+  SystemReport nvfi_mesh;
+  SystemReport vfi_mesh;
+  SystemReport vfi_winoc;
+};
+
+SystemComparison compare_systems(const workload::AppProfile& profile,
+                                 const FullSystemSim& sim,
+                                 const PlatformParams& base_params = {});
+
+}  // namespace vfimr::sysmodel

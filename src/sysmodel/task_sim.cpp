@@ -1,0 +1,171 @@
+#include "sysmodel/task_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/require.hpp"
+#include "mapreduce/scheduler.hpp"
+
+namespace vfimr::sysmodel {
+
+std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
+                                       Rng& rng) {
+  std::vector<SimTask> tasks(spec.count);
+  for (auto& t : tasks) {
+    t.cycles = std::max(
+        0.0, rng.normal(spec.cycles_mean, spec.cycles_mean * spec.cycles_cv));
+    t.mem_seconds = std::max(
+        0.0, rng.normal(spec.mem_seconds_mean,
+                        spec.mem_seconds_mean * spec.mem_cv));
+  }
+  return tasks;
+}
+
+std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
+                                       const std::vector<double>& utilization,
+                                       Rng& rng) {
+  auto tasks = materialize_tasks(spec, rng);
+  if (utilization.empty()) return tasks;
+  double mean_u = 0.0;
+  for (double u : utilization) mean_u += u;
+  mean_u /= static_cast<double>(utilization.size());
+  if (mean_u <= 0.0) return tasks;
+
+  const std::size_t cores = utilization.size();
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    // Owner of task j's data block under the Phoenix block split.
+    const std::size_t owner = j * cores / std::max<std::size_t>(tasks.size(), 1);
+    double m = std::clamp(utilization[owner] / mean_u, 0.5, 1.6);
+    // The shift may not drive memory time negative (time conservation).
+    if (tasks[j].cycles > 0.0) {
+      m = std::min(
+          m, 1.0 + tasks[j].mem_seconds * kNominalFreqHz / tasks[j].cycles);
+    }
+    // Shift work between compute and memory, preserving time at f_max.
+    const double moved = tasks[j].cycles * (1.0 - m);
+    tasks[j].cycles *= m;
+    tasks[j].mem_seconds += moved / kNominalFreqHz;
+  }
+  return tasks;
+}
+
+TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
+                             const std::vector<SimCore>& cores,
+                             double mem_scale, StealingPolicy policy) {
+  const std::size_t c = cores.size();
+  const std::size_t n = tasks.size();
+  VFIMR_REQUIRE(c > 0);
+  VFIMR_REQUIRE(mem_scale > 0.0);
+
+  TaskSimResult result;
+  result.busy_seconds.assign(c, 0.0);
+  result.tasks_executed.assign(c, 0);
+  if (n == 0) return result;
+
+  // Eq. 3's f_max: the fastest core actually present in this configuration.
+  double fmax = 0.0;
+  for (const auto& core : cores) fmax = std::max(fmax, core.freq_hz);
+  std::vector<double> rel(c, 1.0);
+  for (std::size_t i = 0; i < c; ++i) {
+    VFIMR_REQUIRE(cores[i].freq_hz > 0.0);
+    rel[i] = cores[i].freq_hz / fmax;
+  }
+
+  // ---- Initial distribution: block split (task j's data belongs to core
+  // j*C/N).  Under kVfiAssignment a slow core keeps only its Eq. 3 share of
+  // its own block; the leftover (still that block's data) is re-assigned
+  // round-robin to the f_max cores.
+  std::vector<std::deque<std::size_t>> queues(c);
+  {
+    std::vector<std::size_t> leftovers;
+    for (std::size_t i = 0; i < c; ++i) {
+      const std::size_t lo = i * n / c;
+      const std::size_t hi = (i + 1) * n / c;
+      std::size_t keep = hi - lo;
+      if (policy == StealingPolicy::kVfiAssignment && rel[i] < 1.0) {
+        // Rounded (not floored) share: the assignment reading of Eq. 3 aims
+        // for proportional load, and flooring at small N/C (e.g. 4 tasks per
+        // core) would under-assign slow cores by a whole task.
+        const auto share = static_cast<std::size_t>(std::llround(
+            static_cast<double>(n) / static_cast<double>(c) * rel[i]));
+        keep = std::min(keep, share);
+      }
+      for (std::size_t t = lo; t < lo + keep; ++t) queues[i].push_back(t);
+      for (std::size_t t = lo + keep; t < hi; ++t) leftovers.push_back(t);
+    }
+    if (!leftovers.empty()) {
+      std::vector<std::size_t> fast;
+      for (std::size_t i = 0; i < c; ++i) {
+        if (rel[i] >= 1.0) fast.push_back(i);
+      }
+      VFIMR_REQUIRE_MSG(!fast.empty(), "no core at f_max");
+      for (std::size_t k = 0; k < leftovers.size(); ++k) {
+        queues[fast[k % fast.size()]].push_back(leftovers[k]);
+      }
+    }
+  }
+
+  std::vector<std::size_t> cap(c, std::numeric_limits<std::size_t>::max());
+  if (policy == StealingPolicy::kVfiHardCap) {
+    for (std::size_t i = 0; i < c; ++i) {
+      if (rel[i] < 1.0) cap[i] = mr::stealing_cap(n, c, rel[i]);
+    }
+  }
+
+  std::vector<double> free_time(c, 0.0);
+  std::vector<bool> active(c, true);
+  std::size_t remaining = n;
+
+  while (remaining > 0) {
+    // Earliest-free active core (ties -> lowest id).
+    std::size_t who = c;
+    for (std::size_t i = 0; i < c; ++i) {
+      if (!active[i]) continue;
+      if (who == c || free_time[i] < free_time[who]) who = i;
+    }
+    if (who == c) {
+      // Every core is capped out while tasks remain (possible only with a
+      // degenerate configuration); lift the caps so work always finishes.
+      for (std::size_t i = 0; i < c; ++i) {
+        active[i] = true;
+        cap[i] = std::numeric_limits<std::size_t>::max();
+      }
+      continue;
+    }
+
+    std::size_t task = n;
+    if (!queues[who].empty()) {
+      task = queues[who].front();
+      queues[who].pop_front();
+    } else {
+      // Steal from the victim with the most remaining tasks.
+      std::size_t victim = c;
+      for (std::size_t v = 0; v < c; ++v) {
+        if (v == who || queues[v].empty()) continue;
+        if (victim == c || queues[v].size() > queues[victim].size()) {
+          victim = v;
+        }
+      }
+      if (victim == c) {
+        active[who] = false;  // nothing to do anywhere
+        continue;
+      }
+      task = queues[victim].back();
+      queues[victim].pop_back();
+      ++result.steals;
+    }
+
+    const double duration = tasks[task].cycles / cores[who].freq_hz +
+                            tasks[task].mem_seconds * mem_scale;
+    result.busy_seconds[who] += duration;
+    free_time[who] += duration;
+    result.makespan_s = std::max(result.makespan_s, free_time[who]);
+    --remaining;
+    if (++result.tasks_executed[who] >= cap[who]) active[who] = false;
+  }
+  return result;
+}
+
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic task-level execution simulation for one MapReduce phase.
+//
+// Mirrors the Phoenix scheduler semantics (block distribution, steal from
+// the victim with the most remaining work, optional Eq. 3 cap on sub-f_max
+// cores) but over *modeled* task durations, so the full-system experiments
+// are reproducible and independent of host timing.  Task time on core c is
+//     t = cycles / freq_c + mem_seconds * mem_scale
+// where mem_scale folds in the measured NoC latency ratio (see
+// workload/profile.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+
+struct SimTask {
+  double cycles = 0.0;       ///< compute cycles (scale with 1/f)
+  double mem_seconds = 0.0;  ///< memory time at baseline latency
+};
+
+struct SimCore {
+  double freq_hz = 2.5e9;
+  double rel_freq = 1.0;  ///< f / f_max, for the Eq. 3 stealing cap
+};
+
+struct TaskSimResult {
+  double makespan_s = 0.0;
+  std::vector<double> busy_seconds;          ///< per core
+  std::vector<std::uint64_t> tasks_executed;  ///< per core
+  std::uint64_t steals = 0;
+};
+
+/// How Eq. 3 of the paper is applied to the scheduler.  The paper states the
+/// modified policy as "restrict the number of tasks performed by cores with
+/// lower V/F to N_f" but leaves the enforcement mechanism open; both natural
+/// readings are implemented (and compared in bench_stealing):
+enum class StealingPolicy {
+  /// Unmodified Phoenix: equal block distribution + steal-from-largest.
+  kPhoenixDefault,
+  /// N_f shapes the *initial assignment* (slow cores start with N_f tasks,
+  /// the surplus goes to f_max cores); stealing itself stays unrestricted.
+  /// This is the reading used by the full-system experiments: it removes the
+  /// harmful late steals of §4.3 without starving the slow cores' capacity.
+  kVfiAssignment,
+  /// Hard execution cap: a slow core stops for good after N_f tasks.
+  kVfiHardCap,
+};
+
+/// Draw a concrete task set from its statistical description.
+std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
+                                       Rng& rng);
+
+/// Nominal platform frequency used to convert cycles <-> seconds when
+/// re-balancing a task's compute/memory split (the V/F ladder maximum).
+inline constexpr double kNominalFreqHz = 2.5e9;
+
+/// Like materialize_tasks, but correlates each task's compute/memory split
+/// with the utilization of the core that owns its data block: tasks from
+/// low-utilization (memory-stalled) threads are memory-heavy, tasks from
+/// high-utilization threads are compute-heavy.  Total task time at f_max is
+/// preserved.  This is the paper's §7.3 observation — "cores [with] less
+/// than 50% utilization ... can be operated with significantly lower V/F
+/// without affecting the execution time" — made concrete: their work barely
+/// scales with frequency.
+std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
+                                       const std::vector<double>& utilization,
+                                       Rng& rng);
+
+/// Simulate one phase under the given stealing policy.  rel_freq is
+/// interpreted relative to the fastest core *present in this run* (Eq. 3's
+/// f_max is the maximum operating frequency of the configuration).
+TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
+                             const std::vector<SimCore>& cores,
+                             double mem_scale, StealingPolicy policy);
+
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,272 @@
+#include "vfi/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace vfimr::vfi {
+
+ClusteringCost::ClusteringCost(const ClusteringProblem& problem)
+    : problem_{&problem} {
+  const std::size_t n = problem.cores();
+  VFIMR_REQUIRE(n > 0);
+  VFIMR_REQUIRE(problem.clusters > 0 && n % problem.clusters == 0);
+  VFIMR_REQUIRE(problem.traffic.rows() == n && problem.traffic.cols() == n);
+
+  phi_intra_ = 1.0 / std::sqrt(static_cast<double>(problem.clusters));
+
+  // Normalize u and f by their maxima (§4.1).
+  double umax = 0.0;
+  for (double u : problem.utilization) {
+    VFIMR_REQUIRE(u >= 0.0);
+    umax = std::max(umax, u);
+  }
+  norm_u_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    norm_u_[i] = umax > 0.0 ? problem.utilization[i] / umax : 0.0;
+  }
+
+  double fmax = problem.traffic.max();
+  sym_traffic_ = Matrix{n, n};
+  if (fmax > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t p = 0; p < n; ++p) {
+        if (i == p) continue;
+        sym_traffic_(i, p) =
+            (problem.traffic(i, p) + problem.traffic(p, i)) / fmax;
+      }
+    }
+  }
+
+  // ubar_j: mean of the j-th quantile group of the sorted (descending)
+  // normalized utilization — the paper's fixed per-cluster targets.
+  std::vector<double> sorted = norm_u_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>{});
+  const std::size_t size = problem.cluster_size();
+  ubar_.resize(problem.clusters);
+  for (std::size_t j = 0; j < problem.clusters; ++j) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < size; ++k) s += sorted[j * size + k];
+    ubar_[j] = s / static_cast<double>(size);
+  }
+}
+
+double ClusteringCost::util_term(std::size_t core, std::size_t cluster) const {
+  const double d = norm_u_[core] - ubar_[cluster];
+  return d * d;
+}
+
+double ClusteringCost::comm_cost(
+    const std::vector<std::size_t>& assignment) const {
+  const std::size_t n = problem_->cores();
+  VFIMR_REQUIRE(assignment.size() == n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = i + 1; p < n; ++p) {
+      const double w = sym_traffic_(i, p);
+      if (w == 0.0) continue;
+      acc += w * (assignment[i] == assignment[p] ? phi_intra_ : 1.0);
+    }
+  }
+  return problem_->weight_comm * acc;
+}
+
+double ClusteringCost::util_cost(
+    const std::vector<std::size_t>& assignment) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    acc += util_term(i, assignment[i]);
+  }
+  return problem_->weight_util * acc;
+}
+
+double ClusteringCost::cost(const std::vector<std::size_t>& assignment) const {
+  return comm_cost(assignment) + util_cost(assignment);
+}
+
+namespace {
+
+void check_sizes(const ClusteringProblem& p,
+                 const std::vector<std::size_t>& assignment) {
+  std::vector<std::size_t> fill(p.clusters, 0);
+  for (std::size_t c : assignment) {
+    VFIMR_REQUIRE(c < p.clusters);
+    ++fill[c];
+  }
+  for (std::size_t f : fill) VFIMR_REQUIRE(f == p.cluster_size());
+}
+
+/// Cost change of swapping cores a and b between their (distinct) clusters.
+double swap_delta(const ClusteringCost& cost,
+                  const std::vector<std::size_t>& assign, std::size_t a,
+                  std::size_t b) {
+  const std::size_t ca = assign[a];
+  const std::size_t cb = assign[b];
+  VFIMR_REQUIRE(ca != cb);
+  const auto& prob = cost.problem();
+  const double inter_minus_intra = 1.0 - cost.phi_intra();
+  double d_comm = 0.0;
+  for (std::size_t x = 0; x < assign.size(); ++x) {
+    if (x == a || x == b) continue;
+    const std::size_t cx = assign[x];
+    if (cx == ca) {
+      // (a,x): intra -> inter; (b,x): inter -> intra.
+      d_comm += cost.pair_weight(a, x) * inter_minus_intra;
+      d_comm -= cost.pair_weight(b, x) * inter_minus_intra;
+    } else if (cx == cb) {
+      d_comm -= cost.pair_weight(a, x) * inter_minus_intra;
+      d_comm += cost.pair_weight(b, x) * inter_minus_intra;
+    }
+  }
+  const double d_util = cost.util_term(a, cb) + cost.util_term(b, ca) -
+                        cost.util_term(a, ca) - cost.util_term(b, cb);
+  return prob.weight_comm * d_comm + prob.weight_util * d_util;
+}
+
+/// Steepest-descent pairwise-swap refinement to a local optimum.
+void refine(const ClusteringCost& cost, std::vector<std::size_t>& assign,
+            double& current) {
+  const std::size_t n = assign.size();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (assign[a] == assign[b]) continue;
+        const double d = swap_delta(cost, assign, a, b);
+        if (d < -1e-12) {
+          std::swap(assign[a], assign[b]);
+          current += d;
+          improved = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ClusteringResult solve_brute_force(const ClusteringProblem& problem) {
+  const ClusteringCost cost{problem};
+  const std::size_t n = problem.cores();
+  VFIMR_REQUIRE_MSG(n <= 12, "brute force is for tiny instances only");
+  std::vector<std::size_t> assign(n, 0);
+  std::vector<std::size_t> fill(problem.clusters, 0);
+  ClusteringResult best;
+  best.cost = std::numeric_limits<double>::max();
+
+  auto rec = [&](auto&& self, std::size_t i) -> void {
+    if (i == n) {
+      const double c = cost.cost(assign);
+      if (c < best.cost) {
+        best.cost = c;
+        best.assignment = assign;
+      }
+      return;
+    }
+    for (std::size_t j = 0; j < problem.clusters; ++j) {
+      if (fill[j] == problem.cluster_size()) continue;
+      assign[i] = j;
+      ++fill[j];
+      self(self, i + 1);
+      --fill[j];
+    }
+  };
+  rec(rec, 0);
+  best.optimal = true;
+  return best;
+}
+
+ClusteringResult solve_exact(const ClusteringProblem& problem) {
+  const ClusteringCost cost{problem};
+  const std::size_t n = problem.cores();
+  VFIMR_REQUIRE_MSG(n <= 20, "exact solver is exponential; use solve_anneal");
+
+  std::vector<std::size_t> assign(n, 0);
+  std::vector<std::size_t> fill(problem.clusters, 0);
+  ClusteringResult best = solve_anneal(
+      problem, AnnealParams{20'000, 0.5, 1e-4, 11, 2});  // warm upper bound
+  best.optimal = false;
+
+  // Partial cost is monotone (every term is >= 0), so it is a valid bound.
+  auto rec = [&](auto&& self, std::size_t i, double partial) -> void {
+    if (partial >= best.cost) return;
+    if (i == n) {
+      best.cost = partial;
+      best.assignment = assign;
+      return;
+    }
+    for (std::size_t j = 0; j < problem.clusters; ++j) {
+      if (fill[j] == problem.cluster_size()) continue;
+      double add = problem.weight_util * cost.util_term(i, j);
+      for (std::size_t p = 0; p < i; ++p) {
+        const double w = cost.pair_weight(i, p);
+        if (w == 0.0) continue;
+        add += problem.weight_comm * w *
+               (assign[p] == j ? cost.phi_intra() : 1.0);
+      }
+      assign[i] = j;
+      ++fill[j];
+      self(self, i + 1, partial + add);
+      --fill[j];
+    }
+  };
+  rec(rec, 0, 0.0);
+  best.optimal = true;
+  return best;
+}
+
+ClusteringResult solve_anneal(const ClusteringProblem& problem,
+                              const AnnealParams& params) {
+  const ClusteringCost cost{problem};
+  const std::size_t n = problem.cores();
+  VFIMR_REQUIRE(params.iterations > 0 && params.restarts > 0);
+  Rng rng{params.seed};
+
+  ClusteringResult best;
+  best.cost = std::numeric_limits<double>::max();
+
+  for (std::size_t restart = 0; restart < params.restarts; ++restart) {
+    // Random equal-size start.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::vector<std::size_t> assign(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      assign[order[k]] = k / problem.cluster_size();
+    }
+    double current = cost.cost(assign);
+
+    const double ratio = params.t_final / params.t_initial;
+    for (std::size_t it = 0; it < params.iterations; ++it) {
+      const double temp =
+          params.t_initial *
+          std::pow(ratio, static_cast<double>(it) /
+                              static_cast<double>(params.iterations));
+      const auto a = static_cast<std::size_t>(rng.uniform_u64(n));
+      auto b = static_cast<std::size_t>(rng.uniform_u64(n - 1));
+      if (b >= a) ++b;
+      if (assign[a] == assign[b]) continue;
+      const double d = swap_delta(cost, assign, a, b);
+      if (d <= 0.0 || rng.uniform() < std::exp(-d / temp)) {
+        std::swap(assign[a], assign[b]);
+        current += d;
+      }
+    }
+    refine(cost, assign, current);
+    // Guard against accumulated floating-point drift.
+    current = cost.cost(assign);
+    if (current < best.cost) {
+      best.cost = current;
+      best.assignment = std::move(assign);
+    }
+  }
+  check_sizes(problem, best.assignment);
+  best.optimal = false;
+  return best;
+}
+
+}  // namespace vfimr::vfi

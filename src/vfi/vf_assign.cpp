@@ -1,0 +1,69 @@
+#include "vfi/vf_assign.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vfimr::vfi {
+
+std::vector<power::VfPoint> select_vf(
+    const std::vector<double>& utilization,
+    const std::vector<std::size_t>& assignment, std::size_t clusters,
+    const power::VfTable& table, const VfSelectParams& params) {
+  VFIMR_REQUIRE(utilization.size() == assignment.size());
+  VFIMR_REQUIRE(params.util_target > 0.0 && params.util_target <= 1.0);
+  std::vector<double> sum(clusters, 0.0);
+  std::vector<std::size_t> count(clusters, 0);
+  for (std::size_t i = 0; i < utilization.size(); ++i) {
+    VFIMR_REQUIRE(assignment[i] < clusters);
+    sum[assignment[i]] += utilization[i];
+    ++count[assignment[i]];
+  }
+  const double fmax = table.max().freq_hz;
+  std::vector<power::VfPoint> vf(clusters);
+  for (std::size_t j = 0; j < clusters; ++j) {
+    VFIMR_REQUIRE_MSG(count[j] > 0, "empty VFI cluster");
+    const double mean_u = sum[j] / static_cast<double>(count[j]);
+    vf[j] = table.at_least(fmax * mean_u / params.util_target);
+  }
+  return vf;
+}
+
+VfiDesign design_vfi(const std::vector<double>& utilization,
+                     const Matrix& traffic,
+                     const std::vector<std::size_t>& masters,
+                     const power::VfTable& table,
+                     const VfiDesignParams& params) {
+  ClusteringProblem problem;
+  problem.utilization = utilization;
+  problem.traffic = traffic;
+  problem.clusters = params.clusters;
+  const ClusteringResult clustering = solve_anneal(problem, params.anneal);
+
+  VfiDesign design;
+  design.assignment = clustering.assignment;
+  design.clustering_cost = clustering.cost;
+  design.vfi1 = select_vf(utilization, design.assignment, params.clusters,
+                          table, params.select);
+  design.vfi2 = design.vfi1;
+
+  const double fmax = table.max().freq_hz;
+  for (std::size_t b : masters) {
+    VFIMR_REQUIRE(b < utilization.size());
+    const power::VfPoint required =
+        table.at_least(fmax * utilization[b] / params.select.util_target);
+    const std::size_t cluster = design.assignment[b];
+    if (design.vfi2[cluster].freq_hz < required.freq_hz) {
+      design.vfi2[cluster] = required;
+      if (std::find(design.raised_clusters.begin(),
+                    design.raised_clusters.end(),
+                    cluster) == design.raised_clusters.end()) {
+        design.raised_clusters.push_back(cluster);
+      }
+    }
+  }
+  std::sort(design.raised_clusters.begin(), design.raised_clusters.end());
+  return design;
+}
+
+}  // namespace vfimr::vfi

@@ -1,0 +1,63 @@
+#pragma once
+// V/F selection and bottleneck-driven reassignment (§4.2, Fig. 3).
+//
+// VFI 1: each cluster gets the lowest ladder point whose frequency satisfies
+//   f >= f_max * mean_cluster_utilization / util_target
+// i.e. the cluster, slowed to f, must still absorb its average load below
+// `util_target` occupancy.  The *mean* deliberately dilutes the few
+// bottleneck (master) cores — exactly the under-provisioning the paper
+// observes for PCA/HIST/MM.
+//
+// VFI 2: every bottleneck core b individually requires
+//   f_req(b) = at_least(f_max * u_b / util_target);
+// if b's cluster sits below f_req(b), the whole cluster is raised to it
+// (cores are never moved, so traffic patterns are preserved — §4.2).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "power/vf_table.hpp"
+#include "vfi/clustering.hpp"
+
+namespace vfimr::vfi {
+
+struct VfSelectParams {
+  double util_target = 0.90;  ///< post-scaling occupancy cap
+};
+
+/// Per-cluster VFI 1 points from mean cluster utilization.
+std::vector<power::VfPoint> select_vf(
+    const std::vector<double>& utilization,
+    const std::vector<std::size_t>& assignment, std::size_t clusters,
+    const power::VfTable& table, const VfSelectParams& params = {});
+
+/// Complete VFI design: clustering (Eq. 1) + VFI1 V/F + VFI2 reassignment.
+struct VfiDesign {
+  std::vector<std::size_t> assignment;    ///< thread -> cluster
+  std::vector<power::VfPoint> vfi1;       ///< per cluster
+  std::vector<power::VfPoint> vfi2;       ///< per cluster, after reassignment
+  std::vector<std::size_t> raised_clusters;  ///< clusters changed by VFI2
+  double clustering_cost = 0.0;
+
+  const power::VfPoint& vf_of_thread(std::size_t t, bool vfi2_system) const {
+    return (vfi2_system ? vfi2 : vfi1)[assignment[t]];
+  }
+};
+
+struct VfiDesignParams {
+  std::size_t clusters = 4;
+  VfSelectParams select{};
+  AnnealParams anneal{};
+};
+
+/// Runs the full design flow of Fig. 3 for one application profile:
+/// `utilization`/`traffic` measured on the non-VFI system, `masters` the
+/// bottleneck threads (library-init / merge owners).
+VfiDesign design_vfi(const std::vector<double>& utilization,
+                     const Matrix& traffic,
+                     const std::vector<std::size_t>& masters,
+                     const power::VfTable& table,
+                     const VfiDesignParams& params = {});
+
+}  // namespace vfimr::vfi

@@ -1,0 +1,52 @@
+#include "winoc/design.hpp"
+
+#include "common/require.hpp"
+
+namespace vfimr::winoc {
+
+std::vector<std::size_t> quadrant_clusters() {
+  std::vector<std::size_t> out(64);
+  for (graph::NodeId v = 0; v < 64; ++v) out[v] = quadrant_of(v, 8);
+  return out;
+}
+
+WinocDesign build_winoc(const Matrix& thread_traffic,
+                        const std::vector<std::size_t>& thread_cluster,
+                        PlacementStrategy strategy,
+                        const SmallWorldParams& params) {
+  VFIMR_REQUIRE(thread_cluster.size() == 64);
+  Rng rng{params.seed};
+
+  WinocDesign design;
+  design.node_cluster = quadrant_clusters();
+
+  if (strategy == PlacementStrategy::kMinHopCount) {
+    // Methodology 1: map threads to minimize communication distance, build
+    // the wireline small world, then SA-place the WIs for minimum
+    // traffic-weighted hop count.
+    design.thread_to_node =
+        map_threads_min_hop(thread_traffic, thread_cluster, rng);
+    design.node_traffic = map_traffic(thread_traffic, design.thread_to_node, 64);
+    design.topology =
+        build_wireline(design.node_traffic, design.node_cluster, params, rng);
+    design.wi_nodes = place_wis_min_hop(design.topology, design.node_traffic,
+                                        design.node_cluster, params, rng);
+  } else {
+    // Methodology 2: pin WIs at cluster centers, then perturb a
+    // locality-preserving min-hop mapping so the chattiest inter-cluster
+    // threads sit on the WI switches ("logically near, physically far").
+    const noc::Topology placed = noc::make_placed_grid(8, 8);
+    design.wi_nodes = place_wis_center(placed, design.node_cluster, params);
+    design.thread_to_node = map_threads_near_wi(
+        thread_traffic, thread_cluster, design.wi_nodes,
+        map_threads_min_hop(thread_traffic, thread_cluster, rng));
+    design.node_traffic = map_traffic(thread_traffic, design.thread_to_node, 64);
+    design.topology =
+        build_wireline(design.node_traffic, design.node_cluster, params, rng);
+  }
+
+  design.wireless = attach_wireless(design.topology, design.wi_nodes, params);
+  return design;
+}
+
+}  // namespace vfimr::winoc

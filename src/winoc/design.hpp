@@ -1,0 +1,41 @@
+#pragma once
+// End-to-end WiNoC design flow (§5-§6): thread mapping + small-world wiring
+// + wireless overlay, parameterized by the paper's two placement
+// methodologies.
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "noc/network.hpp"
+#include "noc/topology.hpp"
+#include "winoc/smallworld.hpp"
+#include "winoc/thread_mapping.hpp"
+#include "winoc/wi_placement.hpp"
+
+namespace vfimr::winoc {
+
+enum class PlacementStrategy {
+  kMinHopCount,             ///< SA thread mapping + SA WI placement
+  kMaxWirelessUtilization,  ///< center WIs + near-WI thread mapping
+};
+
+struct WinocDesign {
+  noc::Topology topology;               ///< wireline + wireless edges
+  noc::WirelessConfig wireless;         ///< WI/channel configuration
+  std::vector<graph::NodeId> thread_to_node;
+  std::vector<std::size_t> node_cluster;  ///< quadrant VFI of each switch
+  WiPlacement wi_nodes;
+  Matrix node_traffic;                  ///< mapped switch-level traffic
+};
+
+/// Build the WiNoC for a clustered application.  `thread_cluster[t]` in
+/// [0, 4): the Eq. 1 clustering result; cluster c occupies quadrant c.
+WinocDesign build_winoc(const Matrix& thread_traffic,
+                        const std::vector<std::size_t>& thread_cluster,
+                        PlacementStrategy strategy,
+                        const SmallWorldParams& params = {});
+
+/// Quadrant VFI id for every switch of the 8x8 die.
+std::vector<std::size_t> quadrant_clusters();
+
+}  // namespace vfimr::winoc

@@ -1,0 +1,239 @@
+#include "winoc/smallworld.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vfimr::winoc {
+
+std::size_t quadrant_of(graph::NodeId node, std::size_t width) {
+  const std::size_t x = noc::mesh_x(node, width);
+  const std::size_t y = noc::mesh_y(node, width);
+  const std::size_t half = width / 2;
+  return (y / half) * 2 + (x / half);
+}
+
+namespace {
+
+/// Candidate undirected edge with its power-law sampling weight.
+struct Candidate {
+  graph::NodeId a;
+  graph::NodeId b;
+  double weight;
+};
+
+double length_weight(const noc::Topology& topo, graph::NodeId a,
+                     graph::NodeId b, double alpha) {
+  const double d = std::max(topo.node_distance_mm(a, b), 1e-6);
+  return std::pow(d, -alpha);
+}
+
+/// Sample an index from `weights` of live candidates (weight 0 = dead).
+std::size_t sample(Rng& rng, const std::vector<Candidate>& cands,
+                   const std::vector<bool>& alive) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (alive[i]) total += cands[i].weight;
+  }
+  VFIMR_REQUIRE_MSG(total > 0.0, "no viable small-world candidate edges");
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (!alive[i]) continue;
+    if (r < cands[i].weight) return i;
+    r -= cands[i].weight;
+  }
+  for (std::size_t i = cands.size(); i-- > 0;) {
+    if (alive[i]) return i;
+  }
+  VFIMR_REQUIRE(false);
+  return 0;
+}
+
+}  // namespace
+
+noc::Topology build_wireline(const Matrix& node_traffic,
+                             const std::vector<std::size_t>& node_cluster,
+                             const SmallWorldParams& params, Rng& rng) {
+  const std::size_t n = node_cluster.size();
+  VFIMR_REQUIRE_MSG(n == 64, "wireline builder targets the 8x8 die");
+  VFIMR_REQUIRE(node_traffic.rows() == n && node_traffic.cols() == n);
+  VFIMR_REQUIRE(params.k_max >= 3);
+
+  noc::Topology topo = noc::make_placed_grid(8, 8);
+  const std::size_t clusters =
+      1 + *std::max_element(node_cluster.begin(), node_cluster.end());
+
+  std::vector<std::vector<graph::NodeId>> members(clusters);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    members[node_cluster[v]].push_back(v);
+  }
+
+  std::vector<std::size_t> degree(n, 0);
+  auto add_edge = [&](graph::NodeId a, graph::NodeId b) {
+    topo.add_wire(a, b);
+    ++degree[a];
+    ++degree[b];
+  };
+
+  // ---- Intra-cluster wiring: randomized power-law spanning tree, then
+  // extra power-law links up to <k_intra> average degree.
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto& mem = members[c];
+    VFIMR_REQUIRE(mem.size() >= 2);
+    const std::size_t target_edges = static_cast<std::size_t>(
+        std::llround(params.k_intra * static_cast<double>(mem.size()) / 2.0));
+    VFIMR_REQUIRE_MSG(target_edges + 1 >= mem.size(),
+                      "k_intra below connectivity threshold (1.875 for 16)");
+
+    // Randomized Prim: grow the tree picking frontier edges by l^-alpha.
+    std::vector<bool> in_tree(mem.size(), false);
+    in_tree[0] = true;
+    std::size_t tree_nodes = 1;
+    while (tree_nodes < mem.size()) {
+      std::vector<Candidate> frontier;
+      for (std::size_t i = 0; i < mem.size(); ++i) {
+        if (!in_tree[i]) continue;
+        for (std::size_t j = 0; j < mem.size(); ++j) {
+          if (in_tree[j]) continue;
+          if (degree[mem[i]] >= params.k_max) continue;
+          frontier.push_back(Candidate{
+              mem[i], mem[j], length_weight(topo, mem[i], mem[j], params.alpha)});
+        }
+      }
+      VFIMR_REQUIRE_MSG(!frontier.empty(),
+                        "k_max too small to connect a cluster");
+      std::vector<bool> alive(frontier.size(), true);
+      const auto pick = frontier[sample(rng, frontier, alive)];
+      add_edge(pick.a, pick.b);
+      for (std::size_t j = 0; j < mem.size(); ++j) {
+        if (mem[j] == pick.b) in_tree[j] = true;
+      }
+      ++tree_nodes;
+    }
+
+    // Shortcut links beyond the tree.
+    std::size_t edges = mem.size() - 1;
+    while (edges < target_edges) {
+      std::vector<Candidate> cands;
+      for (std::size_t i = 0; i < mem.size(); ++i) {
+        for (std::size_t j = i + 1; j < mem.size(); ++j) {
+          const graph::NodeId a = mem[i];
+          const graph::NodeId b = mem[j];
+          if (degree[a] >= params.k_max || degree[b] >= params.k_max) continue;
+          if (topo.graph.has_edge(a, b)) continue;
+          cands.push_back(Candidate{a, b, length_weight(topo, a, b, params.alpha)});
+        }
+      }
+      if (cands.empty()) break;  // saturated by k_max; accept fewer links
+      std::vector<bool> alive(cands.size(), true);
+      const auto pick = cands[sample(rng, cands, alive)];
+      add_edge(pick.a, pick.b);
+      ++edges;
+    }
+  }
+
+  // ---- Inter-cluster wiring: link budget allocated proportionally to the
+  // inter-VFI traffic between each cluster pair (§5), minimum one link per
+  // pair so no pair of islands depends solely on the wireless overlay.
+  const std::size_t inter_budget = static_cast<std::size_t>(
+      std::llround(params.k_inter * static_cast<double>(n) / 2.0));
+  struct Pair {
+    std::size_t p, q;
+    double traffic;
+    std::size_t links;
+  };
+  std::vector<Pair> pairs;
+  double traffic_total = 0.0;
+  for (std::size_t p = 0; p < clusters; ++p) {
+    for (std::size_t q = p + 1; q < clusters; ++q) {
+      double t = 0.0;
+      for (graph::NodeId a : members[p]) {
+        for (graph::NodeId b : members[q]) {
+          t += node_traffic(a, b) + node_traffic(b, a);
+        }
+      }
+      pairs.push_back(Pair{p, q, t, 1});
+      traffic_total += t;
+    }
+  }
+  VFIMR_REQUIRE(inter_budget >= pairs.size());
+  std::size_t allocated = pairs.size();
+  // Largest-remainder allocation of the remaining budget.
+  std::vector<double> share(pairs.size(), 0.0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    share[i] = traffic_total > 0.0
+                   ? pairs[i].traffic / traffic_total *
+                         static_cast<double>(inter_budget - pairs.size())
+                   : static_cast<double>(inter_budget - pairs.size()) /
+                         static_cast<double>(pairs.size());
+    const auto whole = static_cast<std::size_t>(share[i]);
+    pairs[i].links += whole;
+    allocated += whole;
+    share[i] -= static_cast<double>(whole);
+  }
+  while (allocated < inter_budget) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      if (share[i] > share[best]) best = i;
+    }
+    ++pairs[best].links;
+    share[best] = -1.0;
+    ++allocated;
+  }
+
+  for (const auto& pr : pairs) {
+    for (std::size_t l = 0; l < pr.links; ++l) {
+      std::vector<Candidate> cands;
+      for (graph::NodeId a : members[pr.p]) {
+        for (graph::NodeId b : members[pr.q]) {
+          if (degree[a] >= params.k_max || degree[b] >= params.k_max) continue;
+          if (topo.graph.has_edge(a, b)) continue;
+          cands.push_back(
+              Candidate{a, b, length_weight(topo, a, b, params.alpha)});
+        }
+      }
+      if (cands.empty()) break;  // saturated; accept fewer links
+      std::vector<bool> alive(cands.size(), true);
+      const auto pick = cands[sample(rng, cands, alive)];
+      add_edge(pick.a, pick.b);
+    }
+  }
+
+  VFIMR_REQUIRE_MSG(graph::is_connected(topo.graph),
+                    "small-world construction must be connected");
+  return topo;
+}
+
+noc::WirelessConfig attach_wireless(
+    noc::Topology& topo,
+    const std::vector<std::vector<graph::NodeId>>& wi_nodes,
+    const SmallWorldParams& params) {
+  noc::WirelessConfig cfg;
+  cfg.channel_count = params.channels;
+  // Group WIs by channel: wi_nodes[c][ch] is cluster c's WI on channel ch.
+  std::vector<std::vector<graph::NodeId>> by_channel(
+      static_cast<std::size_t>(params.channels));
+  for (const auto& cluster_wis : wi_nodes) {
+    VFIMR_REQUIRE(cluster_wis.size() ==
+                  static_cast<std::size_t>(params.channels));
+    for (std::size_t ch = 0; ch < cluster_wis.size(); ++ch) {
+      cfg.interfaces.push_back(
+          noc::WirelessInterface{cluster_wis[ch], static_cast<int>(ch)});
+      by_channel[ch].push_back(cluster_wis[ch]);
+    }
+  }
+  // Broadcast groups: clique edges among same-channel WIs.
+  for (const auto& group : by_channel) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (!topo.graph.has_edge(group[i], group[j])) {
+          topo.add_wireless(group[i], group[j]);
+        }
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace vfimr::winoc

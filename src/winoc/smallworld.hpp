@@ -1,0 +1,56 @@
+#pragma once
+// Small-world WiNoC construction (§5 of the paper).
+//
+// The wireline network follows the power-law wiring-cost model of Petermann
+// & De Los Rios [19]: a candidate link of physical length l is chosen with
+// probability proportional to l^-alpha.  Each switch has on average <k> = 4
+// inter-switch connections (matching a mesh's switch overhead), split into
+// <k_intra> links inside the switch's VFI cluster and <k_inter> links to
+// other clusters, with a hard per-switch bound k_max.  Every cluster's
+// subnetwork is connected; inter-cluster link counts between cluster pairs
+// are allocated proportionally to the inter-VFI traffic (§5).
+//
+// On top of the wireline fabric, 12 wireless interfaces (3 per 16-core VFI,
+// §6) are deployed on 3 non-overlapping mm-wave channels; each channel hosts
+// one WI per cluster, forming a 4-WI broadcast group.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "noc/topology.hpp"
+
+namespace vfimr::winoc {
+
+struct SmallWorldParams {
+  double k_intra = 3.0;  ///< <k_intra>; paper finds (3,1) beats (2,2)
+  double k_inter = 1.0;  ///< <k_inter>
+  std::size_t k_max = 7;  ///< max wired ports per switch (excl. core port)
+  double alpha = 1.8;     ///< wiring-cost power-law exponent
+  int channels = 3;       ///< non-overlapping wireless channels
+  std::size_t wis_per_cluster = 3;  ///< 12 WIs total on the 64-core die
+  std::uint64_t seed = 13;
+};
+
+/// VFI cluster of a physical switch on the 8x8 die: the four 4x4 quadrants
+/// (the paper's "four 4x4 equally sized VFIs").
+std::size_t quadrant_of(graph::NodeId node, std::size_t width = 8);
+
+/// Build the wireline small-world fabric over an 8x8 switch placement.
+/// `node_cluster[n]` is the VFI of switch n (must be the quadrants);
+/// `node_traffic` is the packets/cycle matrix between switches (threads
+/// already mapped), used to allocate inter-cluster links.
+noc::Topology build_wireline(const Matrix& node_traffic,
+                             const std::vector<std::size_t>& node_cluster,
+                             const SmallWorldParams& params, Rng& rng);
+
+/// Add wireless edges + interface config for the given WI nodes.
+/// `wi_nodes[c]` lists the WI switches of cluster c, in channel order
+/// (wi_nodes[c][ch] is on channel ch).  Mutates `topo`, returns the config.
+noc::WirelessConfig attach_wireless(
+    noc::Topology& topo, const std::vector<std::vector<graph::NodeId>>& wi_nodes,
+    const SmallWorldParams& params);
+
+}  // namespace vfimr::winoc

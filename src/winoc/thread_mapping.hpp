@@ -1,0 +1,55 @@
+#pragma once
+// Thread-to-switch mapping under VFI constraints (§6).
+//
+// VFI cluster c always occupies physical quadrant c of the 8x8 die (voltage
+// islands are contiguous regions).  Within that constraint two mappings are
+// provided, matching the paper's two methodologies:
+//  * min-hop: simulated annealing minimizing traffic-weighted Manhattan
+//    distance between communicating threads;
+//  * near-WI ("logically near, physically far"): threads with the most
+//    inter-cluster traffic are placed closest to their cluster's wireless
+//    interfaces so that long-distance flits ride the wireless links.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "noc/topology.hpp"
+
+namespace vfimr::winoc {
+
+/// Threads of cluster c, in id order, onto the nodes of quadrant c in node
+/// order — the deterministic baseline mapping.
+std::vector<graph::NodeId> map_threads_block(
+    const std::vector<std::size_t>& thread_cluster);
+
+/// SA refinement of the block mapping: swap same-cluster thread pairs to
+/// minimize sum_{t,u} traffic(t,u) * manhattan(node_t, node_u).
+std::vector<graph::NodeId> map_threads_min_hop(
+    const Matrix& thread_traffic,
+    const std::vector<std::size_t>& thread_cluster, Rng& rng,
+    std::size_t iterations = 30'000);
+
+/// Near-WI mapping ("logically near, physically far"): starting from
+/// `base_mapping` (normally the min-hop SA result, which preserves data
+/// locality), the threads with the highest inter-cluster traffic in each
+/// cluster are swapped onto that cluster's WI switches (`wi_nodes[c]`) so
+/// their long-distance flits enter the wireless fabric in one hop.
+std::vector<graph::NodeId> map_threads_near_wi(
+    const Matrix& thread_traffic,
+    const std::vector<std::size_t>& thread_cluster,
+    const std::vector<std::vector<graph::NodeId>>& wi_nodes,
+    std::vector<graph::NodeId> base_mapping);
+
+/// Push thread-level traffic through a mapping: node-level matrix.
+Matrix map_traffic(const Matrix& thread_traffic,
+                   const std::vector<graph::NodeId>& thread_to_node,
+                   std::size_t nodes);
+
+/// Traffic-weighted Manhattan distance of a mapping (the SA objective).
+double mapping_cost(const Matrix& thread_traffic,
+                    const std::vector<graph::NodeId>& thread_to_node);
+
+}  // namespace vfimr::winoc

@@ -1,0 +1,143 @@
+#include "winoc/wi_placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vfimr::winoc {
+
+namespace {
+
+std::vector<std::vector<graph::NodeId>> members_by_cluster(
+    const std::vector<std::size_t>& node_cluster) {
+  const std::size_t clusters =
+      1 + *std::max_element(node_cluster.begin(), node_cluster.end());
+  std::vector<std::vector<graph::NodeId>> out(clusters);
+  for (graph::NodeId v = 0; v < node_cluster.size(); ++v) {
+    out[node_cluster[v]].push_back(v);
+  }
+  return out;
+}
+
+/// Copy the wireline graph and overlay the wireless cliques of `placement`.
+graph::Graph overlay(const noc::Topology& wireline,
+                     const WiPlacement& placement,
+                     const SmallWorldParams& params) {
+  graph::Graph g = wireline.graph;
+  for (int ch = 0; ch < params.channels; ++ch) {
+    std::vector<graph::NodeId> group;
+    for (const auto& cluster_wis : placement) {
+      group.push_back(cluster_wis.at(static_cast<std::size_t>(ch)));
+    }
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (!g.has_edge(group[i], group[j])) {
+          g.add_edge(group[i], group[j], graph::EdgeKind::kWireless);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<double>> to_rows(const Matrix& m) {
+  std::vector<std::vector<double>> rows(m.rows(), std::vector<double>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) rows[r][c] = m(r, c);
+  }
+  return rows;
+}
+
+}  // namespace
+
+double placement_hop_cost(const noc::Topology& wireline,
+                          const Matrix& node_traffic,
+                          const WiPlacement& placement,
+                          const SmallWorldParams& params) {
+  const graph::Graph g = overlay(wireline, placement, params);
+  return graph::weighted_hop_count(g, to_rows(node_traffic));
+}
+
+WiPlacement place_wis_center(const noc::Topology& topo,
+                             const std::vector<std::size_t>& node_cluster,
+                             const SmallWorldParams& params) {
+  const auto members = members_by_cluster(node_cluster);
+  WiPlacement placement;
+  for (const auto& mem : members) {
+    VFIMR_REQUIRE(mem.size() >= params.wis_per_cluster);
+    // Cluster centroid.
+    double cx = 0.0;
+    double cy = 0.0;
+    for (graph::NodeId v : mem) {
+      cx += topo.positions[v].x_mm;
+      cy += topo.positions[v].y_mm;
+    }
+    cx /= static_cast<double>(mem.size());
+    cy /= static_cast<double>(mem.size());
+    std::vector<graph::NodeId> order = mem;
+    std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+      const auto da = std::hypot(topo.positions[a].x_mm - cx,
+                                 topo.positions[a].y_mm - cy);
+      const auto db = std::hypot(topo.positions[b].x_mm - cx,
+                                 topo.positions[b].y_mm - cy);
+      if (da != db) return da < db;
+      return a < b;
+    });
+    placement.emplace_back(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(
+                                               params.wis_per_cluster));
+  }
+  return placement;
+}
+
+WiPlacement place_wis_min_hop(const noc::Topology& wireline,
+                              const Matrix& node_traffic,
+                              const std::vector<std::size_t>& node_cluster,
+                              const SmallWorldParams& params, Rng& rng,
+                              const WiAnnealParams& anneal) {
+  const auto members = members_by_cluster(node_cluster);
+  // Start from the center placement (a good, legal initial point).
+  WiPlacement placement = place_wis_center(wireline, node_cluster, params);
+  WiPlacement best = placement;
+  double current = placement_hop_cost(wireline, node_traffic, placement, params);
+  double best_cost = current;
+
+  auto is_wi = [&](std::size_t cluster, graph::NodeId v) {
+    const auto& wis = placement[cluster];
+    return std::find(wis.begin(), wis.end(), v) != wis.end();
+  };
+
+  for (std::size_t it = 0; it < anneal.iterations; ++it) {
+    const auto cluster =
+        static_cast<std::size_t>(rng.uniform_u64(placement.size()));
+    const auto slot = static_cast<std::size_t>(
+        rng.uniform_u64(params.wis_per_cluster));
+    const auto& mem = members[cluster];
+    const graph::NodeId candidate =
+        mem[static_cast<std::size_t>(rng.uniform_u64(mem.size()))];
+    if (is_wi(cluster, candidate)) continue;
+    const graph::NodeId old = placement[cluster][slot];
+    placement[cluster][slot] = candidate;
+    const double cost =
+        placement_hop_cost(wireline, node_traffic, placement, params);
+    const double delta = cost - current;
+    const double temp =
+        anneal.t_initial *
+        std::pow(anneal.t_final / anneal.t_initial,
+                 static_cast<double>(it) /
+                     static_cast<double>(anneal.iterations));
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      current = cost;
+      if (current < best_cost) {
+        best_cost = current;
+        best = placement;
+      }
+    } else {
+      placement[cluster][slot] = old;  // reject
+    }
+  }
+  return best;
+}
+
+}  // namespace vfimr::winoc

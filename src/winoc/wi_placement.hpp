@@ -1,0 +1,50 @@
+#pragma once
+// Wireless interface placement (§6): the paper's two methodologies.
+//
+//  * min-hop-count: simulated annealing over candidate WI switches to
+//    minimize the traffic-weighted average hop count of the combined
+//    (wireline + wireless) network;
+//  * max-wireless-utilization: WIs pinned to the most central switches of
+//    each VFI cluster so that the largest number of cores has cheap wireless
+//    access (paired with the near-WI thread mapping).
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "noc/topology.hpp"
+#include "winoc/smallworld.hpp"
+
+namespace vfimr::winoc {
+
+/// wi[c][ch]: cluster c's WI switch on channel ch.
+using WiPlacement = std::vector<std::vector<graph::NodeId>>;
+
+/// The `wis_per_cluster` switches nearest each cluster's centroid.
+WiPlacement place_wis_center(const noc::Topology& topo,
+                             const std::vector<std::size_t>& node_cluster,
+                             const SmallWorldParams& params);
+
+struct WiAnnealParams {
+  std::size_t iterations = 1'200;
+  double t_initial = 0.3;
+  double t_final = 1e-3;
+};
+
+/// SA over single-WI relocation moves minimizing the traffic-weighted hop
+/// count of `wireline` + wireless cliques.  `node_traffic` is the mapped
+/// switch-level traffic.
+WiPlacement place_wis_min_hop(const noc::Topology& wireline,
+                              const Matrix& node_traffic,
+                              const std::vector<std::size_t>& node_cluster,
+                              const SmallWorldParams& params, Rng& rng,
+                              const WiAnnealParams& anneal = {});
+
+/// Objective helper (exposed for tests): traffic-weighted hop count of the
+/// wireline graph with wireless cliques for `placement` added.
+double placement_hop_cost(const noc::Topology& wireline,
+                          const Matrix& node_traffic,
+                          const WiPlacement& placement,
+                          const SmallWorldParams& params);
+
+}  // namespace vfimr::winoc

@@ -1,0 +1,45 @@
+#include "workload/app.hpp"
+
+#include "common/require.hpp"
+
+namespace vfimr::workload {
+
+std::string app_name(App app) {
+  switch (app) {
+    case App::kHist:
+      return "HIST";
+    case App::kKmeans:
+      return "KMEANS";
+    case App::kLR:
+      return "LR";
+    case App::kMM:
+      return "MM";
+    case App::kPCA:
+      return "PCA";
+    case App::kWC:
+      return "WC";
+  }
+  VFIMR_REQUIRE_MSG(false, "unknown App");
+  return {};
+}
+
+std::string app_dataset(App app) {
+  switch (app) {
+    case App::kHist:
+      return "Medium (399 MB)";
+    case App::kKmeans:
+      return "Vectors with dimension of 512";
+    case App::kLR:
+      return "Medium (100 MB)";
+    case App::kMM:
+      return "Matrix with dimension 999 x 999";
+    case App::kPCA:
+      return "Matrix with dimension 960 x 960";
+    case App::kWC:
+      return "Large (100 MB)";
+  }
+  VFIMR_REQUIRE_MSG(false, "unknown App");
+  return {};
+}
+
+}  // namespace vfimr::workload

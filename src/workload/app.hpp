@@ -1,0 +1,19 @@
+#pragma once
+// The six Phoenix++ applications evaluated in the paper (Table 1).
+
+#include <array>
+#include <string>
+
+namespace vfimr::workload {
+
+enum class App { kHist, kKmeans, kLR, kMM, kPCA, kWC };
+
+inline constexpr std::array<App, 6> kAllApps = {
+    App::kHist, App::kKmeans, App::kLR, App::kMM, App::kPCA, App::kWC};
+
+std::string app_name(App app);
+
+/// Table 1 of the paper: dataset description per application.
+std::string app_dataset(App app);
+
+}  // namespace vfimr::workload

@@ -1,0 +1,136 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vfimr::workload {
+
+std::vector<double> make_utilization(
+    std::size_t threads, const std::vector<UtilizationCohort>& cohorts,
+    Rng& rng) {
+  std::size_t total = 0;
+  for (const auto& c : cohorts) total += c.count;
+  VFIMR_REQUIRE_MSG(total == threads, "cohort sizes must cover all threads");
+  std::vector<double> u;
+  u.reserve(threads);
+  for (const auto& c : cohorts) {
+    for (std::size_t i = 0; i < c.count; ++i) {
+      u.push_back(std::clamp(rng.normal(c.mean, c.stddev), 0.02, 1.0));
+    }
+  }
+  return u;
+}
+
+Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
+                    const std::vector<std::size_t>& masters, Rng& rng) {
+  VFIMR_REQUIRE(threads >= 2);
+  VFIMR_REQUIRE(spec.total_rate > 0.0);
+  const double frac_bg =
+      1.0 - spec.frac_neighbor - spec.frac_shuffle - spec.frac_master;
+  VFIMR_REQUIRE_MSG(frac_bg >= -1e-9, "traffic fractions exceed 1");
+
+  Matrix weight{threads, threads};
+
+  // Neighbor locality: ring (t, t+1) and stride-8 (t, t+8) links, matching
+  // the row/column adjacency of the identity mapping on the 8x8 die.
+  if (spec.frac_neighbor > 0.0) {
+    double total = 0.0;
+    Matrix comp{threads, threads};
+    auto link = [&](std::size_t a, std::size_t b, double w) {
+      comp(a, b) += w;
+      comp(b, a) += w;
+      total += 2 * w;
+    };
+    for (std::size_t t = 0; t < threads; ++t) {
+      link(t, (t + 1) % threads, 1.0);
+      if (threads > 8) link(t, (t + 8) % threads, 0.6);
+    }
+    for (std::size_t i = 0; i < threads * threads; ++i) {
+      weight.data()[i] += spec.frac_neighbor * comp.data()[i] / total;
+    }
+  }
+
+  // Shuffle: random directed pairs with exponentially distributed key volume
+  // (a few hot reducers, a long tail) — the intermediate K/V exchange.
+  // With probability `shuffle_locality` a pair stays within its 16-thread
+  // data partition; the rest crosses partitions (distant sharers).
+  if (spec.frac_shuffle > 0.0 && spec.shuffle_pairs > 0) {
+    const std::size_t part = std::min<std::size_t>(16, threads);
+    double total = 0.0;
+    Matrix comp{threads, threads};
+    for (std::size_t p = 0; p < spec.shuffle_pairs; ++p) {
+      const auto s = static_cast<std::size_t>(rng.uniform_u64(threads));
+      std::size_t d = s;
+      if (rng.bernoulli(spec.shuffle_locality)) {
+        const std::size_t base = (s / part) * part;
+        do {
+          d = base + static_cast<std::size_t>(rng.uniform_u64(part));
+        } while (d == s);
+      } else {
+        do {
+          d = static_cast<std::size_t>(rng.uniform_u64(threads));
+        } while (d == s);
+      }
+      const double w = rng.exponential(1.0);
+      comp(s, d) += w;
+      total += w;
+    }
+    for (std::size_t i = 0; i < threads * threads; ++i) {
+      weight.data()[i] += spec.frac_shuffle * comp.data()[i] / total;
+    }
+  }
+
+  // Master hotspot: scheduling/control round trips with every thread.
+  if (spec.frac_master > 0.0 && !masters.empty()) {
+    double total = 0.0;
+    Matrix comp{threads, threads};
+    for (std::size_t m : masters) {
+      VFIMR_REQUIRE(m < threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        if (t == m) continue;
+        comp(m, t) += 1.0;
+        comp(t, m) += 1.0;
+        total += 2.0;
+      }
+    }
+    for (std::size_t i = 0; i < threads * threads; ++i) {
+      weight.data()[i] += spec.frac_master * comp.data()[i] / total;
+    }
+  }
+
+  // Uniform background (cache-coherence noise).
+  if (frac_bg > 1e-12) {
+    const double per_pair =
+        frac_bg / static_cast<double>(threads * (threads - 1));
+    for (std::size_t s = 0; s < threads; ++s) {
+      for (std::size_t d = 0; d < threads; ++d) {
+        if (s != d) weight(s, d) += per_pair;
+      }
+    }
+  }
+
+  // Scale mixture (sums to ~1) to the requested aggregate rate.
+  const double sum = weight.sum();
+  VFIMR_REQUIRE(sum > 0.0);
+  for (auto& v : weight.data()) v *= spec.total_rate / sum;
+  return weight;
+}
+
+Matrix cluster_traffic(const Matrix& traffic,
+                       const std::vector<std::size_t>& assignment,
+                       std::size_t clusters) {
+  VFIMR_REQUIRE(traffic.rows() == traffic.cols());
+  VFIMR_REQUIRE(assignment.size() == traffic.rows());
+  Matrix out{clusters, clusters};
+  for (std::size_t s = 0; s < traffic.rows(); ++s) {
+    VFIMR_REQUIRE(assignment[s] < clusters);
+    for (std::size_t d = 0; d < traffic.cols(); ++d) {
+      if (s == d) continue;
+      out(assignment[s], assignment[d]) += traffic(s, d);
+    }
+  }
+  return out;
+}
+
+}  // namespace vfimr::workload

@@ -1,0 +1,58 @@
+#pragma once
+// Synthesis helpers for utilization vectors and traffic matrices.
+// catalog.cpp combines these with per-application constants.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::workload {
+
+/// A group of threads sharing a utilization level (e.g. "32 threads around
+/// 0.86").  Cohorts are laid out contiguously in thread-id order.
+struct UtilizationCohort {
+  std::size_t count = 0;
+  double mean = 0.5;
+  double stddev = 0.01;
+};
+
+/// Per-thread utilization in [0, 1]; cohort i occupies the id range after
+/// cohort i-1.  Total cohort count must equal `threads`.
+std::vector<double> make_utilization(std::size_t threads,
+                                     const std::vector<UtilizationCohort>& cohorts,
+                                     Rng& rng);
+
+/// Traffic mixture weights; fractions must sum to <= 1 (remainder: uniform
+/// background traffic).
+struct TrafficSpec {
+  /// Aggregate packets per cycle injected chip-wide.
+  double total_rate = 0.04;
+  /// Data-locality component: thread t <-> t+1 and t <-> t+8 (the row/column
+  /// neighbors under the identity thread mapping) — dominant for LR.
+  double frac_neighbor = 0.3;
+  /// Shuffle component: random thread pairs weighted by key volume — the
+  /// intermediate key/value exchange, dominant for WC and Kmeans.
+  double frac_shuffle = 0.5;
+  /// Master hotspot: control traffic between every thread and the masters.
+  double frac_master = 0.1;
+  /// Number of random shuffle pairs (more pairs = flatter shuffle).
+  std::size_t shuffle_pairs = 400;
+  /// Probability that a shuffle pair stays within the same 16-thread data
+  /// partition (mappers feeding reducers of their own key range).  High
+  /// locality keeps heavy communication inside eventual VFI clusters.
+  double shuffle_locality = 0.6;
+};
+
+/// Build a thread x thread packets/cycle matrix from the mixture spec.
+Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
+                    const std::vector<std::size_t>& masters, Rng& rng);
+
+/// Group threads by VFI cluster: total traffic (both directions) between
+/// cluster pairs.  `assignment[t]` in [0, clusters).
+Matrix cluster_traffic(const Matrix& traffic,
+                       const std::vector<std::size_t>& assignment,
+                       std::size_t clusters);
+
+}  // namespace vfimr::workload

@@ -1,0 +1,87 @@
+#pragma once
+// Calibrated application profiles — the substitute for the paper's GEM5
+// full-system measurements.
+//
+// Each profile describes, per thread (64 threads on the 64-core platform):
+//  * NVFI utilization at f_max (the `u` vector of Eq. 1, Fig. 2 shapes);
+//  * the thread-to-thread traffic matrix (the `f_ip` of Eq. 1), covering the
+//    shuffle of intermediate keys/values, data-locality neighbor traffic and
+//    the master-thread control hotspot;
+//  * the phase/task execution model used by the full-system simulator:
+//    library-init and merge run on the master thread, map and reduce are
+//    task sets executed under (modified) work stealing.  Task time at
+//    frequency f and network latency ratio r is
+//        t = cycles / f + mem_seconds * (1 - net_sensitivity
+//                                          + net_sensitivity * r)
+//    where r = (avg NoC packet latency) / (baseline NVFI-mesh latency);
+//    `net_sensitivity` captures how much of the memory time is remote-L2
+//    (network) bound vs. fixed (local cache / DRAM bank) — high for WC and
+//    Kmeans (many keys, distant sharers), low for LR (§7.3).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "workload/app.hpp"
+
+namespace vfimr::workload {
+
+/// One parallel phase (Map or Reduce) as a set of stealable tasks.
+struct TaskSet {
+  std::size_t count = 0;
+  double cycles_mean = 0.0;  ///< compute cycles per task (scales with 1/f)
+  double cycles_cv = 0.1;    ///< coefficient of variation across tasks
+  double mem_seconds_mean = 0.0;  ///< memory time per task at baseline latency
+  double mem_cv = 0.1;
+};
+
+/// Sequential master-thread work (library init before Map, merge after
+/// Reduce) — the source of the bottleneck-core effect of §4.2.
+struct SerialStage {
+  double cycles = 0.0;
+  double mem_seconds = 0.0;
+};
+
+struct PhaseModel {
+  SerialStage lib_init;
+  TaskSet map;
+  TaskSet reduce;
+  SerialStage merge;
+};
+
+struct AppProfile {
+  App app = App::kWC;
+  std::size_t threads = 64;
+
+  std::vector<double> utilization;  ///< per thread, NVFI system at f_max
+  Matrix traffic;                   ///< packets/cycle, thread x thread
+  std::uint32_t packet_flits = 4;   ///< flits per packet for this app
+
+  /// Threads identified as masters; they execute lib-init and merge and show
+  /// up as the high-utilization outliers of Fig. 2.
+  std::vector<std::size_t> master_threads;
+
+  double net_sensitivity = 0.5;  ///< fraction of mem time that is NoC-bound
+  int iterations = 1;            ///< MapReduce iterations (Kmeans/PCA: 2)
+  PhaseModel phases;
+
+  std::string name() const { return app_name(app); }
+
+  /// Mean utilization over all threads.
+  double mean_utilization() const;
+  /// Mean utilization over the master (bottleneck) threads.
+  double bottleneck_utilization() const;
+};
+
+/// Parameters shared by all profile constructions.
+struct ProfileParams {
+  std::size_t threads = 64;
+  std::uint64_t seed = 2015;  ///< DAC 2015
+};
+
+/// Build the calibrated profile for `app` (see workload/catalog.cpp for the
+/// per-application constants and their provenance).
+AppProfile make_profile(App app, const ProfileParams& params = {});
+
+}  // namespace vfimr::workload

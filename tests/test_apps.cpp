@@ -1,0 +1,267 @@
+// End-to-end correctness of the six Phoenix++-style applications against
+// straightforward reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "mapreduce/apps/histogram.hpp"
+#include "mapreduce/apps/kmeans.hpp"
+#include "mapreduce/apps/linear_regression.hpp"
+#include "mapreduce/apps/matrix_multiply.hpp"
+#include "mapreduce/apps/pca.hpp"
+#include "mapreduce/apps/wordcount.hpp"
+
+namespace vfimr::mr::apps {
+namespace {
+
+TEST(WordCount, MatchesReferenceCounts) {
+  WordCountConfig cfg;
+  cfg.word_count = 20'000;
+  cfg.vocabulary = 500;
+  cfg.map_tasks = 17;
+  cfg.scheduler.workers = 4;
+  const std::string text = generate_text(cfg);
+
+  // Reference: std::map tokenizer.
+  std::map<std::string, std::uint64_t> ref;
+  std::istringstream in{text};
+  std::string w;
+  std::uint64_t total = 0;
+  while (in >> w) {
+    ++ref[w];
+    ++total;
+  }
+
+  const auto result = word_count(text, cfg);
+  EXPECT_EQ(result.total_words, total);
+  ASSERT_EQ(result.counts.size(), ref.size());
+  for (const auto& [key, count] : result.counts) {
+    EXPECT_EQ(count, ref.at(key)) << key;
+  }
+}
+
+TEST(WordCount, HandlesExplicitText) {
+  WordCountConfig cfg;
+  cfg.map_tasks = 3;
+  cfg.scheduler.workers = 2;
+  const auto result = word_count("the cat and the hat and the bat", cfg);
+  std::map<std::string, std::uint64_t> got(result.counts.begin(),
+                                           result.counts.end());
+  EXPECT_EQ(got.at("the"), 3u);
+  EXPECT_EQ(got.at("and"), 2u);
+  EXPECT_EQ(got.at("cat"), 1u);
+  EXPECT_EQ(result.total_words, 8u);
+}
+
+TEST(WordCount, EmptyText) {
+  WordCountConfig cfg;
+  cfg.map_tasks = 4;
+  cfg.scheduler.workers = 2;
+  const auto result = word_count("", cfg);
+  EXPECT_TRUE(result.counts.empty());
+  EXPECT_EQ(result.total_words, 0u);
+}
+
+TEST(WordCount, ChunkBoundariesNeverSplitWords) {
+  // Many tasks over a short text stresses the chunk-snapping logic.
+  WordCountConfig cfg;
+  cfg.map_tasks = 64;
+  cfg.scheduler.workers = 4;
+  const auto result = word_count("alpha beta gamma delta", cfg);
+  EXPECT_EQ(result.total_words, 4u);
+  EXPECT_EQ(result.counts.size(), 4u);
+}
+
+TEST(Histogram, MatchesDirectCount) {
+  HistogramConfig cfg;
+  cfg.pixel_count = 30'000;
+  cfg.map_tasks = 13;
+  cfg.scheduler.workers = 4;
+  const auto rgb = generate_image(cfg);
+
+  std::array<std::array<std::uint64_t, 256>, 3> ref{};
+  for (std::size_t p = 0; p < cfg.pixel_count; ++p) {
+    for (std::size_t c = 0; c < 3; ++c) ++ref[c][rgb[p * 3 + c]];
+  }
+  const auto result = histogram(rgb, cfg);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t v = 0; v < 256; ++v) {
+      ASSERT_EQ(result.bins[c][v], ref[c][v]) << c << "/" << v;
+    }
+  }
+}
+
+TEST(Histogram, TotalsEqualPixelCount) {
+  HistogramConfig cfg;
+  cfg.pixel_count = 5'000;
+  cfg.scheduler.workers = 2;
+  const auto result = run_histogram(cfg);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::uint64_t total = 0;
+    for (std::size_t v = 0; v < 256; ++v) total += result.bins[c][v];
+    EXPECT_EQ(total, cfg.pixel_count);
+  }
+}
+
+TEST(LinearRegression, RecoversTrueLine) {
+  LinearRegressionConfig cfg;
+  cfg.sample_count = 50'000;
+  cfg.true_slope = -1.75;
+  cfg.true_intercept = 12.0;
+  cfg.noise_stddev = 1.0;
+  cfg.scheduler.workers = 4;
+  const auto result = run_linear_regression(cfg);
+  EXPECT_EQ(result.samples, cfg.sample_count);
+  EXPECT_NEAR(result.slope, cfg.true_slope, 0.01);
+  EXPECT_NEAR(result.intercept, cfg.true_intercept, 0.1);
+}
+
+TEST(LinearRegression, NoiselessExact) {
+  LinearRegressionConfig cfg;
+  cfg.sample_count = 1'000;
+  cfg.noise_stddev = 0.0;
+  cfg.true_slope = 3.0;
+  cfg.true_intercept = -4.0;
+  cfg.scheduler.workers = 2;
+  const auto result = run_linear_regression(cfg);
+  EXPECT_NEAR(result.slope, 3.0, 1e-9);
+  EXPECT_NEAR(result.intercept, -4.0, 1e-7);
+}
+
+TEST(MatrixMultiply, MatchesDirectProduct) {
+  MatrixMultiplyConfig cfg;
+  cfg.dimension = 48;
+  cfg.map_tasks = 9;
+  cfg.scheduler.workers = 4;
+  const Matrix a = generate_matrix(cfg.dimension, 1);
+  const Matrix b = generate_matrix(cfg.dimension, 2);
+  const auto result = matrix_multiply(a, b, cfg);
+  const Matrix ref = a * b;
+  for (std::size_t i = 0; i < cfg.dimension; ++i) {
+    for (std::size_t j = 0; j < cfg.dimension; ++j) {
+      ASSERT_NEAR(result.product(i, j), ref(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(MatrixMultiply, IdentityTimesIdentity) {
+  MatrixMultiplyConfig cfg;
+  cfg.dimension = 8;
+  cfg.map_tasks = 8;
+  cfg.scheduler.workers = 2;
+  const Matrix id = Matrix::identity(8);
+  const auto result = matrix_multiply(id, id, cfg);
+  EXPECT_EQ(result.product, id);
+}
+
+TEST(Kmeans, RecoversWellSeparatedClusters) {
+  KmeansConfig cfg;
+  cfg.point_count = 4'000;
+  cfg.dimensions = 8;
+  cfg.clusters = 4;
+  cfg.map_tasks = 16;
+  cfg.scheduler.workers = 4;
+  const auto points = generate_points(cfg);
+  const auto result = kmeans(points, cfg);
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_EQ(result.centroids.size(), 4u);
+  EXPECT_EQ(result.assignment.size(), points.size());
+
+  // Every point must be closest to its assigned centroid (local optimum).
+  auto dist2 = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      d += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return d;
+  };
+  for (std::size_t i = 0; i < points.size(); i += 97) {
+    const double assigned = dist2(points[i], result.centroids[result.assignment[i]]);
+    for (const auto& c : result.centroids) {
+      EXPECT_LE(assigned, dist2(points[i], c) + 1e-6);
+    }
+  }
+}
+
+TEST(Kmeans, SingleClusterIsMean) {
+  KmeansConfig cfg;
+  cfg.point_count = 500;
+  cfg.dimensions = 3;
+  cfg.clusters = 1;
+  cfg.map_tasks = 4;
+  cfg.scheduler.workers = 2;
+  const auto points = generate_points(cfg);
+  const auto result = kmeans(points, cfg);
+  std::vector<double> mean(3, 0.0);
+  for (const auto& p : points) {
+    for (std::size_t d = 0; d < 3; ++d) mean[d] += p[d];
+  }
+  for (auto& v : mean) v /= static_cast<double>(points.size());
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(result.centroids[0][d], mean[d], 1e-6);
+  }
+}
+
+TEST(Pca, MatchesDirectMeanAndCovariance) {
+  PcaConfig cfg;
+  cfg.rows = 500;
+  cfg.dimensions = 12;
+  cfg.map_tasks = 8;
+  cfg.scheduler.workers = 4;
+  const Matrix data = generate_data(cfg);
+  const auto result = pca(data, cfg);
+
+  for (std::size_t d = 0; d < cfg.dimensions; ++d) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < cfg.rows; ++r) m += data(r, d);
+    m /= static_cast<double>(cfg.rows);
+    ASSERT_NEAR(result.mean[d], m, 1e-9);
+  }
+  for (std::size_t i = 0; i < cfg.dimensions; ++i) {
+    for (std::size_t j = 0; j < cfg.dimensions; ++j) {
+      double cov = 0.0;
+      for (std::size_t r = 0; r < cfg.rows; ++r) {
+        cov += (data(r, i) - result.mean[i]) * (data(r, j) - result.mean[j]);
+      }
+      cov /= static_cast<double>(cfg.rows - 1);
+      ASSERT_NEAR(result.covariance(i, j), cov, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Pca, CovarianceIsSymmetric) {
+  PcaConfig cfg;
+  cfg.rows = 200;
+  cfg.dimensions = 10;
+  cfg.scheduler.workers = 2;
+  cfg.map_tasks = 4;
+  const auto result = run_pca(cfg);
+  for (std::size_t i = 0; i < cfg.dimensions; ++i) {
+    EXPECT_GE(result.covariance(i, i), 0.0);  // variances non-negative
+    for (std::size_t j = 0; j < cfg.dimensions; ++j) {
+      EXPECT_DOUBLE_EQ(result.covariance(i, j), result.covariance(j, i));
+    }
+  }
+}
+
+class AppWorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AppWorkerSweep, WordCountInvariantUnderWorkers) {
+  WordCountConfig cfg;
+  cfg.word_count = 5'000;
+  cfg.vocabulary = 120;
+  cfg.map_tasks = 10;
+  cfg.scheduler.workers = GetParam();
+  const auto result = run_word_count(cfg);
+  EXPECT_EQ(result.total_words, cfg.word_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, AppWorkerSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace vfimr::mr::apps

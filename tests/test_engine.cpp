@@ -1,0 +1,173 @@
+#include "mapreduce/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace vfimr::mr {
+namespace {
+
+using CountEngine = Engine<std::string, std::uint64_t>;
+
+CountEngine::Options opts(std::size_t workers) {
+  CountEngine::Options o;
+  o.scheduler.workers = workers;
+  return o;
+}
+
+TEST(Engine, SumCombinerCountsKeys) {
+  CountEngine engine{opts(2)};
+  const auto result =
+      engine.run(4, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit("common", 1);
+        if (task % 2 == 0) em.emit("even", 1);
+      });
+  std::map<std::string, std::uint64_t> got;
+  for (const auto& kv : result.pairs) got[kv.key] = kv.value;
+  EXPECT_EQ(got.at("common"), 4u);
+  EXPECT_EQ(got.at("even"), 2u);
+  EXPECT_EQ(result.profile.unique_keys, 2u);
+  EXPECT_EQ(result.profile.emitted_pairs, 6u);
+}
+
+TEST(Engine, OutputIsSortedByKey) {
+  CountEngine engine{opts(4)};
+  const auto result =
+      engine.run(26, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit(std::string(1, static_cast<char>('z' - task)), 1);
+      });
+  ASSERT_EQ(result.pairs.size(), 26u);
+  for (std::size_t i = 1; i < result.pairs.size(); ++i) {
+    EXPECT_LT(result.pairs[i - 1].key, result.pairs[i].key);
+  }
+}
+
+TEST(Engine, WorkerCountDoesNotChangeResult) {
+  auto run_with = [](std::size_t workers) {
+    CountEngine engine{opts(workers)};
+    auto result =
+        engine.run(50, [](std::size_t task, CountEngine::Emitter& em) {
+          em.emit("k" + std::to_string(task % 7), task);
+        });
+    std::map<std::string, std::uint64_t> got;
+    for (const auto& kv : result.pairs) got[kv.key] = kv.value;
+    return got;
+  };
+  const auto ref = run_with(1);
+  for (std::size_t w : {2u, 3u, 8u}) {
+    EXPECT_EQ(run_with(w), ref) << w << " workers";
+  }
+}
+
+TEST(Engine, ReplaceCombinerKeepsLastValue) {
+  using RepEngine =
+      Engine<std::uint32_t, std::uint64_t, ReplaceCombiner<std::uint64_t>>;
+  RepEngine::Options o;
+  o.scheduler.workers = 1;  // deterministic emission order per worker
+  RepEngine engine{o};
+  const auto result =
+      engine.run(3, [](std::size_t task, RepEngine::Emitter& em) {
+        em.emit(7, task);  // same worker emits 0, 1, 2 in task order
+      });
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].value, 2u);
+}
+
+TEST(Engine, MinMaxCombiners) {
+  using MinEngine = Engine<int, int, MinCombiner<int>>;
+  MinEngine::Options o;
+  o.scheduler.workers = 1;
+  MinEngine engine{o};
+  const auto result = engine.run(5, [](std::size_t task, MinEngine::Emitter& em) {
+    em.emit(0, static_cast<int>(10 - task));
+  });
+  EXPECT_EQ(result.pairs.at(0).value, 6);
+}
+
+TEST(Engine, ShuffleMatrixAccountsLocalKeys) {
+  CountEngine::Options o;
+  o.scheduler.workers = 2;
+  o.reduce_partitions = 4;
+  CountEngine engine{o};
+  const auto result =
+      engine.run(8, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit("key" + std::to_string(task), 1);
+      });
+  const auto& shuffle = result.profile.shuffle_pairs;
+  EXPECT_EQ(shuffle.rows(), 2u);
+  EXPECT_EQ(shuffle.cols(), 4u);
+  // Every distinct worker-local key contributes one shuffle unit.
+  EXPECT_DOUBLE_EQ(shuffle.sum(), 8.0);
+}
+
+TEST(Engine, NoTasksProducesEmptyResult) {
+  CountEngine engine{opts(2)};
+  const auto result =
+      engine.run(0, [](std::size_t, CountEngine::Emitter&) { FAIL(); });
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.profile.emitted_pairs, 0u);
+}
+
+TEST(Engine, PhaseTimesPopulated) {
+  CountEngine engine{opts(2)};
+  const auto result =
+      engine.run(10, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit(std::to_string(task), 1);
+      });
+  EXPECT_GT(result.profile.phases.map_s, 0.0);
+  EXPECT_GT(result.profile.phases.reduce_s, 0.0);
+  EXPECT_GE(result.profile.phases.merge_s, 0.0);
+  EXPECT_GT(result.profile.phases.total_s(), 0.0);
+}
+
+TEST(JobProfileTest, MergeAccumulates) {
+  JobProfile a;
+  a.phases.map_s = 1.0;
+  a.emitted_pairs = 10;
+  a.unique_keys = 4;
+  a.map_stats.tasks_executed = {3, 7};
+  a.map_stats.busy_seconds = {0.1, 0.2};
+  a.map_stats.tasks_stolen = {0, 1};
+  a.shuffle_pairs = Matrix{2, 2, 1.0};
+
+  JobProfile b;
+  b.phases.map_s = 2.0;
+  b.emitted_pairs = 5;
+  b.unique_keys = 9;
+  b.map_stats.tasks_executed = {1, 1};
+  b.map_stats.busy_seconds = {0.3, 0.4};
+  b.map_stats.tasks_stolen = {2, 0};
+  b.shuffle_pairs = Matrix{2, 2, 0.5};
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.phases.map_s, 3.0);
+  EXPECT_EQ(a.emitted_pairs, 15u);
+  EXPECT_EQ(a.unique_keys, 9u);  // max
+  EXPECT_EQ(a.map_stats.tasks_executed[0], 4u);
+  EXPECT_DOUBLE_EQ(a.map_stats.busy_seconds[1], 0.6);
+  EXPECT_DOUBLE_EQ(a.shuffle_pairs(0, 0), 1.5);
+}
+
+class EnginePartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnginePartitionSweep, PartitionCountPreservesResults) {
+  CountEngine::Options o;
+  o.scheduler.workers = 4;
+  o.reduce_partitions = GetParam();
+  CountEngine engine{o};
+  const auto result =
+      engine.run(40, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit("k" + std::to_string(task % 11), 1);
+      });
+  EXPECT_EQ(result.pairs.size(), 11u);
+  std::uint64_t total = 0;
+  for (const auto& kv : result.pairs) total += kv.value;
+  EXPECT_EQ(total, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, EnginePartitionSweep,
+                         ::testing::Values(1u, 2u, 5u, 16u));
+
+}  // namespace
+}  // namespace vfimr::mr

@@ -1,0 +1,253 @@
+// Tests for the extension modules: synthetic traffic patterns, per-link
+// statistics, layered (single-wireless-hop) routing invariants and the
+// runtime-to-profile bridge.
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "mapreduce/apps/wordcount.hpp"
+#include "noc/traffic.hpp"
+#include "sysmodel/platform.hpp"
+#include "vfi/vf_assign.hpp"
+#include "winoc/design.hpp"
+#include "workload/from_runtime.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr {
+namespace {
+
+// ---- Synthetic patterns.
+
+TEST(Patterns, TransposePartner) {
+  noc::PermutationTraffic gen{64, noc::Pattern::kTranspose, 0.1, 1, 1};
+  // 64 nodes = 8x8: node (x,y) -> (y,x); id = y*8+x.
+  EXPECT_EQ(gen.partner(0), 0u);
+  EXPECT_EQ(gen.partner(1), 8u);   // (1,0) -> (0,1)
+  EXPECT_EQ(gen.partner(10), 17u); // (2,1) -> (1,2)
+  EXPECT_EQ(gen.partner(63), 63u);
+}
+
+TEST(Patterns, BitComplementPartner) {
+  noc::PermutationTraffic gen{16, noc::Pattern::kBitComplement, 0.1, 1, 1};
+  EXPECT_EQ(gen.partner(0), 15u);
+  EXPECT_EQ(gen.partner(5), 10u);
+  EXPECT_EQ(gen.partner(15), 0u);
+}
+
+TEST(Patterns, BitReversePartner) {
+  noc::PermutationTraffic gen{8, noc::Pattern::kBitReverse, 0.1, 1, 1};
+  EXPECT_EQ(gen.partner(1), 4u);  // 001 -> 100
+  EXPECT_EQ(gen.partner(3), 6u);  // 011 -> 110
+  EXPECT_EQ(gen.partner(7), 7u);
+}
+
+TEST(Patterns, PartnersAreInvolutions) {
+  for (auto pattern : {noc::Pattern::kTranspose, noc::Pattern::kBitComplement,
+                       noc::Pattern::kBitReverse}) {
+    noc::PermutationTraffic gen{64, pattern, 0.1, 1, 1};
+    for (graph::NodeId n = 0; n < 64; ++n) {
+      EXPECT_EQ(gen.partner(gen.partner(n)), n);
+    }
+  }
+}
+
+TEST(Patterns, SelfPartnersStaySilent) {
+  noc::PermutationTraffic gen{64, noc::Pattern::kTranspose, 1.0, 1, 1};
+  std::vector<noc::Injection> staged;
+  gen.tick(0, staged);
+  for (const auto& inj : staged) {
+    EXPECT_NE(inj.src, inj.dest);
+    EXPECT_NE(noc::mesh_x(inj.src, 8), noc::mesh_y(inj.src, 8));
+  }
+}
+
+TEST(Patterns, NonPowerOfTwoRejected) {
+  EXPECT_THROW((noc::PermutationTraffic{60, noc::Pattern::kBitComplement, 0.1,
+                                        1, 1}),
+               RequirementError);
+  // Transpose on a non-square (odd-bit) count.
+  EXPECT_THROW((noc::PermutationTraffic{32, noc::Pattern::kTranspose, 0.1, 1,
+                                        1}),
+               RequirementError);
+}
+
+TEST(Patterns, HotspotConcentratesTraffic) {
+  noc::HotspotTraffic gen{16, 5, 0.5, 0.5, 1, 3};
+  std::vector<noc::Injection> staged;
+  for (noc::Cycle c = 0; c < 5000; ++c) gen.tick(c, staged);
+  std::size_t to_hotspot = 0;
+  for (const auto& inj : staged) {
+    EXPECT_NE(inj.src, inj.dest);
+    if (inj.dest == 5) ++to_hotspot;
+  }
+  // ~50% directed + ~1/15 of the uniform remainder.
+  const double frac =
+      static_cast<double>(to_hotspot) / static_cast<double>(staged.size());
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.65);
+}
+
+TEST(Patterns, HotspotValidation) {
+  EXPECT_THROW((noc::HotspotTraffic{16, 16, 0.5, 0.5, 1, 3}),
+               RequirementError);
+  EXPECT_THROW((noc::HotspotTraffic{16, 5, 1.5, 0.5, 1, 3}),
+               RequirementError);
+}
+
+// ---- Per-link statistics.
+
+TEST(LinkStats, EdgeFlitsMatchWireHops) {
+  const auto topo = noc::make_mesh(4, 4);
+  const noc::XyRouting routing{topo.graph, 4, 4};
+  noc::Network net{topo, routing};
+  net.inject(0, 3, 2);
+  net.inject(12, 15, 2);
+  ASSERT_TRUE(net.drain(200));
+  std::uint64_t total = 0;
+  for (std::uint64_t f : net.edge_flits()) total += f;
+  EXPECT_EQ(total, net.metrics().energy.wire_hops);
+  EXPECT_GT(net.max_link_utilization(), 0.0);
+}
+
+TEST(LinkStats, HotspotShowsOnLinks) {
+  const auto topo = noc::make_mesh(4, 4);
+  const noc::XyRouting routing{topo.graph, 4, 4};
+  noc::Network uniform_net{topo, routing};
+  noc::UniformRandomTraffic ugen{16, 0.03, 2, 9};
+  uniform_net.run(&ugen, 5000);
+  uniform_net.drain(20'000);
+
+  noc::Network hot_net{topo, routing};
+  noc::HotspotTraffic hgen{16, 5, 0.8, 0.03, 2, 9};
+  hot_net.run(&hgen, 5000);
+  hot_net.drain(20'000);
+
+  EXPECT_GT(hot_net.max_link_utilization(),
+            uniform_net.max_link_utilization());
+}
+
+// ---- Layered routing invariants on the real WiNoC.
+
+TEST(LayeredRouting, AtMostOneWirelessHopPerRoute) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const auto design =
+      winoc::build_winoc(profile.traffic, winoc::quadrant_clusters(),
+                         winoc::PlacementStrategy::kMaxWirelessUtilization);
+  const noc::UpDownRouting routing{design.topology.graph, 2.0};
+  std::size_t wireless_routes = 0;
+  for (graph::NodeId s = 0; s < 64; ++s) {
+    for (graph::NodeId d = 0; d < 64; ++d) {
+      if (s == d) continue;
+      const auto w = routing.route_wireless_hops(s, d);
+      EXPECT_LE(w, 1u) << s << "->" << d;
+      wireless_routes += w;
+    }
+  }
+  EXPECT_GT(wireless_routes, 0u);  // wireless is actually used
+}
+
+TEST(LayeredRouting, WirelessOnlyCutRejected) {
+  // Islands joined only by wireless: the wire-only routing layer cannot be
+  // complete, and construction must refuse.
+  noc::Topology t = noc::make_placed_grid(4, 1, 1.0);
+  t.add_wire(0, 1);
+  t.add_wire(2, 3);
+  t.add_wireless(1, 2);
+  EXPECT_THROW((noc::UpDownRouting{t.graph, 1.0}), RequirementError);
+}
+
+TEST(LayeredRouting, BudgetZeroRoutesAreWireOnly) {
+  const auto profile = workload::make_profile(workload::App::kKmeans);
+  const auto design =
+      winoc::build_winoc(profile.traffic, winoc::quadrant_clusters(),
+                         winoc::PlacementStrategy::kMaxWirelessUtilization);
+  const noc::UpDownRouting routing{design.topology.graph, 2.0};
+  // Walk a sample of budget-0 routes by querying with wireless_used = true.
+  for (graph::NodeId s = 0; s < 64; s += 5) {
+    for (graph::NodeId d = 0; d < 64; d += 7) {
+      if (s == d) continue;
+      graph::NodeId cur = s;
+      bool phase = false;
+      std::uint32_t hops = 0;
+      while (cur != d && hops < 256) {
+        const auto dec = routing.next_hop(cur, d, phase, /*wireless_used=*/true);
+        EXPECT_EQ(design.topology.graph.edge(dec.edge).kind,
+                  graph::EdgeKind::kWire);
+        phase = dec.down_phase;
+        cur = design.topology.graph.other_end(dec.edge, cur);
+        ++hops;
+      }
+      EXPECT_EQ(cur, d);
+    }
+  }
+}
+
+// ---- Runtime-to-profile bridge.
+
+TEST(FromRuntime, UtilizationReflectsBusyTime) {
+  mr::JobProfile profile;
+  profile.map_stats.wall_seconds = 1.0;
+  profile.reduce_stats.wall_seconds = 1.0;
+  profile.map_stats.busy_seconds = {1.0, 0.5, 0.0, 0.2};
+  profile.reduce_stats.busy_seconds = {1.0, 0.5, 0.0, 0.0};
+  const auto u = workload::utilization_from_profile(profile, 4);
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(u[1], 0.5);
+  EXPECT_DOUBLE_EQ(u[2], 0.01);  // clamped floor
+  EXPECT_DOUBLE_EQ(u[3], 0.1);
+}
+
+TEST(FromRuntime, ZeroWallTimeFallsBackToFloor) {
+  mr::JobProfile profile;
+  const auto u = workload::utilization_from_profile(profile, 3);
+  for (double v : u) EXPECT_DOUBLE_EQ(v, 0.01);
+}
+
+TEST(FromRuntime, TrafficScalesToBudgetWithUniformFloor) {
+  mr::JobProfile profile;
+  profile.shuffle_pairs = Matrix{4, 4};
+  profile.shuffle_pairs(0, 1) = 30.0;
+  profile.shuffle_pairs(2, 3) = 10.0;
+  workload::RuntimeExtractOptions opts;
+  opts.total_rate = 1.0;
+  opts.uniform_floor = 0.2;
+  const auto t = workload::traffic_from_profile(profile, 4, opts);
+  EXPECT_NEAR(t.sum(), 1.0, 1e-9);
+  // Shuffle budget 0.8 split 3:1.
+  EXPECT_NEAR(t(0, 1), 0.6 + 0.2 / 12.0, 1e-9);
+  EXPECT_NEAR(t(2, 3), 0.2 + 0.2 / 12.0, 1e-9);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(t(i, i), 0.0);
+}
+
+TEST(FromRuntime, NoShuffleMeansUniform) {
+  mr::JobProfile profile;  // empty shuffle matrix
+  const auto t = workload::traffic_from_profile(profile, 4);
+  EXPECT_NEAR(t.sum(), 0.5, 1e-9);
+  EXPECT_NEAR(t(0, 1), 0.5 / 12.0, 1e-9);
+}
+
+TEST(FromRuntime, EndToEndDesignFromRealRun) {
+  mr::apps::WordCountConfig cfg;
+  cfg.word_count = 30'000;
+  cfg.vocabulary = 1'000;
+  cfg.map_tasks = 32;
+  cfg.scheduler.workers = 8;
+  const auto result = mr::apps::run_word_count(cfg);
+
+  const auto u = workload::utilization_from_profile(result.profile, 8);
+  const auto t = workload::traffic_from_profile(result.profile, 8);
+  vfi::VfiDesignParams params;
+  params.clusters = 2;
+  const auto design =
+      vfi::design_vfi(u, t, {0}, power::VfTable::standard(), params);
+  EXPECT_EQ(design.assignment.size(), 8u);
+  EXPECT_EQ(design.vfi1.size(), 2u);
+  for (const auto& vf : design.vfi1) {
+    EXPECT_GE(vf.freq_hz, 1.5e9);
+    EXPECT_LE(vf.freq_hz, 2.5e9);
+  }
+}
+
+}  // namespace
+}  // namespace vfimr

@@ -1,0 +1,152 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace vfimr::graph {
+namespace {
+
+Graph path4() {
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph g{3};
+  const EdgeId e = g.add_edge(0, 2, EdgeKind::kWire, 5.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).length_mm, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.other_end(e, 0), 2u);
+  EXPECT_EQ(g.other_end(e, 2), 0u);
+}
+
+TEST(GraphTest, RejectsSelfLoopAndParallel) {
+  Graph g{3};
+  EXPECT_THROW(g.add_edge(1, 1), vfimr::RequirementError);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), vfimr::RequirementError);
+  EXPECT_THROW(g.add_edge(0, 5), vfimr::RequirementError);
+}
+
+TEST(GraphTest, NeighborsAndDegree) {
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  const auto nb = g.neighbors(0);
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(GraphTest, BfsHopsOnPath) {
+  const Graph g = path4();
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(GraphTest, BfsUnreachable) {
+  Graph g{3};
+  g.add_edge(0, 1);
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(GraphTest, ConnectivityAndEmptyGraph) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(Graph{1}));
+  EXPECT_TRUE(is_connected(path4()));
+}
+
+TEST(GraphTest, AllPairsSymmetric) {
+  Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);  // 5-cycle
+  const auto d = all_pairs_hops(g);
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = 0; b < 5; ++b) {
+      EXPECT_EQ(d[a][b], d[b][a]);
+    }
+  }
+  EXPECT_EQ(d[0][2], 2u);
+  EXPECT_EQ(d[0][3], 2u);  // around the other way
+}
+
+TEST(GraphTest, AverageHopCount) {
+  // Path of 3: pairs (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3.
+  Graph g{3};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_NEAR(average_hop_count(g), 4.0 / 3.0, 1e-12);
+}
+
+TEST(GraphTest, WeightedHopCount) {
+  Graph g{3};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<std::vector<double>> traffic(3, std::vector<double>(3, 0.0));
+  traffic[0][2] = 2.0;  // distance 2
+  traffic[0][1] = 1.0;  // distance 1
+  EXPECT_NEAR(weighted_hop_count(g, traffic), (2.0 * 2 + 1.0 * 1) / 3.0,
+              1e-12);
+}
+
+TEST(GraphTest, WeightedHopCountNoTraffic) {
+  const Graph g = path4();
+  std::vector<std::vector<double>> traffic(4, std::vector<double>(4, 0.0));
+  EXPECT_EQ(weighted_hop_count(g, traffic), 0.0);
+}
+
+TEST(GraphTest, SpanningTreeParents) {
+  Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto parent = bfs_spanning_tree(g, 0);
+  EXPECT_EQ(parent[0], 0u);  // root is its own parent
+  // Every non-root parent must be a real neighbor and closer to the root.
+  const auto depth = bfs_hops(g, 0);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_TRUE(g.has_edge(v, parent[v]));
+    EXPECT_EQ(depth[parent[v]] + 1, depth[v]);
+  }
+}
+
+TEST(GraphTest, MaxDegreeNodePrefersCentralOnTies) {
+  // Path of 5: nodes 1,2,3 all have degree 2; node 2 is most central.
+  Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_EQ(max_degree_node(g), 2u);
+}
+
+TEST(GraphTest, MaxDegreeNodePicksHub) {
+  Graph g{5};
+  g.add_edge(0, 1);
+  g.add_edge(3, 0);
+  g.add_edge(3, 1);
+  g.add_edge(3, 2);
+  g.add_edge(3, 4);
+  EXPECT_EQ(max_degree_node(g), 3u);
+}
+
+}  // namespace
+}  // namespace vfimr::graph

@@ -1,0 +1,115 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr {
+namespace {
+
+TEST(MatrixTest, ConstructAndFill) {
+  Matrix m{2, 3, 1.5};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m.sum(), 9.0);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, OutOfBoundsThrows) {
+  Matrix m{2, 2};
+  EXPECT_THROW(m(2, 0), RequirementError);
+  EXPECT_THROW(m(0, 2), RequirementError);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(id.sum(), 3.0);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a{2, 2};
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b{2, 2};
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentity) {
+  Rng rng{31};
+  Matrix a{4, 4};
+  for (auto& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  EXPECT_EQ(a * Matrix::identity(4), a);
+  EXPECT_EQ(Matrix::identity(4) * a, a);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix a{2, 3};
+  Matrix b{2, 3};
+  EXPECT_THROW(a * b, RequirementError);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix a{2, 3};
+  a(0, 2) = 7.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(MatrixTest, NormalizeByMax) {
+  Matrix m{2, 2};
+  m(0, 0) = 2.0;
+  m(1, 1) = 8.0;
+  m.normalize_by_max();
+  EXPECT_DOUBLE_EQ(m.max(), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.25);
+}
+
+TEST(MatrixTest, NormalizeAllZeroNoop) {
+  Matrix m{2, 2};
+  m.normalize_by_max();
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(MatrixTest, AssociativityProperty) {
+  Rng rng{32};
+  Matrix a{3, 3};
+  Matrix b{3, 3};
+  Matrix c{3, 3};
+  for (auto* m : {&a, &b, &c}) {
+    for (auto& v : m->data()) v = rng.uniform(-2.0, 2.0);
+  }
+  const Matrix left = (a * b) * c;
+  const Matrix right = a * (b * c);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(left(i, j), right(i, j), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfimr

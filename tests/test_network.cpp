@@ -1,0 +1,158 @@
+#include "noc/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "noc/traffic.hpp"
+
+namespace vfimr::noc {
+namespace {
+
+struct MeshFixture {
+  Topology topo = make_mesh(4, 4);
+  XyRouting routing{topo.graph, 4, 4};
+};
+
+TEST(Network, SinglePacketLatency) {
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  // (0,0) -> (3,0): 3 hops, 4 flits.
+  net.inject(0, 3, 4);
+  EXPECT_TRUE(net.drain(100));
+  const auto& m = net.metrics();
+  EXPECT_EQ(m.packets_injected, 1u);
+  EXPECT_EQ(m.packets_ejected, 1u);
+  EXPECT_EQ(m.flits_ejected, 4u);
+  // Zero-load wormhole: head needs ~hops cycles, tail 3 more, +1 eject slot.
+  EXPECT_GE(m.avg_latency(), 6.0);
+  EXPECT_LE(m.avg_latency(), 9.0);
+}
+
+TEST(Network, LatencyScalesWithDistance) {
+  MeshFixture f;
+  Network near_net{f.topo, f.routing};
+  near_net.inject(0, 1, 1);
+  near_net.drain(100);
+  Network far_net{f.topo, f.routing};
+  far_net.inject(0, 15, 1);
+  far_net.drain(100);
+  EXPECT_LT(near_net.metrics().avg_latency(),
+            far_net.metrics().avg_latency());
+}
+
+TEST(Network, SelfInjectionRejected) {
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  EXPECT_THROW(net.inject(3, 3, 1), RequirementError);
+  EXPECT_THROW(net.inject(0, 1, 0), RequirementError);
+  EXPECT_THROW(net.inject(0, 99, 1), RequirementError);
+}
+
+TEST(Network, FlitConservationUnderLoad) {
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  UniformRandomTraffic gen{16, 0.05, 4, 99};
+  net.run(&gen, 5000);
+  EXPECT_TRUE(net.drain(20'000));
+  const auto& m = net.metrics();
+  EXPECT_EQ(m.packets_injected, m.packets_ejected);
+  EXPECT_EQ(m.flits_ejected, m.packets_ejected * 4);
+  EXPECT_EQ(net.in_flight_flits(), 0u);
+  EXPECT_GT(m.packets_injected, 1000u);
+}
+
+TEST(Network, WormholeKeepsPacketsContiguousPerPair) {
+  // Heavy single-pair traffic: every packet must still arrive complete.
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  for (int i = 0; i < 50; ++i) net.inject(0, 15, 7);
+  EXPECT_TRUE(net.drain(5000));
+  EXPECT_EQ(net.metrics().packets_ejected, 50u);
+  EXPECT_EQ(net.metrics().flits_ejected, 350u);
+}
+
+TEST(Network, EnergyCountersConsistent) {
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  net.inject(0, 3, 2);  // 3 hops x 2 flits
+  net.drain(100);
+  const auto& e = net.metrics().energy;
+  EXPECT_EQ(e.wire_hops, 6u);
+  EXPECT_EQ(e.switch_traversals, 6u);  // all-wire mesh
+  EXPECT_EQ(e.wireless_flits, 0u);
+  EXPECT_DOUBLE_EQ(e.wire_mm_flits, 6 * 2.5);
+  // Every wire hop writes one buffer; reads cover hops + final ejections.
+  EXPECT_EQ(e.buffer_writes, 6u);
+  EXPECT_EQ(e.buffer_reads, 6u + 2u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    MeshFixture f;
+    Network net{f.topo, f.routing};
+    UniformRandomTraffic gen{16, 0.08, 4, 7};
+    net.run(&gen, 3000);
+    net.drain(20'000);
+    return net.metrics().packet_latency.mean();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Network, SyncPenaltySlowsBoundaryCrossings) {
+  MeshFixture f;
+  SimConfig plain;
+  Network a{f.topo, f.routing, plain};
+  a.inject(0, 15, 4);
+  a.drain(200);
+
+  SimConfig vfi;
+  vfi.node_cluster = {0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  vfi.sync_penalty_cycles = 3;
+  Network b{f.topo, f.routing, vfi};
+  b.inject(0, 15, 4);
+  b.drain(200);
+
+  EXPECT_GT(b.metrics().avg_latency(), a.metrics().avg_latency());
+}
+
+TEST(Network, SaturationBacklogTracksInFlight) {
+  // Absurd injection rate: network cannot drain within the horizon and
+  // in-flight flits remain — the simulator must report that honestly.
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  UniformRandomTraffic gen{16, 1.0, 8, 5};
+  net.run(&gen, 2000);
+  EXPECT_GT(net.in_flight_flits(), 0u);
+  const bool drained = net.drain(10);
+  EXPECT_FALSE(drained);
+}
+
+TEST(Network, ThroughputMetric) {
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  UniformRandomTraffic gen{16, 0.05, 4, 99};
+  net.run(&gen, 5000);
+  net.drain(20'000);
+  const double tput = net.metrics().throughput(16);
+  EXPECT_GT(tput, 0.0);
+  EXPECT_LT(tput, 1.0);
+}
+
+class InjectionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InjectionSweep, ConservationAndMonotoneLatency) {
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  UniformRandomTraffic gen{16, GetParam(), 4, 123};
+  net.run(&gen, 4000);
+  ASSERT_TRUE(net.drain(100'000));
+  const auto& m = net.metrics();
+  EXPECT_EQ(m.packets_injected, m.packets_ejected);
+  EXPECT_GE(m.avg_latency(), 4.0);  // at least serialization
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InjectionSweep,
+                         ::testing::Values(0.005, 0.02, 0.05, 0.10));
+
+}  // namespace
+}  // namespace vfimr::noc

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "power/core_power.hpp"
+#include "power/noc_power.hpp"
+#include "power/vf_table.hpp"
+
+namespace vfimr::power {
+namespace {
+
+TEST(VfTableTest, StandardLadder) {
+  const auto& t = VfTable::standard();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.min().freq_hz, 1.5e9);
+  EXPECT_DOUBLE_EQ(t.max().freq_hz, 2.5e9);
+  EXPECT_DOUBLE_EQ(t.max().voltage_v, 1.0);
+}
+
+TEST(VfTableTest, AtLeastSelectsLowestSufficient) {
+  const auto& t = VfTable::standard();
+  EXPECT_DOUBLE_EQ(t.at_least(1.0e9).freq_hz, 1.5e9);
+  EXPECT_DOUBLE_EQ(t.at_least(1.5e9).freq_hz, 1.5e9);
+  EXPECT_DOUBLE_EQ(t.at_least(1.6e9).freq_hz, 1.75e9);
+  EXPECT_DOUBLE_EQ(t.at_least(2.26e9).freq_hz, 2.5e9);
+  EXPECT_DOUBLE_EQ(t.at_least(9e9).freq_hz, 2.5e9);  // clamps to max
+}
+
+TEST(VfTableTest, StepUpClampsAtTop) {
+  const auto& t = VfTable::standard();
+  EXPECT_DOUBLE_EQ(t.step_up(t[0]).freq_hz, 1.75e9);
+  EXPECT_DOUBLE_EQ(t.step_up(t.max()).freq_hz, 2.5e9);
+}
+
+TEST(VfTableTest, IndexOfUnknownThrows) {
+  const auto& t = VfTable::standard();
+  EXPECT_THROW(t.index_of(VfPoint{0.55, 1.4e9}), RequirementError);
+  EXPECT_EQ(t.index_of(VfPoint{0.8, 2.0e9}), 2u);
+}
+
+TEST(VfTableTest, ConstructionValidation) {
+  EXPECT_THROW(VfTable{{}}, RequirementError);
+  EXPECT_THROW((VfTable{{{1.0, 2e9}, {0.9, 1e9}}}), RequirementError);
+  EXPECT_THROW((VfTable{{{0.0, 1e9}}}), RequirementError);
+}
+
+TEST(VfTableTest, Label) {
+  EXPECT_EQ(VfPoint({0.9, 2.25e9}).label(), "0.9/2.25");
+}
+
+TEST(CorePower, MonotoneInUtilizationVoltageFrequency) {
+  const CorePowerModel m;
+  const VfPoint lo{0.8, 2.0e9};
+  const VfPoint hi{1.0, 2.5e9};
+  EXPECT_LT(m.power_w(0.2, hi), m.power_w(0.9, hi));
+  EXPECT_LT(m.power_w(0.5, lo), m.power_w(0.5, hi));
+  EXPECT_GT(m.power_w(0.0, hi), 0.0);  // idle still burns clock + leakage
+}
+
+TEST(CorePower, DynamicScalesWithV2F) {
+  const CorePowerModel m;
+  const VfPoint a{1.0, 2.5e9};
+  const VfPoint b{0.5, 2.5e9};
+  EXPECT_NEAR(m.dynamic_w(1.0, b) / m.dynamic_w(1.0, a), 0.25, 1e-9);
+  const VfPoint c{1.0, 1.25e9};
+  EXPECT_NEAR(m.dynamic_w(1.0, c) / m.dynamic_w(1.0, a), 0.5, 1e-9);
+}
+
+TEST(CorePower, LeakageExponent) {
+  const CorePowerModel m;
+  const double full = m.leakage_w(1.0);
+  const double low = m.leakage_w(0.6);
+  EXPECT_NEAR(low / full, std::pow(0.6, m.params().leak_exponent), 1e-9);
+}
+
+TEST(CorePower, EnergyIsPowerTimesTime) {
+  const CorePowerModel m;
+  const VfPoint vf{0.9, 2.25e9};
+  EXPECT_NEAR(m.energy_j(0.5, vf, 2.0), 2.0 * m.power_w(0.5, vf), 1e-12);
+  EXPECT_EQ(m.energy_j(0.5, vf, 0.0), 0.0);
+}
+
+TEST(CorePower, InvalidInputs) {
+  const CorePowerModel m;
+  EXPECT_THROW(m.power_w(-0.1, VfPoint{}), RequirementError);
+  EXPECT_THROW(m.power_w(1.1, VfPoint{}), RequirementError);
+  EXPECT_THROW(m.leakage_w(0.0), RequirementError);
+  EXPECT_THROW(m.energy_j(0.5, VfPoint{}, -1.0), RequirementError);
+}
+
+TEST(NocPower, ComponentsSumToTotal) {
+  const NocPowerModel m;
+  noc::EnergyCounters c;
+  c.switch_traversals = 100;
+  c.wire_hops = 80;
+  c.wire_mm_flits = 200.0;
+  c.wireless_flits = 20;
+  c.buffer_reads = 120;
+  c.buffer_writes = 100;
+  const double total = m.energy_j(c);
+  EXPECT_NEAR(total,
+              m.wire_energy_j(c) + m.switch_energy_j(c) +
+                  m.wireless_energy_j(c) + m.buffer_energy_j(c),
+              1e-18);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(NocPower, WirelessBeatsLongWiredPath) {
+  // The WiNoC premise: one wireless hop is far cheaper than the multi-hop
+  // wired path it replaces (and clearly more than the bare wire metal of a
+  // single short link).
+  const NocPowerModel m;
+  EXPECT_LT(m.wireless_flit_j(), m.wired_path_flit_j(12.5, 5));
+  EXPECT_LT(m.wireless_flit_j(), m.wired_path_flit_j(5.0, 2));
+  EXPECT_GT(m.wireless_flit_j(), m.wired_path_flit_j(2.5, 0));
+}
+
+TEST(NocPower, ZeroCountersZeroEnergy) {
+  const NocPowerModel m;
+  EXPECT_EQ(m.energy_j(noc::EnergyCounters{}), 0.0);
+}
+
+TEST(NocPower, StaticEnergy) {
+  const NocPowerModel m;
+  const double e = m.static_energy_j(64, 12, 2.0);
+  EXPECT_NEAR(e,
+              (64 * m.params().switch_leakage_w + 12 * m.params().wi_leakage_w)
+                  * 2.0,
+              1e-15);
+}
+
+TEST(NocPower, InvalidParamsRejected) {
+  NocPowerParams p;
+  p.flit_bits = 0.0;
+  EXPECT_THROW(NocPowerModel{p}, RequirementError);
+  NocPowerParams q;
+  q.switch_pj_per_bit = -1.0;
+  EXPECT_THROW(NocPowerModel{q}, RequirementError);
+}
+
+}  // namespace
+}  // namespace vfimr::power

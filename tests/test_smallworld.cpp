@@ -1,0 +1,171 @@
+#include "winoc/smallworld.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::winoc {
+namespace {
+
+struct Built {
+  noc::Topology topo;
+  std::vector<std::size_t> clusters;
+  Matrix traffic;
+};
+
+Built build(double k_intra = 3.0, double k_inter = 1.0,
+            std::uint64_t seed = 13) {
+  Built b;
+  b.clusters.resize(64);
+  for (graph::NodeId v = 0; v < 64; ++v) b.clusters[v] = quadrant_of(v, 8);
+  b.traffic = workload::make_profile(workload::App::kWC).traffic;
+  SmallWorldParams params;
+  params.k_intra = k_intra;
+  params.k_inter = k_inter;
+  Rng rng{seed};
+  b.topo = build_wireline(b.traffic, b.clusters, params, rng);
+  return b;
+}
+
+TEST(QuadrantOf, MapsDieQuadrants) {
+  EXPECT_EQ(quadrant_of(0, 8), 0u);        // (0,0)
+  EXPECT_EQ(quadrant_of(7, 8), 1u);        // (7,0)
+  EXPECT_EQ(quadrant_of(32, 8), 2u);       // (0,4)
+  EXPECT_EQ(quadrant_of(63, 8), 3u);       // (7,7)
+  EXPECT_EQ(quadrant_of(27, 8), 0u);       // (3,3)
+  EXPECT_EQ(quadrant_of(28, 8), 1u);       // (4,3)
+}
+
+TEST(SmallWorld, ConnectedWithAverageDegreeFour) {
+  const Built b = build();
+  EXPECT_TRUE(graph::is_connected(b.topo.graph));
+  // <k_intra>=3 -> 4 clusters x 24 edges; <k_inter>=1 -> 32 edges.
+  EXPECT_EQ(b.topo.graph.edge_count(), 4u * 24u + 32u);
+}
+
+TEST(SmallWorld, RespectsKmax) {
+  const Built b = build();
+  for (graph::NodeId v = 0; v < 64; ++v) {
+    EXPECT_LE(b.topo.graph.degree(v), 7u);
+  }
+}
+
+TEST(SmallWorld, IntraEdgeCountsPerCluster) {
+  const Built b = build();
+  std::array<std::size_t, 4> intra{};
+  std::size_t inter = 0;
+  for (const auto& e : b.topo.graph.edges()) {
+    if (b.clusters[e.a] == b.clusters[e.b]) {
+      ++intra[b.clusters[e.a]];
+    } else {
+      ++inter;
+    }
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(intra[c], 24u) << "cluster " << c;
+  }
+  EXPECT_EQ(inter, 32u);
+}
+
+TEST(SmallWorld, EveryClusterPairLinked) {
+  const Built b = build();
+  std::array<std::array<bool, 4>, 4> linked{};
+  for (const auto& e : b.topo.graph.edges()) {
+    const auto ca = b.clusters[e.a];
+    const auto cb = b.clusters[e.b];
+    if (ca != cb) linked[ca][cb] = linked[cb][ca] = true;
+  }
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t q = p + 1; q < 4; ++q) {
+      EXPECT_TRUE(linked[p][q]) << p << "-" << q;
+    }
+  }
+}
+
+TEST(SmallWorld, TwoTwoConfiguration) {
+  const Built b = build(2.0, 2.0);
+  EXPECT_TRUE(graph::is_connected(b.topo.graph));
+  std::size_t inter = 0;
+  for (const auto& e : b.topo.graph.edges()) {
+    if (b.clusters[e.a] != b.clusters[e.b]) ++inter;
+  }
+  EXPECT_EQ(inter, 64u);  // <k_inter>=2 -> 64*2/2
+  EXPECT_EQ(b.topo.graph.edge_count(), 4u * 16u + 64u);
+}
+
+TEST(SmallWorld, DeterministicForSeed) {
+  const Built a = build(3.0, 1.0, 99);
+  const Built b2 = build(3.0, 1.0, 99);
+  ASSERT_EQ(a.topo.graph.edge_count(), b2.topo.graph.edge_count());
+  for (std::size_t e = 0; e < a.topo.graph.edge_count(); ++e) {
+    EXPECT_EQ(a.topo.graph.edge(static_cast<graph::EdgeId>(e)).a,
+              b2.topo.graph.edge(static_cast<graph::EdgeId>(e)).a);
+    EXPECT_EQ(a.topo.graph.edge(static_cast<graph::EdgeId>(e)).b,
+              b2.topo.graph.edge(static_cast<graph::EdgeId>(e)).b);
+  }
+}
+
+TEST(SmallWorld, BelowConnectivityThresholdRejected) {
+  Built b;
+  b.clusters.resize(64);
+  for (graph::NodeId v = 0; v < 64; ++v) b.clusters[v] = quadrant_of(v, 8);
+  b.traffic = Matrix{64, 64, 0.001};
+  SmallWorldParams params;
+  params.k_intra = 1.5;  // < 1.875 needed for a 16-node connected cluster
+  params.k_inter = 2.5;
+  Rng rng{1};
+  EXPECT_THROW(build_wireline(b.traffic, b.clusters, params, rng),
+               RequirementError);
+}
+
+TEST(SmallWorld, PowerLawPrefersShortLinks) {
+  const Built b = build();
+  double intra_len = 0.0;
+  std::size_t intra_n = 0;
+  for (const auto& e : b.topo.graph.edges()) {
+    if (b.clusters[e.a] == b.clusters[e.b]) {
+      intra_len += e.length_mm;
+      ++intra_n;
+    }
+  }
+  // Average intra-cluster link length well below both the quadrant diameter
+  // (~10.6 mm) and the uniform-random expectation (~5.5 mm): the power-law
+  // wiring model is biased toward short links.
+  EXPECT_LT(intra_len / static_cast<double>(intra_n), 4.8);
+}
+
+TEST(AttachWireless, BuildsChannelCliques) {
+  Built b = build();
+  SmallWorldParams params;
+  const std::vector<std::vector<graph::NodeId>> wi_nodes = {
+      {9, 10, 17}, {13, 14, 21}, {41, 42, 49}, {45, 46, 53}};
+  const auto cfg = attach_wireless(b.topo, wi_nodes, params);
+  EXPECT_EQ(cfg.interfaces.size(), 12u);
+  EXPECT_EQ(cfg.channel_count, 3);
+  // Each channel: clique over 4 WIs -> 6 wireless edges, 18 total, except
+  // where an inter-cluster wire already joins a WI pair (parallel edges are
+  // not modeled; the wire then carries that pair).
+  std::size_t wireless = 0;
+  for (const auto& e : b.topo.graph.edges()) {
+    if (e.kind == graph::EdgeKind::kWireless) ++wireless;
+  }
+  EXPECT_GE(wireless, 15u);
+  EXPECT_LE(wireless, 18u);
+  // Channel assignment: wi_nodes[c][ch] is on channel ch.
+  for (const auto& wi : cfg.interfaces) {
+    bool found = false;
+    for (std::size_t c = 0; c < 4 && !found; ++c) {
+      for (std::size_t ch = 0; ch < 3 && !found; ++ch) {
+        if (wi_nodes[c][ch] == wi.node) {
+          EXPECT_EQ(wi.channel, static_cast<int>(ch));
+          found = true;
+        }
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace vfimr::winoc

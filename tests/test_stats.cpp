@@ -1,0 +1,164 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vfimr {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, AddN) {
+  Accumulator a;
+  a.add_n(3.0, 5);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined) {
+  Rng rng{21};
+  Accumulator left;
+  Accumulator right;
+  Accumulator all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 3 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(BatchStats, MeanStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(BatchStats, EmptyInputs) {
+  const std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(min_of(xs), 0.0);
+}
+
+TEST(BatchStats, MedianAndPercentile) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 75.0), 1.75);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(BatchStats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{2.0, 8.0}), 4.0);
+  EXPECT_THROW(geomean(std::vector<double>{1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(BatchStats, CoeffVariation) {
+  EXPECT_DOUBLE_EQ(coeff_variation(std::vector<double>{5.0, 5.0, 5.0}), 0.0);
+  const std::vector<double> xs = {1.0, 3.0};
+  EXPECT_NEAR(coeff_variation(xs), 1.0 / 2.0, 1e-12);
+}
+
+TEST(HistogramTest, Buckets) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.3);
+  h.add(0.9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 0.5);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, ToStringContainsCounts) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("[0,1): "), std::string::npos);
+}
+
+class AccumulatorSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccumulatorSizes, StreamingMatchesBatch) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) + 100};
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AccumulatorSizes,
+                         ::testing::Values(1, 2, 10, 1000, 10000));
+
+}  // namespace
+}  // namespace vfimr

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace vfimr {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t{{"A", "Long header"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| A      |"), std::string::npos);
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+  EXPECT_NE(s.find("Long header"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t{{"A", "B"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"has,comma", "has\"quote"});
+  t.add_row({"plain", "x"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("plain,x"), std::string::npos);
+}
+
+TEST(TextTable, WriteCsvRoundTrip) {
+  TextTable t{{"k", "v"}};
+  t.add_row({"a", "1"});
+  const std::string path = ::testing::TempDir() + "vfimr_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f{path};
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,1");
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, WriteCsvBadPathThrows) {
+  TextTable t{{"k"}};
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_zz/x.csv"), std::runtime_error);
+}
+
+TEST(Format, Fmt) {
+  EXPECT_EQ(fmt(1.23456), "1.235");
+  EXPECT_EQ(fmt(1.23456, 1), "1.2");
+  EXPECT_EQ(fmt(-0.5, 2), "-0.50");
+}
+
+TEST(Format, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.337), "33.7%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace vfimr

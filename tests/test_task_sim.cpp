@@ -1,0 +1,234 @@
+#include "sysmodel/task_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace vfimr::sysmodel {
+namespace {
+
+std::vector<SimCore> uniform_cores(std::size_t n, double freq = 2.5e9) {
+  return std::vector<SimCore>(n, SimCore{freq, freq / 2.5e9});
+}
+
+std::vector<SimTask> fixed_tasks(std::size_t n, double cycles,
+                                 double mem = 0.0) {
+  return std::vector<SimTask>(n, SimTask{cycles, mem});
+}
+
+TEST(Materialize, MatchesSpecStatistics) {
+  workload::TaskSet spec;
+  spec.count = 5000;
+  spec.cycles_mean = 1e9;
+  spec.cycles_cv = 0.1;
+  spec.mem_seconds_mean = 0.05;
+  spec.mem_cv = 0.2;
+  Rng rng{81};
+  const auto tasks = materialize_tasks(spec, rng);
+  ASSERT_EQ(tasks.size(), 5000u);
+  double cyc = 0.0;
+  double mem = 0.0;
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.cycles, 0.0);
+    EXPECT_GE(t.mem_seconds, 0.0);
+    cyc += t.cycles;
+    mem += t.mem_seconds;
+  }
+  EXPECT_NEAR(cyc / 5000.0, 1e9, 1e9 * 0.01);
+  EXPECT_NEAR(mem / 5000.0, 0.05, 0.05 * 0.02);
+}
+
+TEST(Materialize, UtilizationCorrelationPreservesNominalTime) {
+  workload::TaskSet spec;
+  spec.count = 640;
+  spec.cycles_mean = 1e9;
+  spec.cycles_cv = 0.0;
+  spec.mem_seconds_mean = 0.1;
+  spec.mem_cv = 0.0;
+  std::vector<double> utilization(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    utilization[i] = i < 32 ? 0.9 : 0.3;
+  }
+  Rng rng{82};
+  const auto tasks = materialize_tasks(spec, utilization, rng);
+  const double nominal = 1e9 / kNominalFreqHz + 0.1;
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    EXPECT_NEAR(tasks[j].cycles / kNominalFreqHz + tasks[j].mem_seconds,
+                nominal, 1e-9)
+        << j;
+  }
+  // Tasks owned by high-utilization cores are compute-heavier.
+  EXPECT_GT(tasks[0].cycles, tasks[639].cycles);
+  EXPECT_LT(tasks[0].mem_seconds, tasks[639].mem_seconds);
+}
+
+TEST(SimulatePhase, SingleCoreSumsAllTasks) {
+  const auto tasks = fixed_tasks(10, 2.5e9, 0.5);  // 1s compute + 0.5s mem
+  const auto cores = uniform_cores(1);
+  const auto r = simulate_phase(tasks, cores, 1.0,
+                                StealingPolicy::kPhoenixDefault);
+  EXPECT_NEAR(r.makespan_s, 15.0, 1e-9);
+  EXPECT_EQ(r.tasks_executed[0], 10u);
+  EXPECT_EQ(r.steals, 0u);
+}
+
+TEST(SimulatePhase, PerfectBalanceOnEqualCores) {
+  const auto tasks = fixed_tasks(64, 2.5e9);
+  const auto cores = uniform_cores(16);
+  const auto r = simulate_phase(tasks, cores, 1.0,
+                                StealingPolicy::kPhoenixDefault);
+  EXPECT_NEAR(r.makespan_s, 4.0, 1e-9);  // 4 tasks x 1s each
+  for (auto n : r.tasks_executed) EXPECT_EQ(n, 4u);
+}
+
+TEST(SimulatePhase, MemScaleStretchesMemoryOnly) {
+  const auto tasks = fixed_tasks(8, 2.5e9, 1.0);
+  const auto cores = uniform_cores(8);
+  const auto base = simulate_phase(tasks, cores, 1.0,
+                                   StealingPolicy::kPhoenixDefault);
+  const auto slow = simulate_phase(tasks, cores, 1.5,
+                                   StealingPolicy::kPhoenixDefault);
+  EXPECT_NEAR(base.makespan_s, 2.0, 1e-9);
+  EXPECT_NEAR(slow.makespan_s, 2.5, 1e-9);
+}
+
+TEST(SimulatePhase, StealingRebalancesHeterogeneousWork) {
+  // Core 0's block has huge tasks; others must steal them.
+  std::vector<SimTask> tasks;
+  for (std::size_t i = 0; i < 4; ++i) tasks.push_back({10.0e9, 0.0});
+  for (std::size_t i = 0; i < 12; ++i) tasks.push_back({1.0e9, 0.0});
+  const auto cores = uniform_cores(4);
+  const auto r = simulate_phase(tasks, cores, 1.0,
+                                StealingPolicy::kPhoenixDefault);
+  EXPECT_GT(r.steals, 0u);
+  // Perfect balance would be 13.6s; stealing should be close (< 1.5x).
+  EXPECT_LT(r.makespan_s, 1.5 * 13.6);
+}
+
+TEST(SimulatePhase, AllTasksAlwaysExecute) {
+  const auto tasks = fixed_tasks(37, 1e9, 0.01);
+  for (auto policy :
+       {StealingPolicy::kPhoenixDefault, StealingPolicy::kVfiAssignment,
+        StealingPolicy::kVfiHardCap}) {
+    std::vector<SimCore> cores = uniform_cores(8);
+    cores[3] = {2.0e9, 0.8};
+    cores[7] = {1.5e9, 0.6};
+    const auto r = simulate_phase(tasks, cores, 1.0, policy);
+    const std::uint64_t total = std::accumulate(
+        r.tasks_executed.begin(), r.tasks_executed.end(), std::uint64_t{0});
+    EXPECT_EQ(total, 37u);
+    EXPECT_GT(r.makespan_s, 0.0);
+  }
+}
+
+TEST(SimulatePhase, HardCapLimitsSlowCores) {
+  const auto tasks = fixed_tasks(40, 1e9);
+  std::vector<SimCore> cores = uniform_cores(4);
+  cores[2] = {1.25e9, 0.5};
+  cores[3] = {1.25e9, 0.5};
+  const auto r =
+      simulate_phase(tasks, cores, 1.0, StealingPolicy::kVfiHardCap);
+  // N_f = floor(40/4 * 0.5) = 5.
+  EXPECT_LE(r.tasks_executed[2], 5u);
+  EXPECT_LE(r.tasks_executed[3], 5u);
+}
+
+TEST(SimulatePhase, AssignmentPolicyGivesSlowCoresRoundedShare) {
+  const auto tasks = fixed_tasks(40, 1e9);
+  std::vector<SimCore> cores = uniform_cores(4);
+  cores[3] = {2.0e9, 0.8};
+  const auto r =
+      simulate_phase(tasks, cores, 1.0, StealingPolicy::kVfiAssignment);
+  // Slow core starts with round(10 * 0.8) = 8 of its own block; it may steal
+  // more later but must execute at least its assignment-era share minus
+  // steals... at minimum the policy ran and all tasks completed.
+  const std::uint64_t total = std::accumulate(
+      r.tasks_executed.begin(), r.tasks_executed.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 40u);
+  // Fast cores pick up the surplus: together they execute > 3/4 of tasks.
+  EXPECT_GT(r.tasks_executed[0] + r.tasks_executed[1] + r.tasks_executed[2],
+            30u);
+}
+
+TEST(SimulatePhase, RelativeFrequencyUsesPresentMaximum) {
+  // No core at the ladder maximum: Eq. 3's f_max is the config's own max,
+  // so the 2.0 GHz cores count as "fast" and are never capped.
+  const auto tasks = fixed_tasks(16, 1e9);
+  std::vector<SimCore> cores(4);
+  cores[0] = cores[1] = {2.0e9, 0.8};
+  cores[2] = cores[3] = {1.5e9, 0.6};
+  const auto r =
+      simulate_phase(tasks, cores, 1.0, StealingPolicy::kVfiHardCap);
+  // 2.0 GHz cores are uncapped (rel=1 vs present max).
+  EXPECT_GE(r.tasks_executed[0] + r.tasks_executed[1], 8u);
+}
+
+TEST(SimulatePhase, EmptyTaskListIsNoop) {
+  const auto r = simulate_phase({}, uniform_cores(4), 1.0,
+                                StealingPolicy::kPhoenixDefault);
+  EXPECT_EQ(r.makespan_s, 0.0);
+}
+
+TEST(SimulatePhase, PaperScenarioCapBeatsDefaultOnTail) {
+  // §4.3's actual pathology: N slightly above C with overlapping duration
+  // ranges; the Eq. 3 hard cap prevents a slow core from stealing the last
+  // task.  68 tasks on 8 cores (4 fast f1, 4 slow f2), surplus on fast cores.
+  std::vector<SimTask> tasks(10, SimTask{0.5e9, 0.070});
+  std::vector<SimCore> cores(8);
+  for (std::size_t i = 0; i < 4; ++i) cores[i] = {2.5e9, 1.0};
+  for (std::size_t i = 4; i < 8; ++i) cores[i] = {2.0e9, 0.8};
+  const auto def = simulate_phase(tasks, cores, 1.0,
+                                  StealingPolicy::kPhoenixDefault);
+  const auto cap =
+      simulate_phase(tasks, cores, 1.0, StealingPolicy::kVfiHardCap);
+  // With the cap, slow cores execute at most N_f = floor(10/8*0.8) = 1 task.
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_LE(cap.tasks_executed[i], 1u);
+  }
+  EXPECT_LE(cap.makespan_s, def.makespan_s + 1e-9);
+}
+
+TEST(SimulatePhase, BusyNeverExceedsMakespan) {
+  Rng rng{83};
+  workload::TaskSet spec;
+  spec.count = 200;
+  spec.cycles_mean = 5e8;
+  spec.mem_seconds_mean = 0.02;
+  const auto tasks = materialize_tasks(spec, rng);
+  std::vector<SimCore> cores = uniform_cores(64);
+  for (std::size_t i = 32; i < 64; ++i) cores[i] = {2.0e9, 0.8};
+  const auto r =
+      simulate_phase(tasks, cores, 1.1, StealingPolicy::kVfiAssignment);
+  for (double b : r.busy_seconds) {
+    EXPECT_LE(b, r.makespan_s + 1e-9);
+  }
+}
+
+class PolicySweep : public ::testing::TestWithParam<StealingPolicy> {};
+
+TEST_P(PolicySweep, DeterministicAndComplete) {
+  Rng rng{84};
+  workload::TaskSet spec;
+  spec.count = 300;
+  spec.cycles_mean = 4e8;
+  spec.mem_seconds_mean = 0.03;
+  const auto tasks = materialize_tasks(spec, rng);
+  std::vector<SimCore> cores(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    cores[i] = i % 2 ? SimCore{2.5e9, 1.0} : SimCore{2.0e9, 0.8};
+  }
+  const auto a = simulate_phase(tasks, cores, 1.0, GetParam());
+  const auto b = simulate_phase(tasks, cores, 1.0, GetParam());
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(StealingPolicy::kPhoenixDefault,
+                                           StealingPolicy::kVfiAssignment,
+                                           StealingPolicy::kVfiHardCap));
+
+}  // namespace
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,138 @@
+#include "winoc/thread_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/require.hpp"
+#include "winoc/design.hpp"
+#include "winoc/smallworld.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::winoc {
+namespace {
+
+std::vector<std::size_t> block_clusters() {
+  std::vector<std::size_t> c(64);
+  for (std::size_t t = 0; t < 64; ++t) c[t] = t / 16;
+  return c;
+}
+
+void expect_bijection(const std::vector<graph::NodeId>& mapping) {
+  std::set<graph::NodeId> nodes(mapping.begin(), mapping.end());
+  EXPECT_EQ(nodes.size(), 64u);
+  for (graph::NodeId n : mapping) EXPECT_LT(n, 64u);
+}
+
+void expect_cluster_quadrant_constraint(
+    const std::vector<graph::NodeId>& mapping,
+    const std::vector<std::size_t>& clusters) {
+  for (std::size_t t = 0; t < 64; ++t) {
+    EXPECT_EQ(quadrant_of(mapping[t], 8), clusters[t]) << "thread " << t;
+  }
+}
+
+TEST(BlockMapping, BijectiveAndConstrained) {
+  const auto clusters = block_clusters();
+  const auto mapping = map_threads_block(clusters);
+  expect_bijection(mapping);
+  expect_cluster_quadrant_constraint(mapping, clusters);
+}
+
+TEST(BlockMapping, UnevenClustersRejected) {
+  std::vector<std::size_t> clusters(64, 0);  // all in one cluster
+  EXPECT_THROW(map_threads_block(clusters), RequirementError);
+}
+
+TEST(MinHopMapping, ImprovesOnBlockMapping) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const auto clusters = block_clusters();
+  Rng rng{5};
+  const auto block = map_threads_block(clusters);
+  const auto optimized = map_threads_min_hop(profile.traffic, clusters, rng);
+  expect_bijection(optimized);
+  expect_cluster_quadrant_constraint(optimized, clusters);
+  EXPECT_LE(mapping_cost(profile.traffic, optimized),
+            mapping_cost(profile.traffic, block));
+}
+
+TEST(MinHopMapping, DeterministicForSeed) {
+  const auto profile = workload::make_profile(workload::App::kMM);
+  const auto clusters = block_clusters();
+  Rng a{9};
+  Rng b{9};
+  EXPECT_EQ(map_threads_min_hop(profile.traffic, clusters, a, 5000),
+            map_threads_min_hop(profile.traffic, clusters, b, 5000));
+}
+
+TEST(NearWiMapping, TopTalkersSitOnWiSwitches) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const auto clusters = block_clusters();
+  Rng rng{7};
+  const auto base = map_threads_min_hop(profile.traffic, clusters, rng, 5000);
+  const noc::Topology placed = noc::make_placed_grid(8, 8);
+  SmallWorldParams params;
+  const auto wis = place_wis_center(placed, quadrant_clusters(), params);
+
+  const auto mapping =
+      map_threads_near_wi(profile.traffic, clusters, wis, base);
+  expect_bijection(mapping);
+  expect_cluster_quadrant_constraint(mapping, clusters);
+
+  // For each cluster: the top inter-cluster talker occupies a WI switch.
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::size_t best_thread = 64;
+    double best = -1.0;
+    for (std::size_t t = 0; t < 64; ++t) {
+      if (clusters[t] != c) continue;
+      double inter = 0.0;
+      for (std::size_t u = 0; u < 64; ++u) {
+        if (clusters[u] != c) {
+          inter += profile.traffic(t, u) + profile.traffic(u, t);
+        }
+      }
+      if (inter > best) {
+        best = inter;
+        best_thread = t;
+      }
+    }
+    ASSERT_LT(best_thread, 64u);
+    bool on_wi = false;
+    for (graph::NodeId w : wis[c]) {
+      on_wi |= mapping[best_thread] == w;
+    }
+    EXPECT_TRUE(on_wi) << "cluster " << c;
+  }
+}
+
+TEST(MapTraffic, ConservesVolume) {
+  const auto profile = workload::make_profile(workload::App::kLR);
+  const auto clusters = block_clusters();
+  const auto mapping = map_threads_block(clusters);
+  const auto node_traffic = map_traffic(profile.traffic, mapping, 64);
+  EXPECT_NEAR(node_traffic.sum(), profile.traffic.sum(), 1e-9);
+  for (std::size_t n = 0; n < 64; ++n) {
+    EXPECT_DOUBLE_EQ(node_traffic(n, n), 0.0);
+  }
+}
+
+TEST(MapTraffic, PermutationMovesEntries) {
+  Matrix traffic{64, 64};
+  traffic(3, 17) = 2.5;
+  std::vector<graph::NodeId> mapping(64);
+  for (std::size_t t = 0; t < 64; ++t) {
+    mapping[t] = static_cast<graph::NodeId>(63 - t);
+  }
+  const auto node_traffic = map_traffic(traffic, mapping, 64);
+  EXPECT_DOUBLE_EQ(node_traffic(60, 46), 2.5);
+  EXPECT_DOUBLE_EQ(node_traffic(3, 17), 0.0);
+}
+
+TEST(MappingCost, ZeroForNoTraffic) {
+  Matrix traffic{64, 64};
+  const auto mapping = map_threads_block(block_clusters());
+  EXPECT_DOUBLE_EQ(mapping_cost(traffic, mapping), 0.0);
+}
+
+}  // namespace
+}  // namespace vfimr::winoc

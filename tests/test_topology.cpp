@@ -1,0 +1,87 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vfimr::noc {
+namespace {
+
+TEST(Topology, MeshStructure) {
+  const Topology t = make_mesh(4, 3, 2.0);
+  EXPECT_EQ(t.node_count(), 12u);
+  // Edges: horizontal 3*3 + vertical 4*2 = 17.
+  EXPECT_EQ(t.graph.edge_count(), 17u);
+  EXPECT_TRUE(graph::is_connected(t.graph));
+  // Corner degree 2, edge 3, interior 4.
+  EXPECT_EQ(t.graph.degree(mesh_node(0, 0, 4)), 2u);
+  EXPECT_EQ(t.graph.degree(mesh_node(1, 0, 4)), 3u);
+  EXPECT_EQ(t.graph.degree(mesh_node(1, 1, 4)), 4u);
+}
+
+TEST(Topology, MeshPositionsAndLinkLengths) {
+  const Topology t = make_mesh(3, 3, 2.5);
+  EXPECT_DOUBLE_EQ(t.positions[mesh_node(2, 1, 3)].x_mm, 5.0);
+  EXPECT_DOUBLE_EQ(t.positions[mesh_node(2, 1, 3)].y_mm, 2.5);
+  for (const auto& e : t.graph.edges()) {
+    EXPECT_DOUBLE_EQ(e.length_mm, 2.5);  // all neighbor links = pitch
+    EXPECT_EQ(e.kind, graph::EdgeKind::kWire);
+  }
+}
+
+TEST(Topology, MeshCoordinateHelpers) {
+  EXPECT_EQ(mesh_x(10, 8), 2u);
+  EXPECT_EQ(mesh_y(10, 8), 1u);
+  EXPECT_EQ(mesh_node(2, 1, 8), 10u);
+}
+
+TEST(Topology, PlacedGridHasNoEdges) {
+  const Topology t = make_placed_grid(8, 8);
+  EXPECT_EQ(t.node_count(), 64u);
+  EXPECT_EQ(t.graph.edge_count(), 0u);
+}
+
+TEST(Topology, AddWireUsesEuclideanLength) {
+  Topology t = make_placed_grid(3, 3, 1.0);
+  const auto e = t.add_wire(0, 8);  // (0,0) to (2,2)
+  EXPECT_NEAR(t.graph.edge(e).length_mm, std::sqrt(8.0), 1e-12);
+}
+
+TEST(Topology, AddWirelessHasZeroLength) {
+  Topology t = make_placed_grid(2, 2, 1.0);
+  const auto e = t.add_wireless(0, 3);
+  EXPECT_EQ(t.graph.edge(e).kind, graph::EdgeKind::kWireless);
+  EXPECT_DOUBLE_EQ(t.graph.edge(e).length_mm, 0.0);
+}
+
+TEST(Topology, DistanceHelper) {
+  EXPECT_DOUBLE_EQ(distance_mm(Point{0, 0}, Point{3, 4}), 5.0);
+  Topology t = make_placed_grid(2, 2, 2.0);
+  EXPECT_DOUBLE_EQ(t.node_distance_mm(0, 3), std::sqrt(8.0));
+}
+
+TEST(Topology, InvalidGridThrows) {
+  EXPECT_THROW(make_placed_grid(0, 4), RequirementError);
+}
+
+class MeshSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MeshSizes, EdgeCountFormula) {
+  const auto [w, h] = GetParam();
+  const Topology t = make_mesh(w, h);
+  EXPECT_EQ(t.graph.edge_count(), (w - 1) * h + w * (h - 1));
+  EXPECT_TRUE(graph::is_connected(t.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizes,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                                           std::pair<std::size_t, std::size_t>{8, 8},
+                                           std::pair<std::size_t, std::size_t>{1, 5},
+                                           std::pair<std::size_t, std::size_t>{5, 1},
+                                           std::pair<std::size_t, std::size_t>{16, 4}));
+
+}  // namespace
+}  // namespace vfimr::noc

@@ -1,0 +1,131 @@
+#include "noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace vfimr::noc {
+namespace {
+
+TEST(Poisson, MeanMatches) {
+  Rng rng{51};
+  for (const double mean : {0.1, 1.0, 5.0, 40.0, 100.0}) {
+    double total = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) {
+      total += static_cast<double>(sample_poisson(rng, mean));
+    }
+    EXPECT_NEAR(total / n, mean, mean * 0.05 + 0.02) << "mean=" << mean;
+  }
+}
+
+TEST(Poisson, ZeroMean) {
+  Rng rng{52};
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+TEST(MatrixTrafficTest, EmpiricalRateMatchesMatrix) {
+  Matrix rates{4, 4};
+  rates(0, 1) = 0.05;
+  rates(2, 3) = 0.15;
+  MatrixTraffic gen{rates, 2, 7};
+  EXPECT_NEAR(gen.total_rate(), 0.20, 1e-12);
+
+  std::vector<Injection> staged;
+  std::size_t count01 = 0;
+  std::size_t count23 = 0;
+  const Cycle cycles = 50'000;
+  for (Cycle c = 0; c < cycles; ++c) {
+    staged.clear();
+    gen.tick(c, staged);
+    for (const auto& inj : staged) {
+      EXPECT_EQ(inj.flits, 2u);
+      if (inj.src == 0 && inj.dest == 1) {
+        ++count01;
+      } else if (inj.src == 2 && inj.dest == 3) {
+        ++count23;
+      } else {
+        FAIL() << "unexpected pair " << inj.src << "->" << inj.dest;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count01) / cycles, 0.05, 0.005);
+  EXPECT_NEAR(static_cast<double>(count23) / cycles, 0.15, 0.01);
+}
+
+TEST(MatrixTrafficTest, DiagonalIgnored) {
+  Matrix rates{2, 2};
+  rates(0, 0) = 5.0;  // self traffic must be dropped
+  rates(0, 1) = 0.01;
+  MatrixTraffic gen{rates, 1, 7};
+  EXPECT_NEAR(gen.total_rate(), 0.01, 1e-12);
+}
+
+TEST(MatrixTrafficTest, NegativeRateRejected) {
+  Matrix rates{2, 2};
+  rates(0, 1) = -0.1;
+  EXPECT_THROW((MatrixTraffic{rates, 1, 7}), RequirementError);
+}
+
+TEST(MatrixTrafficTest, EmptyMatrixProducesNothing) {
+  Matrix rates{3, 3};
+  MatrixTraffic gen{rates, 1, 7};
+  std::vector<Injection> staged;
+  for (Cycle c = 0; c < 100; ++c) gen.tick(c, staged);
+  EXPECT_TRUE(staged.empty());
+}
+
+TEST(UniformTrafficTest, RateAndNoSelfTraffic) {
+  UniformRandomTraffic gen{8, 0.25, 3, 9};
+  std::vector<Injection> staged;
+  std::size_t total = 0;
+  const Cycle cycles = 20'000;
+  for (Cycle c = 0; c < cycles; ++c) {
+    staged.clear();
+    gen.tick(c, staged);
+    for (const auto& inj : staged) {
+      EXPECT_NE(inj.src, inj.dest);
+      EXPECT_LT(inj.src, 8u);
+      EXPECT_LT(inj.dest, 8u);
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (8.0 * cycles), 0.25, 0.01);
+}
+
+TEST(UniformTrafficTest, InvalidParamsRejected) {
+  EXPECT_THROW((UniformRandomTraffic{1, 0.1, 1, 1}), RequirementError);
+  EXPECT_THROW((UniformRandomTraffic{4, 1.5, 1, 1}), RequirementError);
+  EXPECT_THROW((UniformRandomTraffic{4, 0.1, 0, 1}), RequirementError);
+}
+
+TEST(TraceTrafficTest, ReplaysInOrder) {
+  std::vector<TraceTraffic::Event> events = {
+      {5, {0, 1, 2}}, {5, {1, 2, 2}}, {10, {2, 3, 1}}};
+  TraceTraffic gen{events};
+  std::vector<Injection> staged;
+  gen.tick(4, staged);
+  EXPECT_TRUE(staged.empty());
+  gen.tick(5, staged);
+  EXPECT_EQ(staged.size(), 2u);
+  staged.clear();
+  gen.tick(10, staged);
+  EXPECT_EQ(staged.size(), 1u);
+  EXPECT_TRUE(gen.exhausted());
+}
+
+TEST(TraceTrafficTest, UnsortedRejected) {
+  std::vector<TraceTraffic::Event> events = {{10, {0, 1, 1}}, {5, {1, 2, 1}}};
+  EXPECT_THROW(TraceTraffic{events}, RequirementError);
+}
+
+TEST(TraceTrafficTest, LateTickCatchesUp) {
+  std::vector<TraceTraffic::Event> events = {{1, {0, 1, 1}}, {2, {1, 0, 1}}};
+  TraceTraffic gen{events};
+  std::vector<Injection> staged;
+  gen.tick(100, staged);  // both events are in the past
+  EXPECT_EQ(staged.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vfimr::noc

@@ -1,0 +1,122 @@
+#include "winoc/wi_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "winoc/design.hpp"
+#include "winoc/smallworld.hpp"
+#include "winoc/thread_mapping.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::winoc {
+namespace {
+
+struct Fixture {
+  std::vector<std::size_t> clusters = quadrant_clusters();
+  Matrix node_traffic;
+  noc::Topology wireline;
+  SmallWorldParams params;
+
+  Fixture() {
+    const auto profile = workload::make_profile(workload::App::kWC);
+    std::vector<std::size_t> thread_clusters(64);
+    for (std::size_t t = 0; t < 64; ++t) thread_clusters[t] = t / 16;
+    const auto mapping = map_threads_block(thread_clusters);
+    node_traffic = map_traffic(profile.traffic, mapping, 64);
+    Rng rng{3};
+    wireline = build_wireline(node_traffic, clusters, params, rng);
+  }
+};
+
+void expect_legal(const WiPlacement& placement,
+                  const std::vector<std::size_t>& clusters,
+                  std::size_t per_cluster) {
+  ASSERT_EQ(placement.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(placement[c].size(), per_cluster);
+    std::set<graph::NodeId> distinct(placement[c].begin(), placement[c].end());
+    EXPECT_EQ(distinct.size(), per_cluster);  // no duplicate WIs
+    for (graph::NodeId v : placement[c]) {
+      EXPECT_EQ(clusters[v], c);  // WIs live in their own cluster
+    }
+  }
+}
+
+TEST(CenterPlacement, LegalAndCentral) {
+  Fixture f;
+  const auto placement =
+      place_wis_center(f.wireline, f.clusters, f.params);
+  expect_legal(placement, f.clusters, f.params.wis_per_cluster);
+  // Quadrant 0 centroid is (1.5, 1.5) x 2.5mm; the nearest switches are
+  // 9, 10, 17, 18 (the inner 2x2) — all chosen WIs must come from there.
+  const std::set<graph::NodeId> inner = {9, 10, 17, 18};
+  for (graph::NodeId v : placement[0]) {
+    EXPECT_TRUE(inner.count(v)) << v;
+  }
+}
+
+TEST(MinHopPlacement, LegalAndNoWorseThanCenter) {
+  Fixture f;
+  Rng rng{11};
+  const auto center = place_wis_center(f.wireline, f.clusters, f.params);
+  const auto optimized = place_wis_min_hop(f.wireline, f.node_traffic,
+                                           f.clusters, f.params, rng);
+  expect_legal(optimized, f.clusters, f.params.wis_per_cluster);
+  EXPECT_LE(
+      placement_hop_cost(f.wireline, f.node_traffic, optimized, f.params),
+      placement_hop_cost(f.wireline, f.node_traffic, center, f.params) + 1e-9);
+}
+
+TEST(PlacementCost, WirelessOverlayReducesHops) {
+  Fixture f;
+  const auto placement = place_wis_center(f.wireline, f.clusters, f.params);
+  const double with_wireless =
+      placement_hop_cost(f.wireline, f.node_traffic, placement, f.params);
+  // Cost without the overlay: weighted hops on the bare wireline.
+  std::vector<std::vector<double>> rows(64, std::vector<double>(64));
+  for (std::size_t s = 0; s < 64; ++s) {
+    for (std::size_t d = 0; d < 64; ++d) rows[s][d] = f.node_traffic(s, d);
+  }
+  const double bare = graph::weighted_hop_count(f.wireline.graph, rows);
+  EXPECT_LT(with_wireless, bare);
+}
+
+TEST(MinHopPlacement, DeterministicForSeed) {
+  Fixture f;
+  Rng a{21};
+  Rng b{21};
+  const auto pa =
+      place_wis_min_hop(f.wireline, f.node_traffic, f.clusters, f.params, a);
+  const auto pb =
+      place_wis_min_hop(f.wireline, f.node_traffic, f.clusters, f.params, b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(DesignFlow, BothStrategiesProduceValidDesigns) {
+  const auto profile = workload::make_profile(workload::App::kKmeans);
+  std::vector<std::size_t> thread_clusters(64);
+  for (std::size_t t = 0; t < 64; ++t) thread_clusters[t] = t / 16;
+
+  for (auto strategy : {PlacementStrategy::kMinHopCount,
+                        PlacementStrategy::kMaxWirelessUtilization}) {
+    const auto design =
+        build_winoc(profile.traffic, thread_clusters, strategy);
+    EXPECT_TRUE(graph::is_connected(design.topology.graph));
+    EXPECT_EQ(design.wireless.interfaces.size(), 12u);
+    EXPECT_EQ(design.thread_to_node.size(), 64u);
+    expect_legal(design.wi_nodes, design.node_cluster, 3);
+    EXPECT_NEAR(design.node_traffic.sum(), profile.traffic.sum(), 1e-9);
+    // Wireless edges: 3 channels x C(4,2) cliques (pairs already joined by
+    // an inter-cluster wire keep the wire; parallel edges are not modeled).
+    std::size_t wireless = 0;
+    for (const auto& e : design.topology.graph.edges()) {
+      if (e.kind == graph::EdgeKind::kWireless) ++wireless;
+    }
+    EXPECT_GE(wireless, 15u);
+    EXPECT_LE(wireless, 18u);
+  }
+}
+
+}  // namespace
+}  // namespace vfimr::winoc

@@ -1,0 +1,192 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "workload/generators.hpp"
+
+namespace vfimr::workload {
+namespace {
+
+TEST(AppNames, AllDistinct) {
+  std::set<std::string> names;
+  for (App app : kAllApps) {
+    names.insert(app_name(app));
+    EXPECT_FALSE(app_dataset(app).empty());
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Generators, UtilizationCohortLayout) {
+  Rng rng{61};
+  const auto u = make_utilization(
+      10, {{4, 0.9, 0.001}, {6, 0.3, 0.001}}, rng);
+  ASSERT_EQ(u.size(), 10u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(u[i], 0.9, 0.02);
+  for (std::size_t i = 4; i < 10; ++i) EXPECT_NEAR(u[i], 0.3, 0.02);
+}
+
+TEST(Generators, UtilizationClampedToUnit) {
+  Rng rng{62};
+  const auto u = make_utilization(64, {{64, 0.99, 0.5}}, rng);
+  for (double v : u) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Generators, CohortSizeMismatchRejected) {
+  Rng rng{63};
+  EXPECT_THROW(make_utilization(10, {{4, 0.5, 0.1}}, rng), RequirementError);
+}
+
+TEST(Generators, TrafficSumsToTotalRate) {
+  Rng rng{64};
+  TrafficSpec spec;
+  spec.total_rate = 0.42;
+  const auto m = make_traffic(64, spec, {0, 1}, rng);
+  EXPECT_NEAR(m.sum(), 0.42, 1e-9);
+}
+
+TEST(Generators, TrafficHasNoSelfEntries) {
+  Rng rng{65};
+  const auto m = make_traffic(64, TrafficSpec{}, {0}, rng);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(m(i, i), 0.0);
+  }
+}
+
+TEST(Generators, FractionsOverOneRejected) {
+  Rng rng{66};
+  TrafficSpec spec;
+  spec.frac_neighbor = 0.6;
+  spec.frac_shuffle = 0.6;
+  EXPECT_THROW(make_traffic(64, spec, {}, rng), RequirementError);
+}
+
+TEST(Generators, MasterHotspotPresent) {
+  Rng rng{67};
+  TrafficSpec spec;
+  spec.frac_neighbor = 0.0;
+  spec.frac_shuffle = 0.0;
+  spec.frac_master = 1.0;
+  const auto m = make_traffic(16, spec, {3}, rng);
+  double master_traffic = 0.0;
+  for (std::size_t t = 0; t < 16; ++t) {
+    master_traffic += m(3, t) + m(t, 3);
+  }
+  EXPECT_NEAR(master_traffic, m.sum(), 1e-12);
+}
+
+TEST(Generators, ClusterTrafficAggregation) {
+  Matrix m{4, 4};
+  m(0, 2) = 1.0;  // cluster 0 -> 1
+  m(1, 0) = 2.0;  // intra cluster 0
+  m(3, 2) = 4.0;  // intra cluster 1
+  const std::vector<std::size_t> assign = {0, 0, 1, 1};
+  const auto ct = cluster_traffic(m, assign, 2);
+  EXPECT_DOUBLE_EQ(ct(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ct(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ct(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(ct(1, 0), 0.0);
+}
+
+TEST(Profiles, OnlySixtyFourThreadsSupported) {
+  ProfileParams p;
+  p.threads = 32;
+  EXPECT_THROW(make_profile(App::kWC, p), RequirementError);
+}
+
+TEST(Profiles, Deterministic) {
+  const auto a = make_profile(App::kKmeans);
+  const auto b = make_profile(App::kKmeans);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.traffic, b.traffic);
+}
+
+TEST(Profiles, IterationCounts) {
+  // §7: Kmeans and PCA run two MapReduce iterations; the rest one.
+  EXPECT_EQ(make_profile(App::kKmeans).iterations, 2);
+  EXPECT_EQ(make_profile(App::kPCA).iterations, 2);
+  for (App app : {App::kHist, App::kLR, App::kMM, App::kWC}) {
+    EXPECT_EQ(make_profile(app).iterations, 1) << app_name(app);
+  }
+}
+
+TEST(Profiles, UtilizationShapesMatchFig2) {
+  // Kmeans and WC: widely varying; MM/HIST/PCA: nearly homogeneous.
+  EXPECT_GT(coeff_variation(make_profile(App::kKmeans).utilization), 0.20);
+  EXPECT_GT(coeff_variation(make_profile(App::kWC).utilization), 0.10);
+  EXPECT_LT(coeff_variation(make_profile(App::kMM).utilization), 0.10);
+  EXPECT_LT(coeff_variation(make_profile(App::kPCA).utilization), 0.10);
+  EXPECT_LT(coeff_variation(make_profile(App::kHist).utilization), 0.10);
+}
+
+TEST(Profiles, BottleneckRatioOrderingMatchesFig5) {
+  const double pca = make_profile(App::kPCA).bottleneck_utilization() /
+                     make_profile(App::kPCA).mean_utilization();
+  const double mm = make_profile(App::kMM).bottleneck_utilization() /
+                    make_profile(App::kMM).mean_utilization();
+  const double hist = make_profile(App::kHist).bottleneck_utilization() /
+                      make_profile(App::kHist).mean_utilization();
+  EXPECT_GT(pca, mm);
+  EXPECT_GT(mm, hist);
+  EXPECT_GT(hist, 1.0);
+}
+
+TEST(Profiles, LrHasHighestInjectionRate) {
+  // §7.3: "LR application has the highest traffic injection rate" — measured
+  // in flits (large data units).
+  const double lr_flits = make_profile(App::kLR).traffic.sum() *
+                          make_profile(App::kLR).packet_flits;
+  for (App app : {App::kHist, App::kKmeans, App::kMM, App::kPCA, App::kWC}) {
+    const auto p = make_profile(app);
+    EXPECT_GT(lr_flits, p.traffic.sum() * p.packet_flits) << app_name(app);
+  }
+}
+
+TEST(Profiles, MastersAreValidThreads) {
+  for (App app : kAllApps) {
+    const auto p = make_profile(app);
+    EXPECT_FALSE(p.master_threads.empty()) << app_name(app);
+    for (std::size_t m : p.master_threads) {
+      EXPECT_LT(m, p.threads);
+    }
+    EXPECT_GT(p.net_sensitivity, 0.0);
+    EXPECT_LE(p.net_sensitivity, 1.0);
+  }
+}
+
+TEST(Profiles, PhaseModelsPopulated) {
+  for (App app : kAllApps) {
+    const auto p = make_profile(app);
+    EXPECT_GT(p.phases.map.count, 0u) << app_name(app);
+    EXPECT_GT(p.phases.map.cycles_mean, 0.0);
+    EXPECT_GT(p.phases.reduce.count, 0u);
+    EXPECT_GE(p.phases.lib_init.cycles, 0.0);
+  }
+  // LR has no merge phase (§4.2).
+  EXPECT_EQ(make_profile(App::kLR).phases.merge.cycles, 0.0);
+}
+
+class AllAppsProfile : public ::testing::TestWithParam<App> {};
+
+TEST_P(AllAppsProfile, WellFormed) {
+  const auto p = make_profile(GetParam());
+  EXPECT_EQ(p.threads, 64u);
+  EXPECT_EQ(p.utilization.size(), 64u);
+  EXPECT_EQ(p.traffic.rows(), 64u);
+  for (double u : p.utilization) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GT(p.traffic.sum(), 0.0);
+  EXPECT_GE(p.packet_flits, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AllAppsProfile, ::testing::ValuesIn(kAllApps),
+                         [](const auto& info) { return app_name(info.param); });
+
+}  // namespace
+}  // namespace vfimr::workload
