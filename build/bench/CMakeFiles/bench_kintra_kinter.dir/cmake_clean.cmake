@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kintra_kinter.dir/bench_kintra_kinter.cpp.o"
+  "CMakeFiles/bench_kintra_kinter.dir/bench_kintra_kinter.cpp.o.d"
+  "bench_kintra_kinter"
+  "bench_kintra_kinter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kintra_kinter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

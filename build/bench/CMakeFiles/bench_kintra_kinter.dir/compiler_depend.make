@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_kintra_kinter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kintra_kinter.
+# This may be replaced when dependencies are built.

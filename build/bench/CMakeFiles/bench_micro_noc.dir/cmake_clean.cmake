@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_noc.dir/bench_micro_noc.cpp.o"
+  "CMakeFiles/bench_micro_noc.dir/bench_micro_noc.cpp.o.d"
+  "bench_micro_noc"
+  "bench_micro_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stealing_casestudy.dir/bench_stealing_casestudy.cpp.o"
+  "CMakeFiles/bench_stealing_casestudy.dir/bench_stealing_casestudy.cpp.o.d"
+  "bench_stealing_casestudy"
+  "bench_stealing_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stealing_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

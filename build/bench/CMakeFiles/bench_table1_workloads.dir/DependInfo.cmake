@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_workloads.cpp" "bench/CMakeFiles/bench_table1_workloads.dir/bench_table1_workloads.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_workloads.dir/bench_table1_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysmodel/CMakeFiles/vfimr_sysmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfi/CMakeFiles/vfimr_vfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vfimr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/winoc/CMakeFiles/vfimr_winoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vfimr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vfimr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vfimr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vfimr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

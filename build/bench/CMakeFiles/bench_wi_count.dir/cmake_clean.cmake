@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wi_count.dir/bench_wi_count.cpp.o"
+  "CMakeFiles/bench_wi_count.dir/bench_wi_count.cpp.o.d"
+  "bench_wi_count"
+  "bench_wi_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wi_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_cluster_design.dir/wordcount_cluster_design.cpp.o"
+  "CMakeFiles/wordcount_cluster_design.dir/wordcount_cluster_design.cpp.o.d"
+  "wordcount_cluster_design"
+  "wordcount_cluster_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_cluster_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_common.dir/rng.cpp.o"
+  "CMakeFiles/vfimr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vfimr_common.dir/stats.cpp.o"
+  "CMakeFiles/vfimr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vfimr_common.dir/table.cpp.o"
+  "CMakeFiles/vfimr_common.dir/table.cpp.o.d"
+  "libvfimr_common.a"
+  "libvfimr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

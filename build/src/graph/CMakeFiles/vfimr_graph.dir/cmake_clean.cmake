@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_graph.dir/graph.cpp.o"
+  "CMakeFiles/vfimr_graph.dir/graph.cpp.o.d"
+  "libvfimr_graph.a"
+  "libvfimr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/apps/histogram.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/histogram.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/histogram.cpp.o.d"
+  "/root/repo/src/mapreduce/apps/kmeans.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/kmeans.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/kmeans.cpp.o.d"
+  "/root/repo/src/mapreduce/apps/linear_regression.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/linear_regression.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/linear_regression.cpp.o.d"
+  "/root/repo/src/mapreduce/apps/matrix_multiply.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/matrix_multiply.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/matrix_multiply.cpp.o.d"
+  "/root/repo/src/mapreduce/apps/pca.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/pca.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/pca.cpp.o.d"
+  "/root/repo/src/mapreduce/apps/wordcount.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/wordcount.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/apps/wordcount.cpp.o.d"
+  "/root/repo/src/mapreduce/profile.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/profile.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/profile.cpp.o.d"
+  "/root/repo/src/mapreduce/scheduler.cpp" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/scheduler.cpp.o" "gcc" "src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfimr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_mapreduce.dir/apps/histogram.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/histogram.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/kmeans.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/kmeans.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/linear_regression.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/linear_regression.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/matrix_multiply.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/matrix_multiply.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/pca.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/pca.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/wordcount.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/apps/wordcount.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/profile.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/profile.cpp.o.d"
+  "CMakeFiles/vfimr_mapreduce.dir/scheduler.cpp.o"
+  "CMakeFiles/vfimr_mapreduce.dir/scheduler.cpp.o.d"
+  "libvfimr_mapreduce.a"
+  "libvfimr_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

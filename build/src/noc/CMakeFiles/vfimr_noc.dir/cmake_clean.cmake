@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_noc.dir/network.cpp.o"
+  "CMakeFiles/vfimr_noc.dir/network.cpp.o.d"
+  "CMakeFiles/vfimr_noc.dir/routing.cpp.o"
+  "CMakeFiles/vfimr_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/vfimr_noc.dir/topology.cpp.o"
+  "CMakeFiles/vfimr_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/vfimr_noc.dir/traffic.cpp.o"
+  "CMakeFiles/vfimr_noc.dir/traffic.cpp.o.d"
+  "libvfimr_noc.a"
+  "libvfimr_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/core_power.cpp" "src/power/CMakeFiles/vfimr_power.dir/core_power.cpp.o" "gcc" "src/power/CMakeFiles/vfimr_power.dir/core_power.cpp.o.d"
+  "/root/repo/src/power/noc_power.cpp" "src/power/CMakeFiles/vfimr_power.dir/noc_power.cpp.o" "gcc" "src/power/CMakeFiles/vfimr_power.dir/noc_power.cpp.o.d"
+  "/root/repo/src/power/vf_table.cpp" "src/power/CMakeFiles/vfimr_power.dir/vf_table.cpp.o" "gcc" "src/power/CMakeFiles/vfimr_power.dir/vf_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfimr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vfimr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vfimr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_power.dir/core_power.cpp.o"
+  "CMakeFiles/vfimr_power.dir/core_power.cpp.o.d"
+  "CMakeFiles/vfimr_power.dir/noc_power.cpp.o"
+  "CMakeFiles/vfimr_power.dir/noc_power.cpp.o.d"
+  "CMakeFiles/vfimr_power.dir/vf_table.cpp.o"
+  "CMakeFiles/vfimr_power.dir/vf_table.cpp.o.d"
+  "libvfimr_power.a"
+  "libvfimr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

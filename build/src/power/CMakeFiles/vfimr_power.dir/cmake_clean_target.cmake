@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvfimr_power.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_sysmodel.dir/platform.cpp.o"
+  "CMakeFiles/vfimr_sysmodel.dir/platform.cpp.o.d"
+  "CMakeFiles/vfimr_sysmodel.dir/system_sim.cpp.o"
+  "CMakeFiles/vfimr_sysmodel.dir/system_sim.cpp.o.d"
+  "CMakeFiles/vfimr_sysmodel.dir/task_sim.cpp.o"
+  "CMakeFiles/vfimr_sysmodel.dir/task_sim.cpp.o.d"
+  "libvfimr_sysmodel.a"
+  "libvfimr_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

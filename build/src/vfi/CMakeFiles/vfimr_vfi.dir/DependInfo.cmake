@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfi/clustering.cpp" "src/vfi/CMakeFiles/vfimr_vfi.dir/clustering.cpp.o" "gcc" "src/vfi/CMakeFiles/vfimr_vfi.dir/clustering.cpp.o.d"
+  "/root/repo/src/vfi/vf_assign.cpp" "src/vfi/CMakeFiles/vfimr_vfi.dir/vf_assign.cpp.o" "gcc" "src/vfi/CMakeFiles/vfimr_vfi.dir/vf_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfimr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vfimr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vfimr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vfimr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_vfi.dir/clustering.cpp.o"
+  "CMakeFiles/vfimr_vfi.dir/clustering.cpp.o.d"
+  "CMakeFiles/vfimr_vfi.dir/vf_assign.cpp.o"
+  "CMakeFiles/vfimr_vfi.dir/vf_assign.cpp.o.d"
+  "libvfimr_vfi.a"
+  "libvfimr_vfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_vfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winoc/design.cpp" "src/winoc/CMakeFiles/vfimr_winoc.dir/design.cpp.o" "gcc" "src/winoc/CMakeFiles/vfimr_winoc.dir/design.cpp.o.d"
+  "/root/repo/src/winoc/smallworld.cpp" "src/winoc/CMakeFiles/vfimr_winoc.dir/smallworld.cpp.o" "gcc" "src/winoc/CMakeFiles/vfimr_winoc.dir/smallworld.cpp.o.d"
+  "/root/repo/src/winoc/thread_mapping.cpp" "src/winoc/CMakeFiles/vfimr_winoc.dir/thread_mapping.cpp.o" "gcc" "src/winoc/CMakeFiles/vfimr_winoc.dir/thread_mapping.cpp.o.d"
+  "/root/repo/src/winoc/wi_placement.cpp" "src/winoc/CMakeFiles/vfimr_winoc.dir/wi_placement.cpp.o" "gcc" "src/winoc/CMakeFiles/vfimr_winoc.dir/wi_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfimr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vfimr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vfimr_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_winoc.dir/design.cpp.o"
+  "CMakeFiles/vfimr_winoc.dir/design.cpp.o.d"
+  "CMakeFiles/vfimr_winoc.dir/smallworld.cpp.o"
+  "CMakeFiles/vfimr_winoc.dir/smallworld.cpp.o.d"
+  "CMakeFiles/vfimr_winoc.dir/thread_mapping.cpp.o"
+  "CMakeFiles/vfimr_winoc.dir/thread_mapping.cpp.o.d"
+  "CMakeFiles/vfimr_winoc.dir/wi_placement.cpp.o"
+  "CMakeFiles/vfimr_winoc.dir/wi_placement.cpp.o.d"
+  "libvfimr_winoc.a"
+  "libvfimr_winoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_winoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vfimr_winoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app.cpp" "src/workload/CMakeFiles/vfimr_workload.dir/app.cpp.o" "gcc" "src/workload/CMakeFiles/vfimr_workload.dir/app.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/vfimr_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/vfimr_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/from_runtime.cpp" "src/workload/CMakeFiles/vfimr_workload.dir/from_runtime.cpp.o" "gcc" "src/workload/CMakeFiles/vfimr_workload.dir/from_runtime.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/vfimr_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/vfimr_workload.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vfimr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vfimr_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

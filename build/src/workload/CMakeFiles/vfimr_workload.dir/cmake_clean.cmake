@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfimr_workload.dir/app.cpp.o"
+  "CMakeFiles/vfimr_workload.dir/app.cpp.o.d"
+  "CMakeFiles/vfimr_workload.dir/catalog.cpp.o"
+  "CMakeFiles/vfimr_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/vfimr_workload.dir/from_runtime.cpp.o"
+  "CMakeFiles/vfimr_workload.dir/from_runtime.cpp.o.d"
+  "CMakeFiles/vfimr_workload.dir/generators.cpp.o"
+  "CMakeFiles/vfimr_workload.dir/generators.cpp.o.d"
+  "libvfimr_workload.a"
+  "libvfimr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfimr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

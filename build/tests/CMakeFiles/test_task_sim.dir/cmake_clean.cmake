@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_sim.dir/test_task_sim.cpp.o"
+  "CMakeFiles/test_task_sim.dir/test_task_sim.cpp.o.d"
+  "test_task_sim"
+  "test_task_sim.pdb"
+  "test_task_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_mapping.dir/test_thread_mapping.cpp.o"
+  "CMakeFiles/test_thread_mapping.dir/test_thread_mapping.cpp.o.d"
+  "test_thread_mapping"
+  "test_thread_mapping.pdb"
+  "test_thread_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vf_assign.dir/test_vf_assign.cpp.o"
+  "CMakeFiles/test_vf_assign.dir/test_vf_assign.cpp.o.d"
+  "test_vf_assign"
+  "test_vf_assign.pdb"
+  "test_vf_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vf_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

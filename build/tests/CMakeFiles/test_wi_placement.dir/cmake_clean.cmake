@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wi_placement.dir/test_wi_placement.cpp.o"
+  "CMakeFiles/test_wi_placement.dir/test_wi_placement.cpp.o.d"
+  "test_wi_placement"
+  "test_wi_placement.pdb"
+  "test_wi_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wi_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

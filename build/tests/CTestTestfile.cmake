@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_wireless[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_vf_assign[1]_include.cmake")
+include("/root/repo/build/tests/test_smallworld[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_wi_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_task_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_system_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
