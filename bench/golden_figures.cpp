@@ -1,0 +1,42 @@
+// Golden-figure generator: runs the full three-system comparison for all six
+// applications and writes the Fig. 2 / Fig. 7 / Fig. 8 / Table 2 metric maps
+// to <out_dir>/{fig2,fig7,fig8,table2}.json (default: results/golden).
+//
+// The committed goldens are the reference that tests/test_golden_figures.cpp
+// recomputes and compares against.  Regenerate (and review the diff!) only
+// when a change *intentionally* moves the reproduced paper numbers:
+//
+//   ./build/bench/golden_figures results/golden
+
+#include <filesystem>
+#include <iostream>
+
+#include "common/json_lite.hpp"
+#include "sysmodel/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir =
+      argc > 1 ? argv[1] : "results/golden";
+  std::filesystem::create_directories(out_dir);
+
+  std::cout << "Computing figure data (six apps x three systems)...\n";
+  const auto data = vfimr::sysmodel::compute_figure_data();
+  const auto metrics = vfimr::sysmodel::extract_metrics(data);
+
+  const std::pair<const char*, const vfimr::json::MetricMap&> files[] = {
+      {"fig2.json", metrics.fig2},
+      {"fig7.json", metrics.fig7},
+      {"fig8.json", metrics.fig8},
+      {"table2.json", metrics.table2},
+  };
+  for (const auto& [name, map] : files) {
+    const auto path = out_dir / name;
+    vfimr::json::save_file(path.string(), map);
+    std::cout << "wrote " << path.string() << " (" << map.size()
+              << " metrics)\n";
+  }
+  std::cout << "avg WiNoC EDP saving: "
+            << metrics.fig8.at("fig8.summary.avg_saving") * 100.0
+            << "%  (paper: 33.7%)\n";
+  return 0;
+}

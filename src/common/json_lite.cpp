@@ -1,0 +1,136 @@
+#include "common/json_lite.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace vfimr::json {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw std::runtime_error("json_lite: " + what + " at offset " +
+                           std::to_string(pos));
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+/// Parses a double-quoted key.  Goldens use plain metric-name keys, so only
+/// backslash escapes for '"' and '\\' are honoured.
+std::string parse_key(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') fail("expected '\"'", i);
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size() || (s[i] != '"' && s[i] != '\\')) {
+        fail("unsupported escape", i);
+      }
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  if (i >= s.size()) fail("unterminated string", i);
+  ++i;  // closing quote
+  return out;
+}
+
+double parse_number(const std::string& s, std::size_t& i) {
+  const std::size_t start = i;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+          s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+  }
+  if (i == start) fail("expected number", i);
+  std::size_t consumed = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s.substr(start, i - start), &consumed);
+  } catch (const std::exception&) {
+    fail("malformed number", start);
+  }
+  if (consumed != i - start) fail("malformed number", start);
+  return v;
+}
+
+}  // namespace
+
+std::string dump(const MetricMap& metrics) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  \"" << key << "\": "
+       << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
+  }
+  os << (first ? "}" : "\n}") << "\n";
+  return os.str();
+}
+
+MetricMap parse(const std::string& text) {
+  MetricMap out;
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') fail("expected '{'", i);
+  ++i;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws(text, i);
+      const std::string key = parse_key(text, i);
+      skip_ws(text, i);
+      if (i >= text.size() || text[i] != ':') fail("expected ':'", i);
+      ++i;
+      skip_ws(text, i);
+      if (!out.emplace(key, parse_number(text, i)).second) {
+        fail("duplicate key \"" + key + "\"", i);
+      }
+      skip_ws(text, i);
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < text.size() && text[i] == '}') {
+        ++i;
+        break;
+      }
+      fail("expected ',' or '}'", i);
+    }
+  }
+  skip_ws(text, i);
+  if (i != text.size()) fail("trailing content", i);
+  return out;
+}
+
+MetricMap load_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("json_lite: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string{e.what()} + " in " + path);
+  }
+}
+
+void save_file(const std::string& path, const MetricMap& metrics) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("json_lite: cannot open " + path);
+  out << dump(metrics);
+  if (!out) throw std::runtime_error("json_lite: write failed for " + path);
+}
+
+}  // namespace vfimr::json

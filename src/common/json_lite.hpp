@@ -1,0 +1,37 @@
+#pragma once
+// Minimal JSON support for the golden-figure regression guard: a flat
+// object mapping string keys to numbers, e.g.
+//
+//   {
+//     "fig8.KMEANS.vfi_winoc_edp": 0.319,
+//     "fig8.summary.avg_saving": 0.247
+//   }
+//
+// Only this subset is implemented (no nesting, arrays, strings-as-values,
+// booleans) — goldens are flat metric maps by design, and the repository
+// deliberately takes no third-party dependencies.  Numbers round-trip
+// exactly (emitted with max_digits10 precision).
+
+#include <map>
+#include <string>
+
+namespace vfimr::json {
+
+using MetricMap = std::map<std::string, double>;
+
+/// Serialize to a pretty-printed flat JSON object (sorted keys, trailing
+/// newline).
+std::string dump(const MetricMap& metrics);
+
+/// Parse a flat JSON object of string->number; throws std::runtime_error on
+/// anything malformed or outside the supported subset.
+MetricMap parse(const std::string& text);
+
+/// Read + parse a file; throws std::runtime_error (with the path in the
+/// message) on I/O or parse failure.
+MetricMap load_file(const std::string& path);
+
+/// Write `metrics` to `path`; throws std::runtime_error on I/O failure.
+void save_file(const std::string& path, const MetricMap& metrics);
+
+}  // namespace vfimr::json

@@ -1,0 +1,125 @@
+#include "sysmodel/figures.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/require.hpp"
+#include "workload/app.hpp"
+
+namespace vfimr::sysmodel {
+
+namespace {
+
+/// Returns `report` with the perturbation applied: map time stretched (and
+/// the total re-derived from the phases so exec_s stays consistent) and core
+/// energy scaled.  Identity perturbation returns a bit-identical copy.
+SystemReport perturbed(const SystemReport& report,
+                       const FigurePerturbation& p) {
+  SystemReport r = report;
+  r.phases.map_s *= p.map_time_scale;
+  r.exec_s += r.phases.map_s - report.phases.map_s;
+  r.core_energy_j *= p.core_energy_scale;
+  return r;
+}
+
+void put(json::MetricMap& map, const std::string& key, double value) {
+  VFIMR_REQUIRE_MSG(map.emplace(key, value).second,
+                    "duplicate golden metric key '" << key << "'");
+}
+
+}  // namespace
+
+FigureData compute_figure_data(const FigureParams& params) {
+  const FullSystemSim sim;
+  FigureData data;
+  for (workload::App app : workload::kAllApps) {
+    data.profiles.push_back(workload::make_profile(app, params.profile));
+    data.comparisons.push_back(
+        compare_systems(data.profiles.back(), sim, params.platform));
+  }
+  return data;
+}
+
+FigureMetrics extract_metrics(const FigureData& data,
+                              const FigurePerturbation& perturb) {
+  VFIMR_REQUIRE(data.profiles.size() == data.comparisons.size());
+  FigureMetrics m;
+
+  std::vector<double> winoc_savings;
+  double max_saving = 0.0;
+  double max_exec_penalty = 0.0;
+
+  for (std::size_t a = 0; a < data.profiles.size(); ++a) {
+    const workload::AppProfile& profile = data.profiles[a];
+    const std::string app = profile.name();
+
+    const SystemReport nvfi = perturbed(data.comparisons[a].nvfi_mesh, perturb);
+    const SystemReport mesh = perturbed(data.comparisons[a].vfi_mesh, perturb);
+    const SystemReport winoc = perturbed(data.comparisons[a].vfi_winoc, perturb);
+
+    // Fig. 2 — per-app utilization shape (profile-level, unperturbed by
+    // construction: the perturbation models runtime drift, not workload).
+    put(m.fig2, "fig2." + app + ".mean_util", profile.mean_utilization());
+    put(m.fig2, "fig2." + app + ".bottleneck_util",
+        profile.bottleneck_utilization());
+
+    // Fig. 7 — per-phase execution time normalized by the NVFI-mesh total.
+    const double base = nvfi.exec_s;
+    VFIMR_REQUIRE(base > 0.0);
+    auto add_fig7 = [&](const char* system, const SystemReport& r) {
+      const std::string prefix = "fig7." + app + "." + system + ".";
+      put(m.fig7, prefix + "lib_init", r.phases.lib_init_s / base);
+      put(m.fig7, prefix + "map", r.phases.map_s / base);
+      put(m.fig7, prefix + "reduce", r.phases.reduce_s / base);
+      put(m.fig7, prefix + "merge", r.phases.merge_s / base);
+      put(m.fig7, prefix + "total", r.exec_s / base);
+    };
+    add_fig7("nvfi_mesh", nvfi);
+    add_fig7("vfi_mesh", mesh);
+    add_fig7("vfi_winoc", winoc);
+    // Absolute anchor: normalized ratios alone would hide a drift that
+    // scales every system identically (e.g. a uniform map-time slowdown).
+    put(m.fig7, "fig7." + app + ".nvfi_exec_s", base);
+
+    // Fig. 8 — full-system EDP and energy, normalized by the NVFI mesh.
+    const double base_edp = nvfi.edp_js();
+    put(m.fig8, "fig8." + app + ".nvfi_edp_js", base_edp);  // absolute anchor
+    put(m.fig8, "fig8." + app + ".vfi_mesh_edp", mesh.edp_js() / base_edp);
+    const double winoc_edp = winoc.edp_js() / base_edp;
+    put(m.fig8, "fig8." + app + ".vfi_winoc_edp", winoc_edp);
+    put(m.fig8, "fig8." + app + ".winoc_exec", winoc.exec_s / nvfi.exec_s);
+    put(m.fig8, "fig8." + app + ".core_e",
+        winoc.core_energy_j / nvfi.core_energy_j);
+    put(m.fig8, "fig8." + app + ".net_e",
+        (winoc.net_dynamic_j + winoc.net_static_j) /
+            (nvfi.net_dynamic_j + nvfi.net_static_j));
+
+    winoc_savings.push_back(1.0 - winoc_edp);
+    max_saving = std::max(max_saving, winoc_savings.back());
+    max_exec_penalty =
+        std::max(max_exec_penalty, winoc.exec_s / nvfi.exec_s - 1.0);
+
+    // Table 2 — per-cluster V/F assignment of the VFI-mesh design (the
+    // WiNoC system shares the same design flow; its table is checked via
+    // the fig8 metrics it produces).
+    VFIMR_REQUIRE(mesh.has_vfi);
+    for (std::size_t c = 0; c < mesh.vfi.vfi1.size(); ++c) {
+      const std::string prefix =
+          "table2." + app + ".cluster" + std::to_string(c) + ".";
+      put(m.table2, prefix + "vfi1_ghz", mesh.vfi.vfi1[c].freq_hz / 1e9);
+      put(m.table2, prefix + "vfi1_v", mesh.vfi.vfi1[c].voltage_v);
+      put(m.table2, prefix + "vfi2_ghz", mesh.vfi.vfi2[c].freq_hz / 1e9);
+      put(m.table2, prefix + "vfi2_v", mesh.vfi.vfi2[c].voltage_v);
+    }
+  }
+
+  double avg_saving = 0.0;
+  for (double s : winoc_savings) avg_saving += s;
+  avg_saving /= static_cast<double>(winoc_savings.size());
+  put(m.fig8, "fig8.summary.avg_saving", avg_saving);
+  put(m.fig8, "fig8.summary.max_saving", max_saving);
+  put(m.fig8, "fig8.summary.max_exec_penalty", max_exec_penalty);
+  return m;
+}
+
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,59 @@
+#pragma once
+// Golden-figure metric extraction — the single source of truth for the
+// regression guard protecting the paper-reproduction results.
+//
+// compute_figure_data() runs the full three-system comparison for all six
+// applications (the expensive step); extract_metrics() flattens it into the
+// named scalar metrics of Fig. 2 (utilization), Fig. 7 (phase breakdown),
+// Fig. 8 (full-system EDP) and Table 2 (per-cluster V/F assignment).  The
+// `bench/golden_figures` tool writes these maps to results/golden/*.json;
+// tests/test_golden_figures.cpp recomputes them and compares within
+// tolerance, so a refactor that silently shifts the 33.7 % EDP-saving
+// headline fails the suite instead of landing unnoticed.
+//
+// FigurePerturbation exists to *prove the guard bites*: scaling e.g. map
+// time by 1.05 must push fig7/fig8 metrics out of tolerance.
+
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+
+struct FigureParams {
+  PlatformParams platform{};            ///< same defaults as the benches
+  workload::ProfileParams profile{};
+};
+
+/// Raw per-app comparison results, computed once and reused for both the
+/// golden and the perturbed metric extraction.
+struct FigureData {
+  std::vector<workload::AppProfile> profiles;
+  std::vector<SystemComparison> comparisons;  ///< parallel to `profiles`
+};
+
+FigureData compute_figure_data(const FigureParams& params = {});
+
+/// Deliberate metric distortions for guard self-tests.  Defaults are the
+/// identity (no perturbation).
+struct FigurePerturbation {
+  double map_time_scale = 1.0;     ///< scales every system's map phase time
+  double core_energy_scale = 1.0;  ///< scales every system's core energy
+};
+
+/// All four figure groups as flat metric maps (key conventions:
+/// "fig7.<app>.<system>.<phase>", "fig8.<app>.<metric>",
+/// "fig8.summary.<metric>", "table2.<app>.cluster<j>.<vfi>_ghz").
+struct FigureMetrics {
+  json::MetricMap fig2;
+  json::MetricMap fig7;
+  json::MetricMap fig8;
+  json::MetricMap table2;
+};
+
+FigureMetrics extract_metrics(const FigureData& data,
+                              const FigurePerturbation& perturb = {});
+
+}  // namespace vfimr::sysmodel

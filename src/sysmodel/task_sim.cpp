@@ -116,6 +116,11 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
 
   std::vector<double> free_time(c, 0.0);
   std::vector<bool> active(c, true);
+  for (std::size_t i = 0; i < c; ++i) {
+    // A cap of zero (small N/C at low rel_freq) means no tasks at all; the
+    // post-increment cap check below only fires after the first task.
+    if (cap[i] == 0) active[i] = false;
+  }
   std::size_t remaining = n;
 
   while (remaining > 0) {

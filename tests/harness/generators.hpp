@@ -1,0 +1,127 @@
+#pragma once
+// Seeded random-input generators for the property/invariant tests.
+//
+// Every generator draws exclusively from the Rng it is handed, so a case is
+// fully determined by its seed (see harness/property.hpp).  Generators
+// produce *valid* inputs by construction — validity violations are the
+// subject of the death/error-path tests, not of the property tests.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "noc/topology.hpp"
+#include "power/vf_table.hpp"
+#include "sysmodel/task_sim.hpp"
+#include "vfi/clustering.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::test {
+
+struct MeshDims {
+  std::size_t width = 4;
+  std::size_t height = 4;
+};
+
+/// Random mesh dimensions in [2, hi] x [2, hi].
+inline MeshDims random_mesh_dims(Rng& rng, std::size_t hi = 6) {
+  return MeshDims{2 + rng.uniform_u64(hi - 1), 2 + rng.uniform_u64(hi - 1)};
+}
+
+/// Random traffic-rate matrix: `density` of the off-diagonal pairs get a
+/// uniform rate in (0, max_rate]; the diagonal stays zero.
+inline Matrix random_traffic(Rng& rng, std::size_t nodes,
+                             double density = 0.15,
+                             double max_rate = 0.005) {
+  Matrix m{nodes, nodes};
+  for (std::size_t s = 0; s < nodes; ++s) {
+    for (std::size_t d = 0; d < nodes; ++d) {
+      if (s == d) continue;
+      if (rng.bernoulli(density)) m(s, d) = rng.uniform(1e-5, max_rate);
+    }
+  }
+  return m;
+}
+
+/// Random task-set description (possibly empty, possibly compute- or
+/// memory-only) for the deterministic task simulator.
+inline workload::TaskSet random_taskset(Rng& rng,
+                                        std::size_t max_tasks = 160) {
+  workload::TaskSet spec;
+  spec.count = rng.uniform_u64(max_tasks + 1);
+  spec.cycles_mean = rng.bernoulli(0.9) ? rng.uniform(1e5, 5e7) : 0.0;
+  spec.cycles_cv = rng.uniform(0.0, 0.6);
+  spec.mem_seconds_mean = rng.bernoulli(0.9) ? rng.uniform(1e-6, 5e-3) : 0.0;
+  spec.mem_cv = rng.uniform(0.0, 0.6);
+  return spec;
+}
+
+/// Random heterogeneous core set: every core gets a ladder point from
+/// `table`; at least one core always runs at the ladder maximum so Eq. 3's
+/// f_max reference exists in the configuration.
+inline std::vector<sysmodel::SimCore> random_cores(
+    Rng& rng, std::size_t count,
+    const power::VfTable& table = power::VfTable::standard()) {
+  std::vector<sysmodel::SimCore> cores(count);
+  const double fmax = table.max().freq_hz;
+  for (auto& c : cores) {
+    const auto& p = table[rng.uniform_u64(table.size())];
+    c.freq_hz = p.freq_hz;
+    c.rel_freq = p.freq_hz / fmax;
+  }
+  cores[rng.uniform_u64(count)] = sysmodel::SimCore{fmax, 1.0};
+  return cores;
+}
+
+/// Random ascending V/F ladder with voltage growing with frequency.
+inline power::VfTable random_vf_table(Rng& rng, std::size_t max_points = 6) {
+  const std::size_t n = 2 + rng.uniform_u64(max_points - 1);
+  std::vector<power::VfPoint> pts(n);
+  double v = rng.uniform(0.5, 0.7);
+  double f = rng.uniform(0.8e9, 1.6e9);
+  for (auto& p : pts) {
+    p.voltage_v = v;
+    p.freq_hz = f;
+    v += rng.uniform(0.05, 0.15);
+    f += rng.uniform(0.2e9, 0.5e9);
+  }
+  return power::VfTable{std::move(pts)};
+}
+
+/// Random VFI clustering instance with `clusters` equal-size clusters.
+inline vfi::ClusteringProblem random_clustering_problem(
+    Rng& rng, std::size_t cores, std::size_t clusters) {
+  vfi::ClusteringProblem p;
+  p.clusters = clusters;
+  p.utilization.resize(cores);
+  for (auto& u : p.utilization) u = rng.uniform(0.05, 1.0);
+  p.traffic = random_traffic(rng, cores, 0.3, 1.0);
+  return p;
+}
+
+/// Random per-thread utilization vector with a few high-utilization master
+/// (bottleneck) threads, shaped like the Fig. 2 measurements.
+struct UtilizationSample {
+  std::vector<double> utilization;
+  std::vector<std::size_t> masters;
+};
+
+inline UtilizationSample random_utilization(Rng& rng, std::size_t threads) {
+  UtilizationSample s;
+  s.utilization.resize(threads);
+  for (auto& u : s.utilization) u = rng.uniform(0.1, 0.8);
+  const std::size_t masters = 1 + rng.uniform_u64(3);
+  for (std::size_t i = 0; i < masters; ++i) {
+    const std::size_t t = rng.uniform_u64(threads);
+    s.utilization[t] = rng.uniform(0.85, 1.0);
+    if (std::find(s.masters.begin(), s.masters.end(), t) == s.masters.end()) {
+      s.masters.push_back(t);
+    }
+  }
+  return s;
+}
+
+}  // namespace vfimr::test

@@ -1,0 +1,64 @@
+#pragma once
+// Seeded property-test runner for the correctness harness.
+//
+// Every property test iterates a fixed number of generated cases.  Case i
+// derives its seed as `base_seed + i`; the base seed defaults to a repo-wide
+// constant so runs are bit-for-bit reproducible, and can be overridden with
+// the VFIMR_PROPERTY_SEED environment variable.  Each case is wrapped in a
+// SCOPED_TRACE carrying its seed, so any failing expectation prints the
+// exact replay command:
+//
+//   VFIMR_PROPERTY_SEED=<seed> VFIMR_PROPERTY_CASES=1 ./test_prop_foo
+//
+// VFIMR_PROPERTY_CASES overrides the case count (e.g. crank it up for a
+// soak run, or pin it to 1 for replay).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace vfimr::test {
+
+/// Repo-wide default base seed (the paper's venue + year).
+inline constexpr std::uint64_t kDefaultBaseSeed = 0xDAC2015ULL;
+
+inline std::uint64_t property_base_seed() {
+  if (const char* env = std::getenv("VFIMR_PROPERTY_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultBaseSeed;
+}
+
+inline int property_case_count(int default_cases) {
+  if (const char* env = std::getenv("VFIMR_PROPERTY_CASES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return default_cases;
+}
+
+/// Runs `property(rng, case_seed)` for `default_cases` derived cases.
+/// The Rng handed to the property is freshly seeded per case, so properties
+/// are independent and a single case replays in isolation.  Stops early on
+/// the first fatal failure to keep failure output focused on one seed.
+template <typename Property>
+void for_each_seed(int default_cases, Property&& property) {
+  const std::uint64_t base = property_base_seed();
+  const int cases = property_case_count(default_cases);
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t case_seed = base + static_cast<std::uint64_t>(i);
+    SCOPED_TRACE("property case seed=" + std::to_string(case_seed) +
+                 "  (replay: VFIMR_PROPERTY_SEED=" +
+                 std::to_string(case_seed) + " VFIMR_PROPERTY_CASES=1)");
+    Rng rng{case_seed};
+    property(rng, case_seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace vfimr::test

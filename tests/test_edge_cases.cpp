@@ -1,0 +1,256 @@
+// Edge-case and error-path tests: stealing_cap() boundaries, reduce
+// hash-partition boundaries, and VFIMR_REQUIRE-guarded invalid-config
+// handling across the public constructors.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/require.hpp"
+#include "mapreduce/engine.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "power/core_power.hpp"
+#include "power/vf_table.hpp"
+#include "sysmodel/task_sim.hpp"
+
+namespace vfimr {
+namespace {
+
+// ---------------------------------------------------------------- Eq. 3 cap
+
+TEST(StealingCapEdge, ZeroTasksYieldsZeroCap) {
+  EXPECT_EQ(mr::stealing_cap(0, 4, 0.5), 0u);
+  EXPECT_EQ(mr::stealing_cap(0, 1, 0.9), 0u);
+}
+
+TEST(StealingCapEdge, SingleCoreKeepsItsShare) {
+  // One core: N/C = N, so the cap is floor(N * rel_freq).
+  EXPECT_EQ(mr::stealing_cap(10, 1, 0.5), 5u);
+  EXPECT_EQ(mr::stealing_cap(10, 1, 0.99), 9u);  // floor, not round
+  EXPECT_EQ(mr::stealing_cap(1, 1, 0.5), 0u);
+}
+
+TEST(StealingCapEdge, FmaxCoreIsNeverCapped) {
+  EXPECT_EQ(mr::stealing_cap(100, 8, 1.0), 100u);
+  EXPECT_EQ(mr::stealing_cap(0, 8, 1.0), 0u);
+}
+
+TEST(StealingCapEdge, CapAtLeastDequeShareBehavesAsUncapped) {
+  // rel_freq high enough that the cap >= the worker's block share: the
+  // scheduler must finish every task with per-worker counts summing to N.
+  mr::SchedulerConfig cfg;
+  cfg.workers = 4;
+  cfg.vfi_stealing_cap = true;
+  cfg.rel_freq = {1.0, 0.999, 1.0, 1.0};  // cap(0.999) = floor(N/C * .999)
+  mr::TaskScheduler sched{cfg};
+  const auto stats = sched.run(400, [](std::size_t, std::size_t) {});
+  std::uint64_t total = 0;
+  for (std::uint64_t e : stats.tasks_executed) total += e;
+  EXPECT_EQ(total, 400u);
+  // Worker 1's cap is 99 tasks (floor(100 * 0.999)) — never exceeded.
+  EXPECT_LE(stats.tasks_executed[1], mr::stealing_cap(400, 4, 0.999));
+}
+
+TEST(StealingCapEdge, InvalidArgumentsThrow) {
+  EXPECT_THROW(mr::stealing_cap(10, 0, 0.5), RequirementError);
+  EXPECT_THROW(mr::stealing_cap(10, 4, 0.0), RequirementError);
+  EXPECT_THROW(mr::stealing_cap(10, 4, -0.5), RequirementError);
+  EXPECT_THROW(mr::stealing_cap(10, 4, 1.5), RequirementError);
+}
+
+// ------------------------------------------- reduce hash-partition borders
+
+using CountEngine = mr::Engine<std::string, std::uint64_t>;
+
+/// Hash functor colliding every key into one bucket.
+struct CollidingHash {
+  std::size_t operator()(const std::string&) const { return 42; }
+};
+
+TEST(ReducePartitionEdge, MorePartitionsThanKeysLeavesEmptyPartitions) {
+  CountEngine::Options o;
+  o.scheduler.workers = 2;
+  o.reduce_partitions = 16;  // only 3 keys -> at least 13 empty partitions
+  CountEngine engine{o};
+  const auto result =
+      engine.run(9, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit("k" + std::to_string(task % 3), 1);
+      });
+  ASSERT_EQ(result.pairs.size(), 3u);
+  for (const auto& kv : result.pairs) EXPECT_EQ(kv.value, 3u);
+  EXPECT_EQ(result.profile.shuffle_pairs.cols(), 16u);
+}
+
+TEST(ReducePartitionEdge, SingleKeyAcrossManyWorkersAndPartitions) {
+  CountEngine::Options o;
+  o.scheduler.workers = 8;
+  o.reduce_partitions = 8;
+  CountEngine engine{o};
+  const auto result =
+      engine.run(64, [](std::size_t, CountEngine::Emitter& em) {
+        em.emit("only", 1);
+      });
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].key, "only");
+  EXPECT_EQ(result.pairs[0].value, 64u);
+  // A single key lands in exactly one partition: every nonzero shuffle
+  // entry sits in the same column (workers that executed no map task have
+  // empty rows, so only the column is deterministic).
+  const auto& shuffle = result.profile.shuffle_pairs;
+  std::size_t nonzero_columns = 0;
+  for (std::size_t p = 0; p < shuffle.cols(); ++p) {
+    double col = 0.0;
+    for (std::size_t w = 0; w < shuffle.rows(); ++w) col += shuffle(w, p);
+    if (col > 0.0) ++nonzero_columns;
+  }
+  EXPECT_EQ(nonzero_columns, 1u);
+  EXPECT_GE(shuffle.sum(), 1.0);
+  EXPECT_LE(shuffle.sum(), 8.0);
+}
+
+TEST(ReducePartitionEdge, AllKeysCollidingIntoOnePartition) {
+  using CollideEngine =
+      mr::Engine<std::string, std::uint64_t, mr::SumCombiner<std::uint64_t>,
+                 CollidingHash>;
+  CollideEngine::Options o;
+  o.scheduler.workers = 4;
+  o.reduce_partitions = 4;
+  CollideEngine engine{o};
+  const auto result =
+      engine.run(20, [](std::size_t task, CollideEngine::Emitter& em) {
+        em.emit("k" + std::to_string(task), 1);
+      });
+  // Correctness is preserved even though one reducer does all the work.
+  ASSERT_EQ(result.pairs.size(), 20u);
+  const std::size_t column = 42 % 4;
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      if (p != column) {
+        EXPECT_DOUBLE_EQ(result.profile.shuffle_pairs(w, p), 0.0)
+            << "partition " << p << " should be empty";
+      }
+    }
+  }
+}
+
+TEST(ReducePartitionEdge, OnePartitionTotalIsValid) {
+  CountEngine::Options o;
+  o.scheduler.workers = 4;
+  o.reduce_partitions = 1;
+  CountEngine engine{o};
+  const auto result =
+      engine.run(12, [](std::size_t task, CountEngine::Emitter& em) {
+        em.emit("k" + std::to_string(task % 5), 1);
+      });
+  EXPECT_EQ(result.pairs.size(), 5u);
+}
+
+// ------------------------------------------------- require.hpp error paths
+
+TEST(RequireError, ThrowsRequirementErrorWithContext) {
+  try {
+    VFIMR_REQUIRE(1 + 1 == 3);
+    FAIL() << "VFIMR_REQUIRE(false) must throw";
+  } catch (const RequirementError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_edge_cases.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(RequireError, MessageVariantStreamsDetails) {
+  try {
+    const int workers = 0;
+    VFIMR_REQUIRE_MSG(workers > 0, "need workers, got " << workers);
+    FAIL() << "VFIMR_REQUIRE_MSG(false) must throw";
+  } catch (const RequirementError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("need workers, got 0"), std::string::npos) << what;
+  }
+}
+
+TEST(RequireError, PassingRequireDoesNotThrow) {
+  EXPECT_NO_THROW(VFIMR_REQUIRE(true));
+  EXPECT_NO_THROW(VFIMR_REQUIRE_MSG(2 > 1, "fine"));
+}
+
+// ------------------------------------------------- invalid configurations
+
+TEST(InvalidConfig, ZeroWorkerSchedulerThrows) {
+  mr::SchedulerConfig cfg;
+  cfg.workers = 0;
+  EXPECT_THROW(mr::TaskScheduler{cfg}, RequirementError);
+}
+
+TEST(InvalidConfig, RelFreqSizeMismatchThrows) {
+  mr::SchedulerConfig cfg;
+  cfg.workers = 4;
+  cfg.rel_freq = {1.0, 0.5};  // 2 entries for 4 workers
+  EXPECT_THROW(mr::TaskScheduler{cfg}, RequirementError);
+}
+
+TEST(InvalidConfig, RelFreqOutOfRangeThrows) {
+  mr::SchedulerConfig cfg;
+  cfg.workers = 2;
+  cfg.rel_freq = {1.0, 0.0};
+  EXPECT_THROW(mr::TaskScheduler{cfg}, RequirementError);
+  cfg.rel_freq = {1.0, 1.5};
+  EXPECT_THROW(mr::TaskScheduler{cfg}, RequirementError);
+}
+
+TEST(InvalidConfig, ZeroWorkerEngineThrows) {
+  CountEngine::Options o;
+  o.scheduler.workers = 0;
+  EXPECT_THROW(CountEngine{o}, RequirementError);
+}
+
+TEST(InvalidConfig, NegativeFrequencyVfTableThrows) {
+  EXPECT_THROW(power::VfTable({{0.8, -2.0e9}}), RequirementError);
+  EXPECT_THROW(power::VfTable({{0.8, 0.0}}), RequirementError);
+  EXPECT_THROW(power::VfTable({{-0.8, 2.0e9}}), RequirementError);
+}
+
+TEST(InvalidConfig, UnsortedOrEmptyVfTableThrows) {
+  EXPECT_THROW(power::VfTable({{0.8, 2.0e9}, {0.6, 1.5e9}}),
+               RequirementError);
+  EXPECT_THROW(power::VfTable(std::vector<power::VfPoint>{}),
+               RequirementError);
+}
+
+TEST(InvalidConfig, ForeignVfPointLookupThrows) {
+  const power::VfTable& table = power::VfTable::standard();
+  EXPECT_THROW(table.index_of(power::VfPoint{0.55, 1.23e9}),
+               RequirementError);
+}
+
+TEST(InvalidConfig, CorePowerModelRejectsBadParams) {
+  power::CorePowerParams p;
+  p.ceff_f = 0.0;
+  EXPECT_THROW(power::CorePowerModel{p}, RequirementError);
+  p = power::CorePowerParams{};
+  p.idle_activity = 1.5;
+  EXPECT_THROW(power::CorePowerModel{p}, RequirementError);
+  const power::CorePowerModel model;
+  EXPECT_THROW(model.power_w(-0.1, power::VfTable::standard().max()),
+               RequirementError);
+  EXPECT_THROW(model.leakage_w(0.0), RequirementError);
+}
+
+TEST(InvalidConfig, TaskSimRejectsBadCoresAndScale) {
+  const std::vector<sysmodel::SimTask> tasks{{1e6, 0.0}};
+  EXPECT_THROW(sysmodel::simulate_phase(tasks, {}, 1.0,
+                                        sysmodel::StealingPolicy::kPhoenixDefault),
+               RequirementError);
+  const std::vector<sysmodel::SimCore> cores{{2.5e9, 1.0}};
+  EXPECT_THROW(sysmodel::simulate_phase(tasks, cores, 0.0,
+                                        sysmodel::StealingPolicy::kPhoenixDefault),
+               RequirementError);
+  const std::vector<sysmodel::SimCore> bad_freq{{0.0, 1.0}};
+  EXPECT_THROW(sysmodel::simulate_phase(tasks, bad_freq, 1.0,
+                                        sysmodel::StealingPolicy::kPhoenixDefault),
+               RequirementError);
+}
+
+}  // namespace
+}  // namespace vfimr

@@ -1,0 +1,215 @@
+// Property tests for the real MapReduce runtime: output equivalence between
+// 1 worker and N workers — on a synthetic integer job (exact equality) and
+// on all six paper applications (exact for integer-keyed apps, tight
+// tolerances where floating-point summation order legitimately differs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+#include "mapreduce/apps/histogram.hpp"
+#include "mapreduce/apps/kmeans.hpp"
+#include "mapreduce/apps/linear_regression.hpp"
+#include "mapreduce/apps/matrix_multiply.hpp"
+#include "mapreduce/apps/pca.hpp"
+#include "mapreduce/apps/wordcount.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace vfimr::mr {
+namespace {
+
+std::size_t random_worker_count(Rng& rng) { return 2 + rng.uniform_u64(15); }
+
+TEST(PropEngine, SyntheticJobEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(6, [](Rng& rng, std::uint64_t) {
+    using E = Engine<std::uint64_t, std::int64_t>;
+    const std::size_t tasks = rng.uniform_u64(120);
+    const std::size_t key_space = 1 + rng.uniform_u64(40);
+    const std::size_t emits_per_task = 1 + rng.uniform_u64(8);
+    const std::uint64_t salt = rng.next_u64();
+
+    auto map_fn = [&](std::size_t task, E::Emitter& em) {
+      SplitMix64 sm{salt ^ task};
+      for (std::size_t e = 0; e < emits_per_task; ++e) {
+        const std::uint64_t key = sm.next() % key_space;
+        em.emit(key, static_cast<std::int64_t>(sm.next() % 1000) - 500);
+      }
+    };
+
+    auto run_with = [&](std::size_t workers, std::size_t partitions) {
+      E::Options o;
+      o.scheduler.workers = workers;
+      o.reduce_partitions = partitions;
+      return E{o}.run(tasks, map_fn);
+    };
+
+    const std::size_t n = random_worker_count(rng);
+    const std::size_t parts = 1 + rng.uniform_u64(2 * n);
+    const auto ref = run_with(1, 1);
+    const auto par = run_with(n, parts);
+
+    ASSERT_EQ(par.pairs.size(), ref.pairs.size());
+    for (std::size_t i = 0; i < ref.pairs.size(); ++i) {
+      EXPECT_EQ(par.pairs[i].key, ref.pairs[i].key);
+      EXPECT_EQ(par.pairs[i].value, ref.pairs[i].value);
+    }
+    EXPECT_EQ(par.profile.unique_keys, ref.profile.unique_keys);
+    EXPECT_EQ(par.profile.emitted_pairs, ref.profile.emitted_pairs);
+    // Shuffle accounting: one unit per worker-local distinct key, so the
+    // total can only grow when keys are spread over more workers, and the
+    // single-worker total is exactly the number of unique keys.
+    EXPECT_DOUBLE_EQ(ref.profile.shuffle_pairs.sum(),
+                     static_cast<double>(ref.profile.unique_keys));
+    EXPECT_GE(par.profile.shuffle_pairs.sum(),
+              ref.profile.shuffle_pairs.sum() - 1e-9);
+  });
+}
+
+TEST(PropEngine, WordCountEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t) {
+    mr::apps::WordCountConfig cfg;
+    cfg.word_count = 5'000;
+    cfg.vocabulary = 200;
+    cfg.map_tasks = 16;
+    cfg.seed = rng.next_u64();
+    const std::string text = mr::apps::generate_text(cfg);
+
+    cfg.scheduler.workers = 1;
+    const auto ref = mr::apps::word_count(text, cfg);
+    cfg.scheduler.workers = random_worker_count(rng);
+    const auto par = mr::apps::word_count(text, cfg);
+
+    EXPECT_EQ(par.total_words, ref.total_words);
+    ASSERT_EQ(par.counts.size(), ref.counts.size());
+    for (std::size_t i = 0; i < ref.counts.size(); ++i) {
+      EXPECT_EQ(par.counts[i], ref.counts[i]);
+    }
+  });
+}
+
+TEST(PropEngine, HistogramEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t) {
+    mr::apps::HistogramConfig cfg;
+    cfg.pixel_count = 20'000;
+    cfg.map_tasks = 12;
+    cfg.seed = rng.next_u64();
+    const auto image = mr::apps::generate_image(cfg);
+
+    cfg.scheduler.workers = 1;
+    const auto ref = mr::apps::histogram(image, cfg);
+    cfg.scheduler.workers = random_worker_count(rng);
+    const auto par = mr::apps::histogram(image, cfg);
+    EXPECT_EQ(par.bins, ref.bins);
+  });
+}
+
+TEST(PropEngine, LinearRegressionEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t) {
+    mr::apps::LinearRegressionConfig cfg;
+    cfg.sample_count = 20'000;
+    cfg.map_tasks = 16;
+    cfg.seed = rng.next_u64();
+    const auto samples = mr::apps::generate_samples(cfg);
+
+    cfg.scheduler.workers = 1;
+    const auto ref = mr::apps::linear_regression(samples, cfg);
+    cfg.scheduler.workers = random_worker_count(rng);
+    const auto par = mr::apps::linear_regression(samples, cfg);
+
+    EXPECT_EQ(par.samples, ref.samples);
+    // Partial sums fold in a worker-dependent order; only ulp-level
+    // floating-point drift is acceptable.
+    EXPECT_NEAR(par.slope, ref.slope, 1e-9 * std::abs(ref.slope) + 1e-12);
+    EXPECT_NEAR(par.intercept, ref.intercept,
+                1e-9 * std::abs(ref.intercept) + 1e-12);
+  });
+}
+
+TEST(PropEngine, MatrixMultiplyEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t) {
+    mr::apps::MatrixMultiplyConfig cfg;
+    cfg.dimension = 48;
+    cfg.map_tasks = 16;
+    cfg.seed = rng.next_u64();
+    const Matrix a = mr::apps::generate_matrix(cfg.dimension, cfg.seed);
+    const Matrix b = mr::apps::generate_matrix(cfg.dimension, cfg.seed + 1);
+
+    cfg.scheduler.workers = 1;
+    const auto ref = mr::apps::matrix_multiply(a, b, cfg);
+    cfg.scheduler.workers = random_worker_count(rng);
+    const auto par = mr::apps::matrix_multiply(a, b, cfg);
+
+    // Every output row is computed wholly inside one map task, so the
+    // product must be bit-identical regardless of worker count.
+    ASSERT_EQ(par.product.rows(), ref.product.rows());
+    for (std::size_t r = 0; r < ref.product.rows(); ++r) {
+      for (std::size_t c = 0; c < ref.product.cols(); ++c) {
+        EXPECT_EQ(par.product(r, c), ref.product(r, c))
+            << "element (" << r << ", " << c << ")";
+      }
+    }
+  });
+}
+
+TEST(PropEngine, KmeansEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t) {
+    mr::apps::KmeansConfig cfg;
+    cfg.point_count = 1'500;
+    cfg.dimensions = 8;
+    cfg.clusters = 4;
+    cfg.max_iterations = 6;
+    cfg.map_tasks = 16;
+    cfg.seed = rng.next_u64();
+    const auto points = mr::apps::generate_points(cfg);
+
+    cfg.scheduler.workers = 1;
+    const auto ref = mr::apps::kmeans(points, cfg);
+    cfg.scheduler.workers = random_worker_count(rng);
+    const auto par = mr::apps::kmeans(points, cfg);
+
+    EXPECT_EQ(par.iterations, ref.iterations);
+    EXPECT_EQ(par.assignment, ref.assignment);
+    ASSERT_EQ(par.centroids.size(), ref.centroids.size());
+    for (std::size_t k = 0; k < ref.centroids.size(); ++k) {
+      for (std::size_t d = 0; d < ref.centroids[k].size(); ++d) {
+        EXPECT_NEAR(par.centroids[k][d], ref.centroids[k][d],
+                    1e-6 * std::abs(ref.centroids[k][d]) + 1e-9);
+      }
+    }
+  });
+}
+
+TEST(PropEngine, PcaEquivalentForOneVsManyWorkers) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t) {
+    mr::apps::PcaConfig cfg;
+    cfg.rows = 300;
+    cfg.dimensions = 12;
+    cfg.map_tasks = 16;
+    cfg.seed = rng.next_u64();
+    const Matrix data = mr::apps::generate_data(cfg);
+
+    cfg.scheduler.workers = 1;
+    const auto ref = mr::apps::pca(data, cfg);
+    cfg.scheduler.workers = random_worker_count(rng);
+    const auto par = mr::apps::pca(data, cfg);
+
+    ASSERT_EQ(par.mean.size(), ref.mean.size());
+    for (std::size_t d = 0; d < ref.mean.size(); ++d) {
+      EXPECT_NEAR(par.mean[d], ref.mean[d],
+                  1e-9 * std::abs(ref.mean[d]) + 1e-12);
+    }
+    for (std::size_t r = 0; r < ref.covariance.rows(); ++r) {
+      for (std::size_t c = 0; c < ref.covariance.cols(); ++c) {
+        EXPECT_NEAR(par.covariance(r, c), ref.covariance(r, c),
+                    1e-9 * std::abs(ref.covariance(r, c)) + 1e-12);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vfimr::mr

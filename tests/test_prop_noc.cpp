@@ -1,0 +1,159 @@
+// Property tests for the cycle-accurate NoC simulator: flit conservation
+// and deadlock-freedom on random meshes and random small-world WiNoC
+// topologies under random traffic.  See tests/harness/property.hpp for the
+// seeding/replay protocol.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "noc/traffic.hpp"
+#include "winoc/design.hpp"
+
+namespace vfimr::noc {
+namespace {
+
+/// Conservation invariants that must hold on any fully drained network.
+void expect_conserved(const Network& net, std::uint64_t expected_packets,
+                      std::uint64_t expected_flits) {
+  const Metrics& m = net.metrics();
+  EXPECT_EQ(m.packets_injected, expected_packets);
+  EXPECT_EQ(m.packets_ejected, expected_packets);
+  EXPECT_EQ(m.flits_ejected, expected_flits);
+  EXPECT_EQ(net.in_flight_flits(), 0u);
+}
+
+/// Edge-level accounting: per-edge flit counters must add up to the energy
+/// counters' wire/wireless totals.
+void expect_edge_accounting(const Network& net, const Topology& topo) {
+  std::uint64_t wire = 0;
+  std::uint64_t wireless = 0;
+  const auto& per_edge = net.edge_flits();
+  ASSERT_EQ(per_edge.size(), topo.graph.edge_count());
+  for (graph::EdgeId e = 0; e < per_edge.size(); ++e) {
+    if (topo.graph.edge(e).kind == graph::EdgeKind::kWire) {
+      wire += per_edge[e];
+    } else {
+      wireless += per_edge[e];
+    }
+  }
+  EXPECT_EQ(net.metrics().energy.wire_hops, wire);
+  EXPECT_EQ(net.metrics().energy.wireless_flits, wireless);
+}
+
+TEST(PropNoc, FlitConservationOnRandomMesh) {
+  test::for_each_seed(8, [](Rng& rng, std::uint64_t) {
+    const auto dims = test::random_mesh_dims(rng, 6);
+    const Topology topo = make_mesh(dims.width, dims.height);
+    const XyRouting routing{topo.graph, dims.width, dims.height};
+    Network net{topo, routing};
+
+    const std::size_t n = topo.node_count();
+    const std::size_t packets = 1 + rng.uniform_u64(80);
+    std::uint64_t flits = 0;
+    for (std::size_t i = 0; i < packets; ++i) {
+      const auto src = static_cast<graph::NodeId>(rng.uniform_u64(n));
+      auto dest = static_cast<graph::NodeId>(rng.uniform_u64(n - 1));
+      if (dest >= src) ++dest;
+      const auto size = static_cast<std::uint32_t>(1 + rng.uniform_u64(6));
+      net.inject(src, dest, size);
+      flits += size;
+    }
+    ASSERT_TRUE(net.drain(50'000)) << "mesh failed to drain (deadlock?)";
+    expect_conserved(net, packets, flits);
+    expect_edge_accounting(net, topo);
+  });
+}
+
+TEST(PropNoc, RandomMatrixTrafficDrainsOnMesh) {
+  test::for_each_seed(6, [](Rng& rng, std::uint64_t seed) {
+    const auto dims = test::random_mesh_dims(rng, 5);
+    const Topology topo = make_mesh(dims.width, dims.height);
+    const XyRouting routing{topo.graph, dims.width, dims.height};
+    Network net{topo, routing};
+
+    const Matrix rates = test::random_traffic(rng, topo.node_count());
+    MatrixTraffic gen{rates, /*packet_flits=*/4, /*seed=*/seed};
+    net.run(&gen, 2'000);
+    ASSERT_TRUE(net.drain(100'000)) << "mesh failed to drain under load";
+    const Metrics& m = net.metrics();
+    EXPECT_EQ(m.packets_ejected, m.packets_injected);
+    EXPECT_EQ(m.flits_ejected, 4u * m.packets_injected);
+    EXPECT_EQ(net.in_flight_flits(), 0u);
+    expect_edge_accounting(net, topo);
+  });
+}
+
+/// Random small-world WiNoC: the full design flow (thread mapping, wireline
+/// construction, wireless overlay, up*/down* routing) must yield a connected,
+/// deadlock-free network that conserves flits under its own mapped traffic.
+TEST(PropNoc, SmallWorldWinocNoDeadlock) {
+  test::for_each_seed(4, [](Rng& rng, std::uint64_t seed) {
+    constexpr std::size_t kThreads = 64;
+    const Matrix traffic = test::random_traffic(rng, kThreads, 0.1, 0.004);
+
+    // Random equal-size thread->cluster partition (the Eq. 1 result shape).
+    std::vector<std::size_t> ids(kThreads);
+    std::iota(ids.begin(), ids.end(), std::size_t{0});
+    rng.shuffle(ids);
+    std::vector<std::size_t> thread_cluster(kThreads);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      thread_cluster[ids[i]] = i / (kThreads / 4);
+    }
+
+    winoc::SmallWorldParams params;
+    params.seed = seed;
+    const auto design = winoc::build_winoc(
+        traffic, thread_cluster,
+        winoc::PlacementStrategy::kMaxWirelessUtilization, params);
+
+    ASSERT_TRUE(graph::is_connected(design.topology.graph));
+    const UpDownRouting routing{design.topology.graph, 2.0};
+    SimConfig cfg;
+    cfg.node_cluster = design.node_cluster;
+    Network net{design.topology, routing, cfg, design.wireless};
+
+    MatrixTraffic gen{design.node_traffic, /*packet_flits=*/4, seed};
+    net.run(&gen, 1'500);
+    ASSERT_TRUE(net.drain(150'000)) << "WiNoC failed to drain (deadlock?)";
+    const Metrics& m = net.metrics();
+    EXPECT_EQ(m.packets_ejected, m.packets_injected);
+    EXPECT_EQ(m.flits_ejected, 4u * m.packets_injected);
+    EXPECT_EQ(net.in_flight_flits(), 0u);
+    expect_edge_accounting(net, design.topology);
+  });
+}
+
+/// Determinism: the same seed must reproduce the same simulation, metric
+/// for metric (the property the golden-figure guard rests on).
+TEST(PropNoc, SimulationIsSeedDeterministic) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t seed) {
+    const auto dims = test::random_mesh_dims(rng, 5);
+    const Matrix rates = test::random_traffic(rng, dims.width * dims.height);
+    auto run_once = [&]() {
+      const Topology topo = make_mesh(dims.width, dims.height);
+      const XyRouting routing{topo.graph, dims.width, dims.height};
+      Network net{topo, routing};
+      MatrixTraffic gen{rates, 4, seed};
+      net.run(&gen, 1'000);
+      net.drain(50'000);
+      return net.metrics();
+    };
+    const Metrics a = run_once();
+    const Metrics b = run_once();
+    EXPECT_EQ(a.packets_injected, b.packets_injected);
+    EXPECT_EQ(a.packets_ejected, b.packets_ejected);
+    EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.avg_latency(), b.avg_latency());
+    EXPECT_EQ(a.energy.switch_traversals, b.energy.switch_traversals);
+    EXPECT_EQ(a.energy.wire_hops, b.energy.wire_hops);
+  });
+}
+
+}  // namespace
+}  // namespace vfimr::noc

@@ -1,0 +1,119 @@
+// Property tests for the power models and V/F ladder: EDP monotonicity in
+// frequency for fixed utilization (the physics behind Fig. 8's savings),
+// power monotonicity in utilization and voltage, and V/F table lookups on
+// random ladders.
+
+#include <gtest/gtest.h>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+#include "power/core_power.hpp"
+#include "power/vf_table.hpp"
+
+namespace vfimr::power {
+namespace {
+
+/// For a fixed compute job (cycles) at fixed utilization, stepping the
+/// standard ladder *down* always improves energy-delay product: dynamic
+/// energy scales with V^2 and leakage energy with leak(V)/f, both of which
+/// shrink faster than the 1/f delay grows.  This is the invariant that makes
+/// VFI V/F scaling worthwhile at all.
+TEST(PropPower, EdpMonotoneInFrequencyForFixedUtilization) {
+  test::for_each_seed(12, [](Rng& rng, std::uint64_t) {
+    const CorePowerModel model;
+    const VfTable& table = VfTable::standard();
+    const double u = rng.uniform(0.0, 1.0);
+    const double cycles = rng.uniform(1e6, 1e12);
+
+    double prev_edp = -1.0;
+    double prev_delay = -1.0;
+    double prev_energy = -1.0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const VfPoint& vf = table[i];
+      const double delay = cycles / vf.freq_hz;
+      const double energy = model.energy_j(u, vf, delay);
+      const double edp = energy * delay;
+      if (i > 0) {
+        EXPECT_LT(delay, prev_delay) << "at ladder point " << vf.label();
+        EXPECT_GT(energy, prev_energy) << "at ladder point " << vf.label();
+        EXPECT_GT(edp, prev_edp) << "at ladder point " << vf.label();
+      }
+      prev_edp = edp;
+      prev_delay = delay;
+      prev_energy = energy;
+    }
+  });
+}
+
+TEST(PropPower, PowerMonotoneInUtilizationAndVoltage) {
+  test::for_each_seed(12, [](Rng& rng, std::uint64_t) {
+    const CorePowerModel model;
+    const VfTable table = test::random_vf_table(rng);
+    const double u_lo = rng.uniform(0.0, 1.0);
+    const double u_hi = rng.uniform(u_lo, 1.0);
+
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      EXPECT_LE(model.power_w(u_lo, table[i]), model.power_w(u_hi, table[i]));
+      if (i > 0) {
+        // Higher ladder point: higher V and f, so more power at equal u.
+        EXPECT_GT(model.power_w(u_lo, table[i]),
+                  model.power_w(u_lo, table[i - 1]));
+        EXPECT_GT(model.leakage_w(table[i].voltage_v),
+                  model.leakage_w(table[i - 1].voltage_v));
+      }
+    }
+    // Idle clock-tree power keeps even u=0 strictly positive.
+    EXPECT_GT(model.power_w(0.0, table.min()), 0.0);
+  });
+}
+
+TEST(PropPower, VfTableLookupsOnRandomLadders) {
+  test::for_each_seed(12, [](Rng& rng, std::uint64_t) {
+    const VfTable table = test::random_vf_table(rng);
+
+    // at_least: lowest point satisfying the request, clamped at the top.
+    const double req = rng.uniform(0.5 * table.min().freq_hz,
+                                   1.2 * table.max().freq_hz);
+    const VfPoint& p = table.at_least(req);
+    if (req <= table.max().freq_hz) {
+      EXPECT_GE(p.freq_hz, req);
+      const std::size_t i = table.index_of(p);
+      if (i > 0) {
+        EXPECT_LT(table[i - 1].freq_hz, req);
+      }
+    } else {
+      EXPECT_EQ(p, table.max());
+    }
+
+    // step_up: exactly one ladder index, clamped at the top.
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const VfPoint& up = table.step_up(table[i]);
+      const std::size_t expect = i + 1 < table.size() ? i + 1 : i;
+      EXPECT_EQ(table.index_of(up), expect);
+    }
+
+    // The ladder is strictly ascending in both voltage and frequency (the
+    // generator's contract, revalidated through the public accessors).
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      EXPECT_GT(table[i].freq_hz, table[i - 1].freq_hz);
+      EXPECT_GT(table[i].voltage_v, table[i - 1].voltage_v);
+    }
+  });
+}
+
+TEST(PropPower, EnergyScalesLinearlyWithTime) {
+  test::for_each_seed(8, [](Rng& rng, std::uint64_t) {
+    const CorePowerModel model;
+    const VfTable table = test::random_vf_table(rng);
+    const VfPoint& vf = table[rng.uniform_u64(table.size())];
+    const double u = rng.uniform(0.0, 1.0);
+    const double t = rng.uniform(1e-6, 1e3);
+    const double e1 = model.energy_j(u, vf, t);
+    const double e2 = model.energy_j(u, vf, 2.0 * t);
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-9 * e2);
+    EXPECT_NEAR(e1, model.power_w(u, vf) * t, 1e-9 * e1);
+  });
+}
+
+}  // namespace
+}  // namespace vfimr::power

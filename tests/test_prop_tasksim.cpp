@@ -1,0 +1,141 @@
+// Property tests for the deterministic work-stealing task simulator:
+// work conservation, Eq. 3 steal-cap respect, makespan bounds and
+// seed-determinism, across random task sets and heterogeneous core sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+#include "mapreduce/scheduler.hpp"
+#include "sysmodel/task_sim.hpp"
+
+namespace vfimr::sysmodel {
+namespace {
+
+constexpr StealingPolicy kAllPolicies[] = {StealingPolicy::kPhoenixDefault,
+                                           StealingPolicy::kVfiAssignment,
+                                           StealingPolicy::kVfiHardCap};
+
+TEST(PropTaskSim, WorkConservationUnderEveryPolicy) {
+  test::for_each_seed(10, [](Rng& rng, std::uint64_t) {
+    const auto spec = test::random_taskset(rng);
+    const auto tasks = materialize_tasks(spec, rng);
+    const auto cores = test::random_cores(rng, 1 + rng.uniform_u64(32));
+    const double mem_scale = rng.uniform(0.5, 2.0);
+
+    for (StealingPolicy policy : kAllPolicies) {
+      const TaskSimResult r = simulate_phase(tasks, cores, mem_scale, policy);
+      std::uint64_t executed = 0;
+      for (std::uint64_t e : r.tasks_executed) executed += e;
+      EXPECT_EQ(executed, tasks.size())
+          << "policy " << static_cast<int>(policy);
+      ASSERT_EQ(r.busy_seconds.size(), cores.size());
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        EXPECT_GE(r.busy_seconds[i], 0.0);
+        EXPECT_LE(r.busy_seconds[i], r.makespan_s + 1e-12)
+            << "core " << i << " busier than the makespan";
+      }
+      if (!tasks.empty()) {
+        EXPECT_GE(r.makespan_s, 0.0);
+      }
+    }
+  });
+}
+
+TEST(PropTaskSim, HardCapRespectsEq3) {
+  test::for_each_seed(10, [](Rng& rng, std::uint64_t) {
+    const auto spec = test::random_taskset(rng);
+    const auto tasks = materialize_tasks(spec, rng);
+    const std::size_t c = 1 + rng.uniform_u64(32);
+    const auto cores = test::random_cores(rng, c);
+
+    const TaskSimResult r =
+        simulate_phase(tasks, cores, 1.0, StealingPolicy::kVfiHardCap);
+    for (std::size_t i = 0; i < c; ++i) {
+      if (cores[i].rel_freq >= 1.0) continue;
+      const std::size_t cap =
+          mr::stealing_cap(tasks.size(), c, cores[i].rel_freq);
+      EXPECT_LE(r.tasks_executed[i], cap)
+          << "core " << i << " (rel_freq " << cores[i].rel_freq
+          << ") exceeded its Eq. 3 cap";
+    }
+  });
+}
+
+TEST(PropTaskSim, HomogeneousMakespanBounds) {
+  test::for_each_seed(10, [](Rng& rng, std::uint64_t) {
+    const auto spec = test::random_taskset(rng);
+    const auto tasks = materialize_tasks(spec, rng);
+    if (tasks.empty()) return;
+    const std::size_t c = 1 + rng.uniform_u64(16);
+    const std::vector<SimCore> cores(c, SimCore{2.5e9, 1.0});
+    const double mem_scale = rng.uniform(0.5, 2.0);
+
+    double total = 0.0;
+    double longest = 0.0;
+    for (const auto& t : tasks) {
+      const double secs = t.cycles / 2.5e9 + t.mem_seconds * mem_scale;
+      total += secs;
+      longest = std::max(longest, secs);
+    }
+
+    const TaskSimResult r = simulate_phase(tasks, cores, mem_scale,
+                                           StealingPolicy::kPhoenixDefault);
+    const double ideal = total / static_cast<double>(c);
+    // Greedy scheduling: never better than the perfect split, never worse
+    // than the perfect split plus one straggler task.
+    EXPECT_GE(r.makespan_s, ideal * (1.0 - 1e-12));
+    EXPECT_LE(r.makespan_s, ideal + longest + 1e-12);
+  });
+}
+
+TEST(PropTaskSim, MaterializeAndSimulateAreSeedDeterministic) {
+  test::for_each_seed(6, [](Rng&, std::uint64_t seed) {
+    auto run_once = [&]() {
+      Rng rng{seed};
+      const auto spec = test::random_taskset(rng);
+      const auto util = test::random_utilization(rng, 16).utilization;
+      const auto tasks = materialize_tasks(spec, util, rng);
+      const auto cores = test::random_cores(rng, 8);
+      return simulate_phase(tasks, cores, 1.3,
+                            StealingPolicy::kVfiAssignment);
+    };
+    const TaskSimResult a = run_once();
+    const TaskSimResult b = run_once();
+    EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+    ASSERT_EQ(a.busy_seconds.size(), b.busy_seconds.size());
+    for (std::size_t i = 0; i < a.busy_seconds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.busy_seconds[i], b.busy_seconds[i]);
+    }
+  });
+}
+
+/// Utilization-correlated materialization preserves total nominal time
+/// (the time-conservation contract documented in task_sim.hpp).
+TEST(PropTaskSim, CorrelatedMaterializationConservesNominalTime) {
+  test::for_each_seed(8, [](Rng& rng, std::uint64_t seed) {
+    const auto spec = test::random_taskset(rng);
+    const auto util = test::random_utilization(rng, 64).utilization;
+    Rng rng_plain{seed ^ 0xBEEF};
+    Rng rng_corr{seed ^ 0xBEEF};
+    const auto plain = materialize_tasks(spec, rng_plain);
+    const auto corr = materialize_tasks(spec, util, rng_corr);
+    ASSERT_EQ(plain.size(), corr.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      const double t_plain =
+          plain[i].cycles / kNominalFreqHz + plain[i].mem_seconds;
+      const double t_corr =
+          corr[i].cycles / kNominalFreqHz + corr[i].mem_seconds;
+      EXPECT_NEAR(t_corr, t_plain, 1e-9 + 1e-9 * t_plain);
+      EXPECT_GE(corr[i].cycles, 0.0);
+      EXPECT_GE(corr[i].mem_seconds, -1e-15);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vfimr::sysmodel

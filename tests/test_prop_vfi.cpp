@@ -1,0 +1,199 @@
+// Property tests for the VFI design flow: cluster-validity invariants
+// (every core assigned, equal-size islands, contiguous quadrants on the
+// die), solver agreement on small instances, and V/F selection respecting
+// the ladder and the bottleneck-reassignment contract of §4.2.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+#include "noc/topology.hpp"
+#include "vfi/clustering.hpp"
+#include "vfi/vf_assign.hpp"
+#include "winoc/design.hpp"
+
+namespace vfimr::vfi {
+namespace {
+
+/// Asserts `assignment` is an equal-size partition of `cores` cores into
+/// `clusters` clusters.
+void expect_valid_partition(const std::vector<std::size_t>& assignment,
+                            std::size_t cores, std::size_t clusters) {
+  ASSERT_EQ(assignment.size(), cores);
+  std::vector<std::size_t> count(clusters, 0);
+  for (std::size_t c : assignment) {
+    ASSERT_LT(c, clusters);
+    ++count[c];
+  }
+  for (std::size_t j = 0; j < clusters; ++j) {
+    EXPECT_EQ(count[j], cores / clusters) << "cluster " << j;
+  }
+}
+
+TEST(PropVfi, AnnealProducesValidPartitionWithConsistentCost) {
+  test::for_each_seed(6, [](Rng& rng, std::uint64_t seed) {
+    const std::size_t clusters = 2 + rng.uniform_u64(3);       // 2..4
+    const std::size_t per_cluster = 2 + rng.uniform_u64(3);    // 2..4
+    const std::size_t cores = clusters * per_cluster;
+    const auto problem = test::random_clustering_problem(rng, cores, clusters);
+
+    AnnealParams params;
+    params.iterations = 3'000;
+    params.restarts = 1;
+    params.seed = seed;
+    const ClusteringResult result = solve_anneal(problem, params);
+
+    expect_valid_partition(result.assignment, cores, clusters);
+    const ClusteringCost cost{problem};
+    EXPECT_NEAR(result.cost, cost.cost(result.assignment),
+                1e-9 * (1.0 + std::abs(result.cost)));
+
+    // Determinism: the same seed reproduces the same assignment.
+    const ClusteringResult again = solve_anneal(problem, params);
+    EXPECT_EQ(again.assignment, result.assignment);
+    EXPECT_DOUBLE_EQ(again.cost, result.cost);
+  });
+}
+
+TEST(PropVfi, ExactMatchesBruteForceOnTinyInstances) {
+  test::for_each_seed(5, [](Rng& rng, std::uint64_t) {
+    const std::size_t clusters = 2 + rng.uniform_u64(2);  // 2..3
+    const std::size_t cores = clusters * (2 + rng.uniform_u64(2));
+    const auto problem = test::random_clustering_problem(rng, cores, clusters);
+
+    const ClusteringResult exact = solve_exact(problem);
+    const ClusteringResult brute = solve_brute_force(problem);
+    EXPECT_TRUE(exact.optimal);
+    EXPECT_NEAR(exact.cost, brute.cost, 1e-9 * (1.0 + std::abs(brute.cost)));
+    expect_valid_partition(exact.assignment, cores, clusters);
+
+    // The anneal heuristic may only ever be as good as or worse than exact.
+    AnnealParams params;
+    params.iterations = 2'000;
+    params.restarts = 1;
+    const ClusteringResult anneal = solve_anneal(problem, params);
+    EXPECT_GE(anneal.cost, exact.cost - 1e-9 * (1.0 + std::abs(exact.cost)));
+  });
+}
+
+TEST(PropVfi, DesignVfiCoversAllCoresAndRespectsLadder) {
+  test::for_each_seed(4, [](Rng& rng, std::uint64_t seed) {
+    constexpr std::size_t kCores = 64;
+    const auto sample = test::random_utilization(rng, kCores);
+    const Matrix traffic = test::random_traffic(rng, kCores, 0.1, 0.01);
+    const power::VfTable& table = power::VfTable::standard();
+
+    VfiDesignParams params;
+    params.anneal.iterations = 3'000;
+    params.anneal.restarts = 1;
+    params.anneal.seed = seed;
+    const VfiDesign design =
+        design_vfi(sample.utilization, traffic, sample.masters, table, params);
+
+    expect_valid_partition(design.assignment, kCores, params.clusters);
+    ASSERT_EQ(design.vfi1.size(), params.clusters);
+    ASSERT_EQ(design.vfi2.size(), params.clusters);
+    for (std::size_t j = 0; j < params.clusters; ++j) {
+      // Both operating points must exist in the ladder (index_of throws on
+      // foreign points) and VFI 2 may only ever raise a cluster.
+      (void)table.index_of(design.vfi1[j]);
+      (void)table.index_of(design.vfi2[j]);
+      EXPECT_GE(design.vfi2[j].freq_hz, design.vfi1[j].freq_hz);
+      const bool raised =
+          std::find(design.raised_clusters.begin(),
+                    design.raised_clusters.end(),
+                    j) != design.raised_clusters.end();
+      EXPECT_EQ(raised, design.vfi2[j].freq_hz > design.vfi1[j].freq_hz)
+          << "cluster " << j;
+    }
+
+    // Every bottleneck core's cluster satisfies its VFI 2 requirement.
+    for (std::size_t b : sample.masters) {
+      const power::VfPoint required = table.at_least(
+          table.max().freq_hz * sample.utilization[b] /
+          params.select.util_target);
+      EXPECT_GE(design.vfi2[design.assignment[b]].freq_hz, required.freq_hz);
+    }
+  });
+}
+
+TEST(PropVfi, SelectVfPicksLowestSufficientLadderPoint) {
+  test::for_each_seed(8, [](Rng& rng, std::uint64_t) {
+    const std::size_t clusters = 2 + rng.uniform_u64(3);
+    const std::size_t cores = clusters * (2 + rng.uniform_u64(6));
+    const auto problem = test::random_clustering_problem(rng, cores, clusters);
+    std::vector<std::size_t> assignment(cores);
+    for (std::size_t i = 0; i < cores; ++i) {
+      assignment[i] = i % clusters;  // valid, equal sizes
+    }
+    const power::VfTable table = test::random_vf_table(rng);
+    VfSelectParams params;
+    params.util_target = rng.uniform(0.5, 1.0);
+
+    const auto vf =
+        select_vf(problem.utilization, assignment, clusters, table, params);
+    ASSERT_EQ(vf.size(), clusters);
+    for (std::size_t j = 0; j < clusters; ++j) {
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < cores; ++i) {
+        if (assignment[i] == j) {
+          sum += problem.utilization[i];
+          ++count;
+        }
+      }
+      const double required =
+          table.max().freq_hz * (sum / count) / params.util_target;
+      const std::size_t idx = table.index_of(vf[j]);
+      if (required <= table.max().freq_hz) {
+        EXPECT_GE(vf[j].freq_hz, required);
+        if (idx > 0) {
+          EXPECT_LT(table[idx - 1].freq_hz, required)
+              << "not the lowest sufficient point for cluster " << j;
+        }
+      } else {
+        EXPECT_EQ(idx, table.size() - 1);
+      }
+    }
+  });
+}
+
+/// The die's VFI islands: the quadrant map must cover all 64 switches with
+/// four equal, physically contiguous islands (a VFI shares one voltage rail
+/// and clock domain, so scattered islands are physically meaningless).
+TEST(QuadrantClusters, CoversDieWithContiguousEqualIslands) {
+  const auto clusters = winoc::quadrant_clusters();
+  ASSERT_EQ(clusters.size(), 64u);
+  expect_valid_partition(clusters, 64, 4);
+
+  const noc::Topology mesh = noc::make_mesh(8, 8);
+  for (std::size_t island = 0; island < 4; ++island) {
+    std::set<graph::NodeId> members;
+    for (graph::NodeId n = 0; n < 64; ++n) {
+      if (clusters[n] == island) members.insert(n);
+    }
+    ASSERT_EQ(members.size(), 16u);
+    // BFS within the island over mesh adjacency must reach every member.
+    std::set<graph::NodeId> seen;
+    std::vector<graph::NodeId> frontier{*members.begin()};
+    seen.insert(*members.begin());
+    while (!frontier.empty()) {
+      const graph::NodeId n = frontier.back();
+      frontier.pop_back();
+      for (graph::NodeId nb : mesh.graph.neighbors(n)) {
+        if (members.count(nb) && !seen.count(nb)) {
+          seen.insert(nb);
+          frontier.push_back(nb);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), members.size())
+        << "island " << island << " is not contiguous";
+  }
+}
+
+}  // namespace
+}  // namespace vfimr::vfi
