@@ -143,14 +143,23 @@ class Engine {
     result.profile.phases.map_s = result.profile.map_stats.wall_seconds;
     for (std::uint64_t e : emitted) result.profile.emitted_pairs += e;
 
-    // Shuffle accounting: every (worker-local key, value) that hashes to
-    // partition p will be read across the chip by the reducer owning p.
+    // Shuffle: bucket every worker's combined pairs by reduce partition in
+    // ONE pass (the naive alternative — each partition rescanning all
+    // workers' maps — is O(parts x total_pairs)).  The same pass feeds the
+    // shuffle-matrix accounting: every (worker-local key, value) that hashes
+    // to partition p will be read across the chip by the reducer owning p.
+    // Bucket order preserves each local map's iteration order, so the reduce
+    // below performs the identical try_emplace sequence per partition.
     const Hash hasher{};
+    std::vector<std::vector<std::vector<KeyValue>>> buckets(
+        workers, std::vector<std::vector<KeyValue>>(parts));
     for (std::size_t w = 0; w < workers; ++w) {
-      for (const auto& [key, value] : locals[w]) {
+      for (auto& [key, value] : locals[w]) {
         const std::size_t p = hasher(key) % parts;
+        buckets[w][p].push_back(KeyValue{key, std::move(value)});
         result.profile.shuffle_pairs(w, p) += 1.0;
       }
+      locals[w] = {};  // pairs now live in the buckets
     }
 
     // ---- Reduce ----
@@ -159,10 +168,9 @@ class Engine {
         sched.run(parts, [&](std::size_t part, std::size_t /*worker*/) {
           std::unordered_map<K, V, Hash> acc;
           for (std::size_t w = 0; w < workers; ++w) {
-            for (const auto& [key, value] : locals[w]) {
-              if (hasher(key) % parts != part) continue;
-              auto [it, inserted] = acc.try_emplace(key, value);
-              if (!inserted) combiner(it->second, value);
+            for (const auto& kv : buckets[w][part]) {
+              auto [it, inserted] = acc.try_emplace(kv.key, kv.value);
+              if (!inserted) combiner(it->second, kv.value);
             }
           }
           auto& out = partitions[part];

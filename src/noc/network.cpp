@@ -360,7 +360,13 @@ void Network::run(TrafficGenerator* gen, Cycle cycles) {
       staged.clear();
       gen->tick(metrics_.cycles, staged);
       for (const auto& inj : staged) {
-        if (inj.src != inj.dest) inject(inj.src, inj.dest, inj.flits);
+        if (inj.src != inj.dest) {
+          inject(inj.src, inj.dest, inj.flits);
+        } else {
+          // Self-traffic is serviced locally (never enters the network) but
+          // still counts toward the generator's offered load.
+          ++metrics_.packets_local;
+        }
       }
     }
     step();

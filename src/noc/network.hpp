@@ -63,6 +63,10 @@ struct EnergyCounters {
 struct Metrics {
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_ejected = 0;
+  /// Self-traffic (src == dest) offered by a generator.  Local packets never
+  /// enter the network, but conservation checks against generator offered
+  /// load must include them: offered == packets_injected + packets_local.
+  std::uint64_t packets_local = 0;
   std::uint64_t flits_ejected = 0;
   std::uint64_t cycles = 0;
   Accumulator packet_latency;  ///< inject -> tail-eject, in cycles

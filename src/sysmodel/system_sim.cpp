@@ -27,6 +27,37 @@ double serial_time(const workload::SerialStage& stage, double freq_hz,
 
 }  // namespace
 
+double vfi_network_v2_factor(const Matrix& node_traffic,
+                             const std::vector<std::size_t>& node_cluster,
+                             const std::vector<power::VfPoint>& cluster_vf,
+                             double v_nom) {
+  VFIMR_REQUIRE(v_nom > 0.0);
+  VFIMR_REQUIRE_MSG(node_traffic.rows() == node_traffic.cols(),
+                    "traffic matrix must be square");
+  VFIMR_REQUIRE_MSG(node_cluster.size() == node_traffic.rows(),
+                    "cluster map covers " << node_cluster.size()
+                                          << " nodes but the traffic matrix "
+                                          << "has " << node_traffic.rows());
+  const std::size_t n = node_traffic.rows();
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const double w = node_traffic(s, d);
+      if (w <= 0.0) continue;
+      VFIMR_REQUIRE_MSG(node_cluster[s] < cluster_vf.size() &&
+                            node_cluster[d] < cluster_vf.size(),
+                        "node cluster id out of range of the V/F assignment");
+      const double vs = cluster_vf[node_cluster[s]].voltage_v;
+      const double vd = cluster_vf[node_cluster[d]].voltage_v;
+      // A packet spends roughly half its hops in each endpoint's island.
+      weighted += w * 0.5 * (vs * vs + vd * vd) / (v_nom * v_nom);
+      total += w;
+    }
+  }
+  return total > 0.0 ? weighted / total : 1.0;
+}
+
 SystemReport FullSystemSim::run(const workload::AppProfile& profile,
                                 const PlatformParams& params,
                                 double baseline_latency_cycles) const {
@@ -152,22 +183,9 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   // the paper targets.
   double net_v2_factor = 1.0;
   if (built.has_vfi) {
-    const double v_nom = table_->max().voltage_v;
-    const auto clusters = winoc::quadrant_clusters();
-    double weighted = 0.0;
-    double total = 0.0;
-    for (std::size_t s = 0; s < 64; ++s) {
-      for (std::size_t d = 0; d < 64; ++d) {
-        const double w = built.node_traffic(s, d);
-        if (w <= 0.0) continue;
-        const double vs = built.vfi.vfi2[clusters[s]].voltage_v;
-        const double vd = built.vfi.vfi2[clusters[d]].voltage_v;
-        // A packet spends roughly half its hops in each endpoint's island.
-        weighted += w * 0.5 * (vs * vs + vd * vd) / (v_nom * v_nom);
-        total += w;
-      }
-    }
-    if (total > 0.0) net_v2_factor = weighted / total;
+    net_v2_factor =
+        vfi_network_v2_factor(built.node_traffic, winoc::quadrant_clusters(),
+                              built.vfi.vfi2, table_->max().voltage_v);
   }
   const double packets_per_cycle = profile.traffic.sum();
   const double flits = packets_per_cycle * params.network_clock_hz *

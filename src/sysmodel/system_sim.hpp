@@ -82,6 +82,18 @@ class FullSystemSim {
   const power::VfTable* table_;
 };
 
+/// Traffic-weighted average V^2 scaling of the interconnect under a VFI
+/// design: each packet spends roughly half its hops in the source island and
+/// half in the destination island, so its energy scales with the mean of the
+/// two islands' V^2 relative to `v_nom`.  Iterates the full traffic matrix
+/// (any platform size) and requires `node_cluster` to cover every node and
+/// every referenced cluster to have a V/F point.  Returns 1.0 when the
+/// matrix carries no traffic.  Exposed for tests.
+double vfi_network_v2_factor(const Matrix& node_traffic,
+                             const std::vector<std::size_t>& node_cluster,
+                             const std::vector<power::VfPoint>& cluster_vf,
+                             double v_nom);
+
 /// The three-system comparison used by most figures.  Runs NVFI mesh first
 /// and feeds its latency to the VFI systems as the baseline.
 struct SystemComparison {

@@ -35,8 +35,10 @@ std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
 
   const std::size_t cores = utilization.size();
   for (std::size_t j = 0; j < tasks.size(); ++j) {
-    // Owner of task j's data block under the Phoenix block split.
-    const std::size_t owner = j * cores / std::max<std::size_t>(tasks.size(), 1);
+    // Owner of task j's data block under the Phoenix block split — derived
+    // from the actual block boundaries [i*n/c, (i+1)*n/c), not the (wrong
+    // for n % c != 0) approximation j*c/n.
+    const std::size_t owner = block_owner(j, tasks.size(), cores);
     double m = std::clamp(utilization[owner] / mean_u, 0.5, 1.6);
     // The shift may not drive memory time negative (time conservation).
     if (tasks[j].cycles > 0.0) {

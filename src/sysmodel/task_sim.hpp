@@ -54,6 +54,15 @@ enum class StealingPolicy {
 std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
                                        Rng& rng);
 
+/// Owner core of task `task` under the Phoenix block split: core i holds the
+/// tasks [i*n/c, (i+1)*n/c), so the owner is the largest i with
+/// floor(i*n/c) <= task — i.e. the exact inverse of the split for every
+/// (n, c), including n % c != 0.  Requires n > 0 and c > 0.
+inline std::size_t block_owner(std::size_t task, std::size_t n,
+                               std::size_t c) {
+  return ((task + 1) * c - 1) / n;
+}
+
 /// Nominal platform frequency used to convert cycles <-> seconds when
 /// re-balancing a task's compute/memory split (the V/F ladder maximum).
 inline constexpr double kNominalFreqHz = 2.5e9;

@@ -101,6 +101,41 @@ TEST(Engine, ShuffleMatrixAccountsLocalKeys) {
   EXPECT_DOUBLE_EQ(shuffle.sum(), 8.0);
 }
 
+TEST(Engine, BucketedReduceMatchesSingleWorkerReference) {
+  // Regression for the quadratic reduce: the per-(worker, partition) bucket
+  // pass must visit each worker's pairs exactly once and reproduce the exact
+  // combiner sequence of the reference path — colliding keys across many
+  // partitions (parts >> unique keys) stress the re-bucketing.
+  auto run_with = [](std::size_t workers, std::size_t parts) {
+    CountEngine::Options o;
+    o.scheduler.workers = workers;
+    o.reduce_partitions = parts;
+    CountEngine engine{o};
+    return engine.run(60, [](std::size_t task, CountEngine::Emitter& em) {
+      em.emit("k" + std::to_string(task % 5), task);
+      em.emit("shared", 1);
+    });
+  };
+  const auto ref = run_with(1, 1);
+  for (std::size_t workers : {2u, 4u}) {
+    for (std::size_t parts : {3u, 16u, 64u}) {
+      const auto got = run_with(workers, parts);
+      ASSERT_EQ(got.pairs.size(), ref.pairs.size())
+          << workers << " workers, " << parts << " partitions";
+      for (std::size_t i = 0; i < ref.pairs.size(); ++i) {
+        EXPECT_EQ(got.pairs[i].key, ref.pairs[i].key);
+        EXPECT_EQ(got.pairs[i].value, ref.pairs[i].value);
+      }
+      // Shuffle accounting covers every distinct worker-local key exactly
+      // once: at least one unit per globally unique key, at most one per
+      // unique key per worker.
+      EXPECT_GE(got.profile.shuffle_pairs.sum(), 6.0);
+      EXPECT_LE(got.profile.shuffle_pairs.sum(),
+                6.0 * static_cast<double>(workers));
+    }
+  }
+}
+
 TEST(Engine, NoTasksProducesEmptyResult) {
   CountEngine engine{opts(2)};
   const auto result =

@@ -48,6 +48,32 @@ TEST(Network, SelfInjectionRejected) {
   EXPECT_THROW(net.inject(0, 99, 1), RequirementError);
 }
 
+TEST(Network, SelfTrafficCountedAsLocalPackets) {
+  // Regression: Network::run used to drop src==dest injections silently,
+  // breaking conservation against a generator's offered load.  Local packets
+  // never enter the network but must be counted in metrics_.packets_local.
+  MeshFixture f;
+  Network net{f.topo, f.routing};
+  TraceTraffic gen{{
+      {0, {0, 0, 4}},   // self
+      {0, {0, 5, 4}},   // real
+      {1, {7, 7, 2}},   // self
+      {2, {7, 7, 2}},   // self
+      {3, {15, 0, 4}},  // real
+  }};
+  net.run(&gen, 10);
+  EXPECT_TRUE(net.drain(200));
+  const auto& m = net.metrics();
+  EXPECT_EQ(m.packets_local, 3u);
+  EXPECT_EQ(m.packets_injected, 2u);
+  EXPECT_EQ(m.packets_ejected, 2u);
+  // Conservation over the generator's offered load.
+  EXPECT_EQ(m.packets_injected + m.packets_local, 5u);
+  // Local packets contribute no flits, hops, or latency samples.
+  EXPECT_EQ(m.flits_ejected, 8u);
+  EXPECT_EQ(m.packet_latency.count(), 2u);
+}
+
 TEST(Network, FlitConservationUnderLoad) {
   MeshFixture f;
   Network net{f.topo, f.routing};

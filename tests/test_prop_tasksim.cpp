@@ -114,6 +114,27 @@ TEST(PropTaskSim, MaterializeAndSimulateAreSeedDeterministic) {
   });
 }
 
+/// block_owner must be the exact inverse of the block split
+/// [i*n/c, (i+1)*n/c) for every (n, c), including non-divisible pairs —
+/// the owner-map regression behind the §7.3 compute/memory shift.
+TEST(PropTaskSim, BlockOwnerInvertsSplitForRandomShapes) {
+  test::for_each_seed(12, [](Rng& rng, std::uint64_t) {
+    const std::size_t c = 1 + rng.uniform_u64(48);
+    // Bias toward non-divisible n (the old formula was correct only when
+    // c divides n evenly and tasks outnumber cores).
+    std::size_t n = 1 + rng.uniform_u64(400);
+    if (n % c == 0 && rng.bernoulli(0.8)) ++n;
+    for (std::size_t i = 0; i < c; ++i) {
+      const std::size_t lo = i * n / c;
+      const std::size_t hi = (i + 1) * n / c;
+      for (std::size_t j = lo; j < hi; ++j) {
+        ASSERT_EQ(block_owner(j, n, c), i)
+            << "task " << j << " of n=" << n << " c=" << c;
+      }
+    }
+  });
+}
+
 /// Utilization-correlated materialization preserves total nominal time
 /// (the time-conservation contract documented in task_sim.hpp).
 TEST(PropTaskSim, CorrelatedMaterializationConservesNominalTime) {

@@ -19,6 +19,50 @@ PlatformParams fast_params(SystemKind kind) {
   return p;
 }
 
+TEST(VfiNetworkV2Factor, WeightsTrafficByIslandVoltages) {
+  // Two nodes in different islands at 0.8 V and 1.0 V, v_nom = 1.0 V.  One
+  // unit of traffic each way -> every packet averages the two islands' V^2.
+  Matrix traffic{2, 2};
+  traffic(0, 1) = 1.0;
+  traffic(1, 0) = 1.0;
+  const std::vector<std::size_t> clusters{0, 1};
+  const std::vector<power::VfPoint> vf{{0.8, 2.0e9}, {1.0, 2.5e9}};
+  const double factor = vfi_network_v2_factor(traffic, clusters, vf, 1.0);
+  EXPECT_NEAR(factor, 0.5 * (0.8 * 0.8 + 1.0 * 1.0), 1e-12);
+}
+
+TEST(VfiNetworkV2Factor, CoversEveryNodeOfNon64Platforms) {
+  // Regression: the factor used to loop over a hardcoded 64x64 window, so a
+  // platform with any other node count either read out of range or silently
+  // dropped traffic.  A 3-node matrix must be fully accounted.
+  Matrix traffic{3, 3};
+  traffic(0, 2) = 2.0;
+  traffic(2, 1) = 2.0;
+  const std::vector<std::size_t> clusters{0, 0, 1};
+  const std::vector<power::VfPoint> vf{{1.0, 2.5e9}, {0.6, 1.5e9}};
+  // (0 -> 2): (1 + 0.36)/2;  (2 -> 1): (0.36 + 1)/2; equal weights.
+  const double factor = vfi_network_v2_factor(traffic, clusters, vf, 1.0);
+  EXPECT_NEAR(factor, 0.5 * (1.0 + 0.36), 1e-12);
+}
+
+TEST(VfiNetworkV2Factor, ZeroTrafficIsNeutral) {
+  const std::vector<power::VfPoint> vf{{1.0, 2.5e9}};
+  EXPECT_DOUBLE_EQ(
+      vfi_network_v2_factor(Matrix{4, 4}, {0, 0, 0, 0}, vf, 1.0), 1.0);
+}
+
+TEST(VfiNetworkV2Factor, RejectsInconsistentClusterMap) {
+  Matrix traffic{2, 2};
+  traffic(0, 1) = 1.0;
+  const std::vector<power::VfPoint> vf{{1.0, 2.5e9}};
+  // Cluster map shorter than the traffic matrix.
+  EXPECT_THROW(vfi_network_v2_factor(traffic, {0}, vf, 1.0),
+               RequirementError);
+  // Cluster id with no V/F point.
+  EXPECT_THROW(vfi_network_v2_factor(traffic, {0, 7}, vf, 1.0),
+               RequirementError);
+}
+
 TEST(BuildPlatform, NvfiMeshShape) {
   const auto profile = workload::make_profile(workload::App::kWC);
   const auto built = build_platform(profile, fast_params(SystemKind::kNvfiMesh),

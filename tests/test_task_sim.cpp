@@ -40,6 +40,40 @@ TEST(Materialize, MatchesSpecStatistics) {
   EXPECT_NEAR(mem / 5000.0, 0.05, 0.05 * 0.02);
 }
 
+TEST(Materialize, OwnerMapInvertsBlockSplit) {
+  // n = 10 tasks on c = 4 cores: the block split is [0,2) [2,5) [5,7)
+  // [7,10).  The old owner formula j*c/n mapped task 2 to core 0 although it
+  // sits in core 1's block.
+  EXPECT_EQ(block_owner(2, 10, 4), 1u);
+  EXPECT_EQ(block_owner(1, 10, 4), 0u);
+  EXPECT_EQ(block_owner(4, 10, 4), 1u);
+  EXPECT_EQ(block_owner(5, 10, 4), 2u);
+  EXPECT_EQ(block_owner(9, 10, 4), 3u);
+}
+
+TEST(Materialize, CorrelationUsesActualBlockOwner) {
+  // Deterministic task draws (cv = 0) so every task starts identical, and
+  // strictly increasing per-core utilization, so each task's compute/memory
+  // shift factor identifies exactly which core's utilization drove it.
+  workload::TaskSet spec;
+  spec.count = 10;
+  spec.cycles_mean = 2.5e9;  // 1 s of compute at f_max
+  spec.cycles_cv = 0.0;
+  spec.mem_seconds_mean = 1.0;
+  spec.mem_cv = 0.0;
+  const std::vector<double> util{0.2, 0.4, 0.6, 0.8};  // mean 0.5
+  Rng rng{7};
+  const auto tasks = materialize_tasks(spec, util, rng);
+  ASSERT_EQ(tasks.size(), 10u);
+  // m = clamp(u_owner / mean_u, 0.5, 1.6) per owner: {0.5, 0.8, 1.2, 1.6}.
+  const double m_by_core[] = {0.5, 0.8, 1.2, 1.6};
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    const std::size_t owner = block_owner(j, 10, 4);
+    EXPECT_NEAR(tasks[j].cycles, 2.5e9 * m_by_core[owner], 1.0)
+        << "task " << j << " scaled by the wrong core's utilization";
+  }
+}
+
 TEST(Materialize, UtilizationCorrelationPreservesNominalTime) {
   workload::TaskSet spec;
   spec.count = 640;
