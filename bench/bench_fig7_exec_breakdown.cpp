@@ -8,6 +8,7 @@
 // least.
 
 #include "bench/bench_util.hpp"
+#include "sysmodel/sweep.hpp"
 
 using namespace vfimr;
 
@@ -15,11 +16,17 @@ int main() {
   const sysmodel::FullSystemSim sim;
   TextTable t{{"App", "System", "Map", "Reduce", "Merge", "LibInit", "Total"}};
 
+  std::vector<workload::AppProfile> profiles;
+  for (workload::App app : workload::kAllApps) {
+    profiles.push_back(workload::make_profile(app));
+  }
+  const auto comparisons = sysmodel::sweep_comparisons(profiles, sim);
+
   double max_winoc_gain_vs_mesh = 0.0;
   std::string max_gain_app;
-  for (workload::App app : workload::kAllApps) {
-    const auto profile = workload::make_profile(app);
-    const auto cmp = sysmodel::compare_systems(profile, sim);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& profile = profiles[i];
+    const auto& cmp = comparisons[i];
     const double base = cmp.nvfi_mesh.exec_s;
 
     auto add = [&](const sysmodel::SystemReport& r) {

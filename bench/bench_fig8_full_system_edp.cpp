@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.hpp"
 #include "common/stats.hpp"
+#include "sysmodel/sweep.hpp"
 
 using namespace vfimr;
 
@@ -15,13 +16,19 @@ int main() {
   TextTable t{{"App", "VFI Mesh EDP", "VFI WiNoC EDP", "WiNoC exec time",
                "Core E (norm)", "Net E (norm)"}};
 
+  std::vector<workload::AppProfile> profiles;
+  for (workload::App app : workload::kAllApps) {
+    profiles.push_back(workload::make_profile(app));
+  }
+  const auto comparisons = sysmodel::sweep_comparisons(profiles, sim);
+
   std::vector<double> savings;
   double max_saving = 0.0;
   double max_penalty = 0.0;
   std::string max_app;
-  for (workload::App app : workload::kAllApps) {
-    const auto profile = workload::make_profile(app);
-    const auto cmp = sysmodel::compare_systems(profile, sim);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& profile = profiles[i];
+    const auto& cmp = comparisons[i];
     const double base_edp = cmp.nvfi_mesh.edp_js();
 
     const double winoc_edp = cmp.vfi_winoc.edp_js() / base_edp;

@@ -1,0 +1,134 @@
+// Scaling micro-bench for the parallel experiment runner + NoC fast path:
+// times the Fig. 8 three-system sweep (a) with the naive reference stepping
+// at one thread, then (b) with the fast stepping path at 1/2/4/8 threads,
+// checks the two paths agree bit-for-bit, and writes the timings to a flat
+// metric JSON (json_lite subset) for the CI artifact.
+//
+//   ./build/bench/bench_sweep_scaling [--small] [OUT.json]
+//
+// --small shrinks the app set and the simulated cycle window so the bench
+// finishes in seconds on a CI runner (the speedup ratios are noisier but the
+// bit-identity check is just as strict); OUT.json defaults to
+// BENCH_sweep.json in the current directory.
+//
+// Reading the output: `speedup.fast_vs_reference_1t` isolates the simulator
+// fast path (same single thread, worklist + candidate masks + idle skip vs
+// the naive loops); `speedup.total_best` additionally includes thread
+// scaling, which on a single-core host is ~the same number.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "common/parallel_for.hpp"
+#include "sysmodel/sweep.hpp"
+#include "workload/profile.hpp"
+
+using namespace vfimr;
+
+namespace {
+
+double time_sweep(const std::vector<workload::AppProfile>& profiles,
+                  const sysmodel::FullSystemSim& sim,
+                  const sysmodel::PlatformParams& params, std::size_t threads,
+                  std::vector<sysmodel::SystemComparison>& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = sysmodel::sweep_comparisons(profiles, sim, params, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+bool reports_identical(const sysmodel::SystemReport& a,
+                       const sysmodel::SystemReport& b) {
+  return a.exec_s == b.exec_s && a.core_energy_j == b.core_energy_j &&
+         a.net_dynamic_j == b.net_dynamic_j &&
+         a.net_static_j == b.net_static_j &&
+         a.net.avg_latency_cycles == b.net.avg_latency_cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  std::string out_path = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--small") {
+      small = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  std::vector<workload::AppProfile> profiles;
+  sysmodel::PlatformParams params;
+  if (small) {
+    for (workload::App a : {workload::App::kHist, workload::App::kWC}) {
+      profiles.push_back(workload::make_profile(a));
+    }
+    params.sim_cycles = 6'000;
+    params.drain_cycles = 30'000;
+  } else {
+    for (workload::App a : workload::kAllApps) {
+      profiles.push_back(workload::make_profile(a));
+    }
+  }
+  const sysmodel::FullSystemSim sim;
+
+  json::MetricMap m;
+  m["bench_sweep.config.small"] = small ? 1.0 : 0.0;
+  m["bench_sweep.config.apps"] = static_cast<double>(profiles.size());
+  m["bench_sweep.config.sim_cycles"] =
+      static_cast<double>(params.sim_cycles);
+  m["bench_sweep.config.hardware_threads"] =
+      static_cast<double>(default_parallelism());
+
+  std::cout << "Fig. 8 sweep scaling (" << profiles.size() << " apps, "
+            << params.sim_cycles << " injection cycles per network)\n\n";
+
+  // Baseline: naive reference stepping, sequential.
+  sysmodel::PlatformParams ref_params = params;
+  ref_params.noc_sim.reference_stepping = true;
+  std::vector<sysmodel::SystemComparison> ref_results;
+  const double ref_s = time_sweep(profiles, sim, ref_params, 1, ref_results);
+  m["bench_sweep.reference_1t.seconds"] = ref_s;
+  std::cout << "reference stepping, 1 thread:  " << ref_s << " s\n";
+
+  double fast_1t = 0.0;
+  double best = 0.0;
+  bool identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<sysmodel::SystemComparison> results;
+    const double s = time_sweep(profiles, sim, params, threads, results);
+    m["bench_sweep.fast_" + std::to_string(threads) + "t.seconds"] = s;
+    std::cout << "fast stepping, " << threads << " thread(s):    " << s
+              << " s  (" << ref_s / s << "x vs reference)\n";
+    if (threads == 1) fast_1t = s;
+    if (best == 0.0 || s < best) best = s;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      identical = identical &&
+                  reports_identical(results[i].nvfi_mesh,
+                                    ref_results[i].nvfi_mesh) &&
+                  reports_identical(results[i].vfi_mesh,
+                                    ref_results[i].vfi_mesh) &&
+                  reports_identical(results[i].vfi_winoc,
+                                    ref_results[i].vfi_winoc);
+    }
+  }
+
+  m["bench_sweep.check.bit_identical"] = identical ? 1.0 : 0.0;
+  m["bench_sweep.speedup.fast_vs_reference_1t"] = ref_s / fast_1t;
+  m["bench_sweep.speedup.total_best"] = ref_s / best;
+  json::save_file(out_path, m);
+
+  std::cout << "\nfast path vs reference (both 1 thread): "
+            << ref_s / fast_1t << "x\n"
+            << "best total (fast + threads):            " << ref_s / best
+            << "x\n"
+            << "fast/reference results bit-identical:   "
+            << (identical ? "yes" : "NO — BUG") << "\n"
+            << "wrote " << out_path << " (" << m.size() << " metrics)\n";
+  return identical ? 0 : 1;
+}

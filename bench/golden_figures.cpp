@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common/json_lite.hpp"
+#include "common/parallel_for.hpp"
 #include "sysmodel/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1] : "results/golden";
   std::filesystem::create_directories(out_dir);
 
-  std::cout << "Computing figure data (six apps x three systems)...\n";
+  // The sweep is bit-identical for any worker count (VFIMR_THREADS to pin).
+  std::cout << "Computing figure data (six apps x three systems, "
+            << vfimr::default_parallelism() << " threads)...\n";
   const auto data = vfimr::sysmodel::compute_figure_data();
   const auto metrics = vfimr::sysmodel::extract_metrics(data);
 

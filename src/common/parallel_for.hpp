@@ -1,0 +1,81 @@
+#pragma once
+// Bounded fork-join parallel loop for embarrassingly parallel experiment
+// sweeps (one full-system simulation per index, each seconds long).
+//
+// Contract:
+//  * `body(i)` is invoked exactly once for every i in [0, count), from at
+//    most `threads` worker threads pulling indices off a shared atomic
+//    counter (dynamic scheduling — sweep items have very uneven cost).
+//  * Deterministic results are the *caller's* responsibility and trivially
+//    achieved by writing into a pre-sized slot: results[i] = f(i).  The
+//    runner guarantees each slot is written by exactly one invocation and
+//    that all writes happen-before parallel_for returns (thread join).
+//  * Seed isolation: the runner shares no RNG state between indices; any
+//    randomness must live inside `body`, seeded from `i` alone, so results
+//    are independent of the thread count and of scheduling order.
+//  * The first exception thrown by any invocation is captured, the
+//    remaining indices are abandoned (in-flight bodies still finish), and
+//    the exception is rethrown on the calling thread after all workers join.
+//  * threads <= 1 (or count <= 1) runs inline on the calling thread with no
+//    pool — the sequential path used by tests and single-core hosts.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vfimr {
+
+/// Worker count used when a sweep is asked to pick "a sensible default":
+/// the VFIMR_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (>= 1).
+inline std::size_t default_parallelism() {
+  if (const char* env = std::getenv("VFIMR_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+inline void parallel_for(std::size_t count, std::size_t threads,
+                         const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const std::size_t workers = std::min(threads, count);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto work = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{error_mu};
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vfimr

@@ -12,6 +12,9 @@ Network::Network(const Topology& topology, const RoutingAlgorithm& routing,
   const auto& g = topo_->graph;
   routers_.resize(g.node_count());
   edge_flits_.assign(g.edge_count(), 0);
+  resident_flits_.assign(g.node_count(), 0);
+  ejectable_flits_.assign(g.node_count(), 0);
+  active_flags_.assign(g.node_count(), false);
   channels_.resize(static_cast<std::size_t>(
       std::max(wireless.channel_count, 0)));
   if (!cfg_.node_cluster.empty()) {
@@ -69,6 +72,13 @@ Network::Network(const Topology& topology, const RoutingAlgorithm& routing,
                       "wireless edge endpoints on different channels");
   }
 
+  // The fast-path candidate masks hold one bit per input slot + source.
+  for (const auto& r : routers_) {
+    VFIMR_REQUIRE_MSG(r.in.size() + 1 <= 16,
+                      "router has too many input ports for the candidate "
+                      "bitmask fast path");
+  }
+
   // Resolve downstream input-port indices for wire outputs.
   for (graph::NodeId n = 0; n < g.node_count(); ++n) {
     for (auto& out : routers_[n].out) {
@@ -107,6 +117,38 @@ void Network::inject(graph::NodeId src, graph::NodeId dest,
   }
   ++metrics_.packets_injected;
   in_flight_flits_ += flits;
+  note_arrival(src, flits);
+}
+
+void Network::note_arrival(graph::NodeId n, std::uint64_t flits) {
+  resident_flits_[n] += flits;
+  if (!active_flags_[n]) {
+    active_flags_[n] = true;
+    newly_active_.push_back(n);
+  }
+}
+
+void Network::note_departure(graph::NodeId n) {
+  VFIMR_REQUIRE(resident_flits_[n] > 0);
+  --resident_flits_[n];
+}
+
+void Network::refresh_active_list() {
+  // Merge the staged activations (sorted) into the sorted list, then drop
+  // routers that emptied out.  Both lists are duplicate-free thanks to
+  // active_flags_.
+  if (!newly_active_.empty()) {
+    std::sort(newly_active_.begin(), newly_active_.end());
+    const auto mid = active_list_.insert(
+        active_list_.end(), newly_active_.begin(), newly_active_.end());
+    std::inplace_merge(active_list_.begin(), mid, active_list_.end());
+    newly_active_.clear();
+  }
+  std::erase_if(active_list_, [&](graph::NodeId n) {
+    if (resident_flits_[n] > 0) return false;
+    active_flags_[n] = false;
+    return true;
+  });
 }
 
 std::deque<Flit>* Network::input_queue(RouterState& r, std::int32_t idx,
@@ -137,26 +179,40 @@ bool Network::downstream_has_space(const OutPort& out, std::size_t vn) const {
   return in.buf[vn].size() < in.capacity;
 }
 
+void Network::eject_router(graph::NodeId n, Cycle now) {
+  auto& r = routers_[n];
+  auto try_eject = [&](std::deque<Flit>& q) {
+    if (q.empty()) return;
+    Flit& f = q.front();
+    if (f.dest != n || f.ready_cycle > now) return;
+    ++metrics_.energy.buffer_reads;
+    ++metrics_.flits_ejected;
+    --in_flight_flits_;
+    if (f.is_tail()) {
+      ++metrics_.packets_ejected;
+      metrics_.packet_latency.add(static_cast<double>(now - f.inject_cycle));
+    }
+    q.pop_front();
+    VFIMR_REQUIRE(ejectable_flits_[n] > 0);
+    --ejectable_flits_[n];
+    note_departure(n);
+  };
+  for (auto& in : r.in) {
+    for (std::size_t vn = 0; vn < kVns; ++vn) try_eject(in.buf[vn]);
+  }
+}
+
 void Network::eject_ready_flits() {
   const Cycle now = metrics_.cycles;
-  for (graph::NodeId n = 0; n < routers_.size(); ++n) {
-    auto& r = routers_[n];
-    auto try_eject = [&](std::deque<Flit>& q) {
-      if (q.empty()) return;
-      Flit& f = q.front();
-      if (f.dest != n || f.ready_cycle > now) return;
-      ++metrics_.energy.buffer_reads;
-      ++metrics_.flits_ejected;
-      --in_flight_flits_;
-      if (f.is_tail()) {
-        ++metrics_.packets_ejected;
-        metrics_.packet_latency.add(static_cast<double>(now - f.inject_cycle));
-      }
-      q.pop_front();
-    };
-    for (auto& in : r.in) {
-      for (std::size_t vn = 0; vn < kVns; ++vn) try_eject(in.buf[vn]);
-    }
+  if (cfg_.reference_stepping) {
+    for (graph::NodeId n = 0; n < routers_.size(); ++n) eject_router(n, now);
+    return;
+  }
+  for (graph::NodeId n : active_list_) {
+    // Through-traffic-only routers have nothing the eject stage could take;
+    // the naive probe of every input buffer would find no dest == n front.
+    if (ejectable_flits_[n] == 0) continue;
+    eject_router(n, now);
   }
 }
 
@@ -192,10 +248,13 @@ void Network::service_wireless_channels() {
           Flit moved = f;
           const graph::NodeId hop_dest = f.wi_dest;
           holder.tx_queue.pop_front();
+          note_departure(ch.members[ch.token]);
+          note_arrival(hop_dest, 1);
           moved.ready_cycle = now + 1;
           moved.wi_dest = graph::kInvalidId;
           moved.vn = 1;
           rx.push_back(moved);
+          if (moved.dest == hop_dest) ++ejectable_flits_[hop_dest];
           if (const auto e =
                   topo_->graph.find_edge(ch.members[ch.token], hop_dest)) {
             ++edge_flits_[*e];
@@ -274,15 +333,130 @@ std::int32_t Network::arbitrate(graph::NodeId node, std::uint32_t out_idx,
   return -1;
 }
 
+std::int32_t Network::candidate_target(graph::NodeId node, std::int32_t idx,
+                                       std::size_t vn) {
+  auto& r = routers_[node];
+  auto* q = input_queue(r, idx, vn);
+  if (q == nullptr || q->empty()) return -1;
+  Flit& f = q->front();
+  if (!f.is_head() || f.ready_cycle > metrics_.cycles || f.dest == node) {
+    return -1;
+  }
+  VFIMR_REQUIRE(f.vn == vn);
+  if (f.route_node != node) {
+    // First probe of this head at this router: resolve the route once and
+    // memoize it on the flit (next_hop is pure in (node, dest, phase, vn)).
+    const RouteDecision dec =
+        routing_->next_hop(node, f.dest, f.down_phase, f.vn == 1);
+    const auto& ed = topo_->graph.edge(dec.edge);
+    if (ed.kind == graph::EdgeKind::kWireless) {
+      VFIMR_REQUIRE_MSG(r.wireless_tx >= 0,
+                        "route uses wireless at a non-WI node");
+      VFIMR_REQUIRE_MSG(f.size <= cfg_.wi_buffer_depth,
+                        "packet larger than the WI buffer cannot cross a "
+                        "wireless link");
+      VFIMR_REQUIRE_MSG(f.vn == 0,
+                        "route takes a second wireless hop (layered routing "
+                        "supports one wireless segment per packet)");
+      f.route_out = r.wireless_tx;
+      f.route_wi_dest = topo_->graph.other_end(dec.edge, node);
+    } else {
+      f.route_out = static_cast<std::int32_t>(output_for_edge(r, dec.edge));
+      f.route_wi_dest = graph::kInvalidId;
+    }
+    f.route_down_phase = dec.down_phase;
+    f.route_node = node;
+  }
+  // Same wireless admission rule as the reference arbitrate(): a candidate
+  // whose packet does not fit the TX queue right now is no candidate.
+  if (f.route_wi_dest != graph::kInvalidId &&
+      r.tx_queue.size() + f.size > cfg_.wi_buffer_depth) {
+    return -1;
+  }
+  return f.route_out;
+}
+
+void Network::refresh_candidate(graph::NodeId node, std::int32_t idx,
+                                std::size_t vn) {
+  auto& r = routers_[node];
+  const std::uint32_t slot = idx == kSourceInput
+                                 ? static_cast<std::uint32_t>(r.in.size())
+                                 : static_cast<std::uint32_t>(idx);
+  const std::uint16_t bit = static_cast<std::uint16_t>(1u << slot);
+  const std::int32_t target = candidate_target(node, idx, vn);
+  for (std::size_t o = 0; o < r.out.size(); ++o) {
+    if (static_cast<std::int32_t>(o) == target) {
+      r.out[o].cand[vn] |= bit;
+    } else {
+      r.out[o].cand[vn] &= static_cast<std::uint16_t>(~bit);
+    }
+  }
+}
+
+void Network::build_candidate_masks(graph::NodeId node) {
+  auto& r = routers_[node];
+  for (auto& out : r.out) {
+    out.cand[0] = 0;
+    out.cand[1] = 0;
+  }
+  const std::uint32_t inputs = static_cast<std::uint32_t>(r.in.size());
+  for (std::size_t vn = 0; vn < kVns; ++vn) {
+    for (std::uint32_t i = 0; i < inputs; ++i) {
+      if (r.in[i].buf[vn].empty()) continue;  // cheap guard, no call
+      const std::int32_t target =
+          candidate_target(node, static_cast<std::int32_t>(i), vn);
+      if (target >= 0) {
+        r.out[static_cast<std::size_t>(target)].cand[vn] |=
+            static_cast<std::uint16_t>(1u << i);
+      }
+    }
+    if (vn == 0 && !r.source_queue.empty()) {
+      const std::int32_t target = candidate_target(node, kSourceInput, vn);
+      if (target >= 0) {
+        r.out[static_cast<std::size_t>(target)].cand[vn] |=
+            static_cast<std::uint16_t>(1u << inputs);
+      }
+    }
+  }
+}
+
+std::int32_t Network::arbitrate_fast(graph::NodeId node, std::uint32_t out_idx,
+                                     std::size_t vn) {
+  auto& r = routers_[node];
+  auto& out = r.out[out_idx];
+  auto& owner = out.vn[vn];
+  const std::uint16_t mask = out.cand[vn];
+  if (mask == 0) return -1;
+  const auto candidates = static_cast<std::uint32_t>(r.in.size()) + 1;
+  for (std::uint32_t k = 0; k < candidates; ++k) {
+    const std::uint32_t slot = (owner.rr_next + k) % candidates;
+    if ((mask & (1u << slot)) == 0) continue;
+    const std::int32_t idx = slot == static_cast<std::uint32_t>(r.in.size())
+                                 ? kSourceInput
+                                 : static_cast<std::int32_t>(slot);
+    // The mask bit guarantees a grantable, route-memoized front head.
+    const Flit& f = input_queue(r, idx, vn)->front();
+    owner.owner_input = idx;
+    owner.owner_packet = f.packet;
+    owner.remaining = f.size;
+    owner.wi_dest = f.route_wi_dest;
+    owner.owner_down_phase = f.route_down_phase;
+    owner.rr_next = (slot + 1) % candidates;
+    return idx;
+  }
+  return -1;
+}
+
 bool Network::try_move_vn(graph::NodeId node, OutPort& out, std::size_t vn) {
   auto& r = routers_[node];
   auto& owner = out.vn[vn];
   const Cycle now = metrics_.cycles;
   if (owner.owner_input == -1) {
-    if (arbitrate(node, static_cast<std::uint32_t>(&out - r.out.data()), vn) <
-        0) {
-      return false;
-    }
+    const auto out_idx = static_cast<std::uint32_t>(&out - r.out.data());
+    const std::int32_t granted = cfg_.reference_stepping
+                                     ? arbitrate(node, out_idx, vn)
+                                     : arbitrate_fast(node, out_idx, vn);
+    if (granted < 0) return false;
   }
   auto* q = input_queue(r, owner.owner_input, vn);
   if (q == nullptr || q->empty()) return false;
@@ -312,16 +486,27 @@ bool Network::try_move_vn(graph::NodeId node, OutPort& out, std::size_t vn) {
     ++edge_flits_[out.edge];
     auto& nb = routers_[out.neighbor];
     nb.in[out.downstream_in].buf[vn].push_back(moved);
+    if (moved.dest == out.neighbor) ++ejectable_flits_[out.neighbor];
     ++metrics_.energy.buffer_writes;
+    note_departure(node);
+    note_arrival(out.neighbor, 1);
   } else {
+    // Input queue -> same router's TX queue: resident count is unchanged.
     moved.wi_dest = owner.wi_dest;
     r.tx_queue.push_back(moved);
     ++metrics_.energy.buffer_writes;
   }
   VFIMR_REQUIRE(owner.remaining > 0);
+  const std::int32_t moved_input = owner.owner_input;
   if (--owner.remaining == 0) {
     owner.owner_input = -1;
     owner.wi_dest = graph::kInvalidId;
+  }
+  if (!cfg_.reference_stepping) {
+    // The popped queue has a new front (possibly the next packet's head,
+    // grantable by another output later this same cycle): update its
+    // candidate bit exactly as the naive re-scan would observe it.
+    refresh_candidate(node, moved_input, vn);
   }
   return true;
 }
@@ -331,6 +516,13 @@ void Network::move_through_output(graph::NodeId node, OutPort& out) {
   // neither can starve the other on the shared physical link.
   for (std::size_t k = 0; k < kVns; ++k) {
     const std::size_t vn = (out.vn_rr + k) % kVns;
+    if (!cfg_.reference_stepping && out.vn[vn].owner_input == -1 &&
+        out.cand[vn] == 0) {
+      // Free output with no candidate head: arbitration cannot grant and
+      // there is no in-flight packet to continue — the naive probe returns
+      // false without touching any state.
+      continue;
+    }
     if (try_move_vn(node, out, vn)) {
       out.vn_rr = (vn + 1) % kVns;
       return;
@@ -338,15 +530,27 @@ void Network::move_through_output(graph::NodeId node, OutPort& out) {
   }
 }
 
-void Network::service_router_outputs() {
-  for (graph::NodeId n = 0; n < routers_.size(); ++n) {
-    for (auto& out : routers_[n].out) {
-      move_through_output(n, out);
-    }
+void Network::service_router(graph::NodeId n) {
+  if (!cfg_.reference_stepping) build_candidate_masks(n);
+  for (auto& out : routers_[n].out) {
+    move_through_output(n, out);
   }
 }
 
+void Network::service_router_outputs() {
+  if (cfg_.reference_stepping) {
+    for (graph::NodeId n = 0; n < routers_.size(); ++n) service_router(n);
+    return;
+  }
+  // A router with no resident flits cannot grant or move anything (every
+  // action needs a front flit at this router), and mid-step arrivals carry
+  // ready_cycle == now + 1, so skipping routers activated after the refresh
+  // matches the naive visit outcome exactly.
+  for (graph::NodeId n : active_list_) service_router(n);
+}
+
 void Network::step() {
+  if (!cfg_.reference_stepping) refresh_active_list();
   eject_ready_flits();
   service_wireless_channels();
   service_router_outputs();
@@ -373,8 +577,53 @@ void Network::run(TrafficGenerator* gen, Cycle cycles) {
   }
 }
 
+Cycle Network::next_front_ready_cycle() const {
+  Cycle earliest = ~Cycle{0};
+  auto consider = [&](const std::deque<Flit>& q) {
+    if (!q.empty()) earliest = std::min(earliest, q.front().ready_cycle);
+  };
+  for (graph::NodeId n : active_list_) {
+    const auto& r = routers_[n];
+    consider(r.source_queue);
+    consider(r.tx_queue);
+    for (const auto& in : r.in) {
+      for (std::size_t vn = 0; vn < kVns; ++vn) consider(in.buf[vn]);
+    }
+  }
+  return earliest;
+}
+
+void Network::advance_idle_cycles(Cycle delta) {
+  // A naive idle step only rotates the token of every channel that is not
+  // mid-packet (service_wireless_channels with nothing ready) and bumps the
+  // cycle counter; replay `delta` of them in O(channels).
+  metrics_.cycles += delta;
+  for (auto& ch : channels_) {
+    if (ch.members.empty() || ch.mid_packet) continue;
+    ch.token = (ch.token + delta) % ch.members.size();
+  }
+}
+
 bool Network::drain(Cycle max_cycles) {
-  for (Cycle c = 0; c < max_cycles && in_flight_flits_ > 0; ++c) step();
+  if (cfg_.reference_stepping) {
+    for (Cycle c = 0; c < max_cycles && in_flight_flits_ > 0; ++c) step();
+    return in_flight_flits_ == 0;
+  }
+  Cycle budget = max_cycles;
+  while (budget > 0 && in_flight_flits_ > 0) {
+    refresh_active_list();
+    const Cycle ready = next_front_ready_cycle();
+    if (ready > metrics_.cycles) {
+      // Every queued flit is waiting on a synchronizer/propagation delay:
+      // skip straight to the cycle where the earliest one becomes ready.
+      const Cycle delta = std::min<Cycle>(ready - metrics_.cycles, budget);
+      advance_idle_cycles(delta);
+      budget -= delta;
+      continue;
+    }
+    step();
+    --budget;
+  }
   return in_flight_flits_ == 0;
 }
 

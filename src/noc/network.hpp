@@ -48,6 +48,11 @@ struct SimConfig {
   /// exchanges over conventional meshes that motivates the WiNoC (§1).
   std::vector<std::size_t> node_cluster;
   std::uint32_t sync_penalty_cycles = 1;
+  /// Disable the active-router worklist and the bulk idle-cycle skip and
+  /// visit every router every cycle (the naive reference loops).  The fast
+  /// path is bit-identical to the reference — this flag exists so the A/B
+  /// property tests can prove it, and as an escape hatch while debugging.
+  bool reference_stepping = false;
 };
 
 /// Raw event counts consumed by the power library.
@@ -166,6 +171,13 @@ class Network {
     double length_mm = 0.0;
     OwnerState vn[kVns];
     std::size_t vn_rr = 0;  ///< flit-level link arbitration between VNs
+    /// Fast-path candidate mask, rebuilt each serviced cycle: bit `slot` is
+    /// set iff that input slot's front flit is a head, ready, routed to this
+    /// output on this VN, and (for wireless) admissible right now.  Slot
+    /// r.in.size() is the source queue.  arbitrate() then reduces to a
+    /// round-robin first-set-bit scan — decisions identical to the naive
+    /// all-queue probe.
+    std::uint16_t cand[kVns] = {0, 0};
   };
 
   struct RouterState {
@@ -190,8 +202,42 @@ class Network {
   void eject_ready_flits();
   void service_wireless_channels();
   void service_router_outputs();
+  void eject_router(graph::NodeId n, Cycle now);
+  void service_router(graph::NodeId n);
+  // --- Active-router worklist (see DESIGN.md, "NoC fast path") ---------
+  // Invariant: after refresh_active_list(), active_list_ holds exactly the
+  // routers with resident_flits_ > 0, sorted ascending — the same visit
+  // order as the naive all-router loops, so float accumulation order (and
+  // therefore every metric) is preserved bit-for-bit.  Routers whose count
+  // is zero perform no state or metric changes when visited, which is why
+  // skipping them is exact.
+  void note_arrival(graph::NodeId n, std::uint64_t flits);
+  void note_departure(graph::NodeId n);
+  void refresh_active_list();
+  /// Earliest ready_cycle over the front flits of every occupied queue
+  /// (in-port buffers, source queues, wireless TX queues) of every active
+  /// router.  All simulator actions operate on front flits, so no state
+  /// other than idle token rotation can change before this cycle.
+  Cycle next_front_ready_cycle() const;
+  /// Advance `delta` cycles during which every front flit waits: only the
+  /// cycle counter and the idle token rotation of non-mid-packet wireless
+  /// channels advance — exactly what `delta` naive steps would do.
+  void advance_idle_cycles(Cycle delta);
   std::int32_t arbitrate(graph::NodeId node, std::uint32_t out_idx,
                          std::size_t vn);
+  std::int32_t arbitrate_fast(graph::NodeId node, std::uint32_t out_idx,
+                              std::size_t vn);
+  /// Resolve (and memoize on the flit) the route of the front head of input
+  /// slot `idx` on `vn`; returns the target output index or -1 if the front
+  /// is absent, not a grantable head, or a wireless candidate that does not
+  /// fit the TX queue right now.
+  std::int32_t candidate_target(graph::NodeId node, std::int32_t idx,
+                                std::size_t vn);
+  /// Recompute the candidate bit of input slot `idx` on `vn` in every
+  /// output's mask (called after that queue's front changed mid-cycle).
+  void refresh_candidate(graph::NodeId node, std::int32_t idx,
+                         std::size_t vn);
+  void build_candidate_masks(graph::NodeId node);
   std::deque<Flit>* input_queue(RouterState& r, std::int32_t idx,
                                 std::size_t vn);
   std::uint32_t output_for_edge(const RouterState& r, graph::EdgeId e) const;
@@ -205,6 +251,14 @@ class Network {
   std::vector<RouterState> routers_;
   std::vector<Channel> channels_;
   std::vector<std::uint64_t> edge_flits_;
+  std::vector<std::uint64_t> resident_flits_;  ///< flits queued at router n
+  /// Flits sitting in router n's input buffers whose dest is n (i.e. flits
+  /// the eject stage could consume).  Lets eject skip the per-queue probes
+  /// on the vast majority of routers that hold only through-traffic.
+  std::vector<std::uint32_t> ejectable_flits_;
+  std::vector<graph::NodeId> active_list_;     ///< sorted, resident > 0
+  std::vector<graph::NodeId> newly_active_;    ///< staged for next refresh
+  std::vector<bool> active_flags_;  ///< n in active_list_ or newly_active_
   Metrics metrics_;
   std::uint64_t in_flight_flits_ = 0;
   PacketId next_packet_ = 0;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/require.hpp"
+#include "sysmodel/sweep.hpp"
 #include "workload/app.hpp"
 
 namespace vfimr::sysmodel {
@@ -34,9 +35,9 @@ FigureData compute_figure_data(const FigureParams& params) {
   FigureData data;
   for (workload::App app : workload::kAllApps) {
     data.profiles.push_back(workload::make_profile(app, params.profile));
-    data.comparisons.push_back(
-        compare_systems(data.profiles.back(), sim, params.platform));
   }
+  data.comparisons =
+      sweep_comparisons(data.profiles, sim, params.platform, params.threads);
   return data;
 }
 

@@ -25,6 +25,10 @@ namespace vfimr::sysmodel {
 struct FigureParams {
   PlatformParams platform{};            ///< same defaults as the benches
   workload::ProfileParams profile{};
+  /// Worker threads for the per-app comparison sweep; 0 picks
+  /// default_parallelism() (VFIMR_THREADS env or the hardware core count).
+  /// The result is bit-identical for any value.
+  std::size_t threads = 0;
 };
 
 /// Raw per-app comparison results, computed once and reused for both the

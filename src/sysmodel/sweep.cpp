@@ -1,0 +1,19 @@
+#include "sysmodel/sweep.hpp"
+
+#include "common/parallel_for.hpp"
+
+namespace vfimr::sysmodel {
+
+std::vector<SystemComparison> sweep_comparisons(
+    const std::vector<workload::AppProfile>& profiles,
+    const FullSystemSim& sim, const PlatformParams& base_params,
+    std::size_t threads) {
+  if (threads == 0) threads = default_parallelism();
+  std::vector<SystemComparison> out(profiles.size());
+  parallel_for(profiles.size(), threads, [&](std::size_t i) {
+    out[i] = compare_systems(profiles[i], sim, base_params);
+  });
+  return out;
+}
+
+}  // namespace vfimr::sysmodel

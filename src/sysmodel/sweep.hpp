@@ -1,0 +1,30 @@
+#pragma once
+// Parallel experiment runner for the three-system comparison sweeps that
+// back every figure and table: one compare_systems() call per application
+// profile, fanned out over a bounded thread pool.
+//
+// FullSystemSim::run is const and side-effect-free (each run owns its
+// platform, network and task-simulator state; the only shared static is the
+// VfTable::standard() singleton, whose initialization is thread-safe), so
+// the sweep is safe to parallelize at profile granularity.  Results are
+// returned in profile order regardless of scheduling, and every run's
+// randomness is seeded from its own PlatformParams (per-run seed
+// isolation), so the output is bit-identical for any thread count.
+
+#include <cstddef>
+#include <vector>
+
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+
+/// Runs compare_systems(profiles[i], sim, base_params) for every profile,
+/// using up to `threads` worker threads (0 = default_parallelism()).
+/// Result i corresponds to profiles[i].
+std::vector<SystemComparison> sweep_comparisons(
+    const std::vector<workload::AppProfile>& profiles,
+    const FullSystemSim& sim, const PlatformParams& base_params = {},
+    std::size_t threads = 0);
+
+}  // namespace vfimr::sysmodel

@@ -128,6 +128,144 @@ TEST(PropNoc, SmallWorldWinocNoDeadlock) {
   });
 }
 
+/// Every observable of a finished simulation, compared exactly — EXPECT_EQ
+/// on the doubles, not EXPECT_NEAR: the fast stepping path must preserve the
+/// float accumulation order of the naive loops bit for bit.
+void expect_bit_identical(const Network& fast, const Network& ref) {
+  const Metrics& a = fast.metrics();
+  const Metrics& b = ref.metrics();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_ejected, b.packets_ejected);
+  EXPECT_EQ(a.packets_local, b.packets_local);
+  EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+  EXPECT_EQ(a.packet_latency.count(), b.packet_latency.count());
+  EXPECT_EQ(a.packet_latency.sum(), b.packet_latency.sum());
+  EXPECT_EQ(a.packet_latency.mean(), b.packet_latency.mean());
+  EXPECT_EQ(a.packet_latency.variance(), b.packet_latency.variance());
+  EXPECT_EQ(a.packet_latency.min(), b.packet_latency.min());
+  EXPECT_EQ(a.packet_latency.max(), b.packet_latency.max());
+  EXPECT_EQ(a.energy.switch_traversals, b.energy.switch_traversals);
+  EXPECT_EQ(a.energy.wire_hops, b.energy.wire_hops);
+  EXPECT_EQ(a.energy.wire_mm_flits, b.energy.wire_mm_flits);
+  EXPECT_EQ(a.energy.wireless_flits, b.energy.wireless_flits);
+  EXPECT_EQ(a.energy.buffer_writes, b.energy.buffer_writes);
+  EXPECT_EQ(a.energy.buffer_reads, b.energy.buffer_reads);
+  EXPECT_EQ(fast.in_flight_flits(), ref.in_flight_flits());
+  EXPECT_EQ(fast.edge_flits(), ref.edge_flits());
+}
+
+/// A/B proof on a VFI-partitioned mesh: the active-router worklist, the
+/// candidate-mask arbitration and the bulk idle-cycle skip (exercised by the
+/// random sync penalty, which makes boundary-crossing flits wait) must
+/// reproduce the naive all-router stepping exactly.
+TEST(PropNoc, FastSteppingBitIdenticalOnVfiMesh) {
+  test::for_each_seed(5, [](Rng& rng, std::uint64_t seed) {
+    const auto dims = test::random_mesh_dims(rng, 5);
+    const Topology topo = make_mesh(dims.width, dims.height);
+    const XyRouting routing{topo.graph, dims.width, dims.height};
+    const Matrix rates = test::random_traffic(rng, topo.node_count());
+
+    SimConfig cfg;
+    cfg.node_cluster.resize(topo.node_count());
+    for (std::size_t n = 0; n < topo.node_count(); ++n) {
+      const std::size_t x = n % dims.width;
+      const std::size_t y = n / dims.width;
+      cfg.node_cluster[n] =
+          2 * (y >= (dims.height + 1) / 2) + (x >= (dims.width + 1) / 2);
+    }
+    cfg.sync_penalty_cycles =
+        static_cast<std::uint32_t>(1 + rng.uniform_u64(4));
+
+    auto run_mode = [&](bool reference) {
+      SimConfig c = cfg;
+      c.reference_stepping = reference;
+      Network net{topo, routing, c};
+      MatrixTraffic gen{rates, /*packet_flits=*/4, seed};
+      net.run(&gen, 800);
+      net.drain(100'000);
+      return net;
+    };
+    expect_bit_identical(run_mode(false), run_mode(true));
+  });
+}
+
+/// A/B proof on the full WiNoC stack: token-MAC wireless channels, layered
+/// VN0/VN1 routing and up*/down* wireline routing under mapped traffic.
+TEST(PropNoc, FastSteppingBitIdenticalOnWinoc) {
+  test::for_each_seed(3, [](Rng& rng, std::uint64_t seed) {
+    constexpr std::size_t kThreads = 64;
+    const Matrix traffic = test::random_traffic(rng, kThreads, 0.1, 0.004);
+    std::vector<std::size_t> ids(kThreads);
+    std::iota(ids.begin(), ids.end(), std::size_t{0});
+    rng.shuffle(ids);
+    std::vector<std::size_t> thread_cluster(kThreads);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      thread_cluster[ids[i]] = i / (kThreads / 4);
+    }
+    winoc::SmallWorldParams params;
+    params.seed = seed;
+    const auto design = winoc::build_winoc(
+        traffic, thread_cluster,
+        winoc::PlacementStrategy::kMaxWirelessUtilization, params);
+    const UpDownRouting routing{design.topology.graph, 2.0};
+
+    auto run_mode = [&](bool reference) {
+      SimConfig c;
+      c.node_cluster = design.node_cluster;
+      c.reference_stepping = reference;
+      Network net{design.topology, routing, c, design.wireless};
+      MatrixTraffic gen{design.node_traffic, /*packet_flits=*/4, seed};
+      net.run(&gen, 1'000);
+      net.drain(150'000);
+      return net;
+    };
+    expect_bit_identical(run_mode(false), run_mode(true));
+  });
+}
+
+/// A/B proof of the drain()-only path, where the bulk idle-cycle skip does
+/// the most work: a sparse burst with a large sync penalty leaves long
+/// stretches where every queued flit is waiting on a synchronizer.
+TEST(PropNoc, FastDrainBitIdenticalUnderSyncPenalties) {
+  test::for_each_seed(5, [](Rng& rng, std::uint64_t) {
+    const auto dims = test::random_mesh_dims(rng, 6);
+    const Topology topo = make_mesh(dims.width, dims.height);
+    const XyRouting routing{topo.graph, dims.width, dims.height};
+    const std::size_t n = topo.node_count();
+
+    SimConfig cfg;
+    cfg.node_cluster.resize(n);
+    for (graph::NodeId i = 0; i < n; ++i) cfg.node_cluster[i] = i % 3;
+    cfg.sync_penalty_cycles =
+        static_cast<std::uint32_t>(2 + rng.uniform_u64(7));
+
+    struct Packet {
+      graph::NodeId src, dest;
+      std::uint32_t flits;
+    };
+    std::vector<Packet> burst;
+    const std::size_t packets = 1 + rng.uniform_u64(12);
+    for (std::size_t i = 0; i < packets; ++i) {
+      const auto src = static_cast<graph::NodeId>(rng.uniform_u64(n));
+      auto dest = static_cast<graph::NodeId>(rng.uniform_u64(n - 1));
+      if (dest >= src) ++dest;
+      burst.push_back(
+          {src, dest, static_cast<std::uint32_t>(1 + rng.uniform_u64(6))});
+    }
+
+    auto run_mode = [&](bool reference) {
+      SimConfig c = cfg;
+      c.reference_stepping = reference;
+      Network net{topo, routing, c};
+      for (const auto& p : burst) net.inject(p.src, p.dest, p.flits);
+      EXPECT_TRUE(net.drain(200'000));
+      return net;
+    };
+    expect_bit_identical(run_mode(false), run_mode(true));
+  });
+}
+
 /// Determinism: the same seed must reproduce the same simulation, metric
 /// for metric (the property the golden-figure guard rests on).
 TEST(PropNoc, SimulationIsSeedDeterministic) {

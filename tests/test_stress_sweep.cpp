@@ -1,0 +1,61 @@
+// Tier-2 concurrency stress for the parallel experiment runner (ctest label:
+// tier2; meant for the TSan preset, also runs in tier-1 as smoke coverage).
+//
+// Two layers: parallel_for itself under heavy index churn, and an 8-thread
+// sweep_comparisons over reduced-cycle full-system simulations — the
+// configuration that would expose any hidden shared state in
+// FullSystemSim::run (the sweep's safety argument says there is none beyond
+// the thread-safe VfTable singleton).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "sysmodel/sweep.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+namespace {
+
+TEST(StressSweep, ParallelForUnderHeavyIndexChurn) {
+  constexpr std::size_t kCount = 20'000;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint32_t> slots(kCount, 0);
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(kCount, 8, [&](std::size_t i) {
+      slots[i] += 1;  // slot-per-index: no two invocations share a slot
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) ASSERT_EQ(slots[i], 1u);
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kCount) *
+                              (kCount - 1) / 2);
+  }
+}
+
+TEST(StressSweep, EightThreadSweepIsRaceFreeAndRepeatable) {
+  const std::vector<workload::AppProfile> profiles = {
+      workload::make_profile(workload::App::kHist),
+      workload::make_profile(workload::App::kLR),
+      workload::make_profile(workload::App::kWC)};
+  const FullSystemSim sim;
+  PlatformParams params;
+  params.sim_cycles = 1'500;
+  params.drain_cycles = 15'000;
+
+  const auto first = sweep_comparisons(profiles, sim, params, 8);
+  const auto second = sweep_comparisons(profiles, sim, params, 8);
+  ASSERT_EQ(first.size(), profiles.size());
+  ASSERT_EQ(second.size(), profiles.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].nvfi_mesh.exec_s, second[i].nvfi_mesh.exec_s);
+    EXPECT_EQ(first[i].vfi_mesh.edp_js(), second[i].vfi_mesh.edp_js());
+    EXPECT_EQ(first[i].vfi_winoc.edp_js(), second[i].vfi_winoc.edp_js());
+    EXPECT_GT(first[i].nvfi_mesh.exec_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,123 @@
+// Tests for the parallel experiment runner: common/parallel_for.hpp
+// (coverage, inline fallback, exception propagation) and sysmodel/sweep.hpp
+// (exact agreement with the serial loop and thread-count independence —
+// the property golden_figures relies on when it fans the figure sweep out).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "sysmodel/sweep.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::sysmodel {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<std::uint32_t>> hits(kCount);
+    parallel_for(kCount, threads,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i << " with " << threads
+                                    << " threads";
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  bool called = false;
+  parallel_for(0, 8, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  parallel_for(seen.size(), 1,
+               [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, PropagatesFirstExceptionAfterJoin) {
+  std::atomic<std::uint32_t> completed{0};
+  auto run = [&](std::size_t threads) {
+    parallel_for(64, threads, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error{"sweep item failed"};
+      completed.fetch_add(1);
+    });
+  };
+  EXPECT_THROW(run(1), std::runtime_error);
+  EXPECT_THROW(run(4), std::runtime_error);
+}
+
+/// Reduced-cycle platform so the full-system runs stay test-sized; the
+/// comparison below is exact, so fidelity to the paper numbers is
+/// irrelevant here.
+PlatformParams quick_params() {
+  PlatformParams p;
+  p.sim_cycles = 3'000;
+  p.drain_cycles = 30'000;
+  return p;
+}
+
+void expect_reports_equal(const SystemReport& a, const SystemReport& b) {
+  // Exact equality: the simulation is deterministic and the runner must not
+  // perturb it (no shared RNG, per-run seed isolation, slot-per-index
+  // results).
+  EXPECT_EQ(a.exec_s, b.exec_s);
+  EXPECT_EQ(a.core_energy_j, b.core_energy_j);
+  EXPECT_EQ(a.net_dynamic_j, b.net_dynamic_j);
+  EXPECT_EQ(a.net_static_j, b.net_static_j);
+  EXPECT_EQ(a.edp_js(), b.edp_js());
+  EXPECT_EQ(a.net.avg_latency_cycles, b.net.avg_latency_cycles);
+  EXPECT_EQ(a.phases.map_s, b.phases.map_s);
+  EXPECT_EQ(a.phases.reduce_s, b.phases.reduce_s);
+}
+
+void expect_comparisons_equal(const std::vector<SystemComparison>& a,
+                              const std::vector<SystemComparison>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_reports_equal(a[i].nvfi_mesh, b[i].nvfi_mesh);
+    expect_reports_equal(a[i].vfi_mesh, b[i].vfi_mesh);
+    expect_reports_equal(a[i].vfi_winoc, b[i].vfi_winoc);
+  }
+}
+
+TEST(Sweep, MatchesSerialCompareSystemsLoop) {
+  const std::vector<workload::AppProfile> profiles = {
+      workload::make_profile(workload::App::kHist),
+      workload::make_profile(workload::App::kWC)};
+  const FullSystemSim sim;
+  const PlatformParams params = quick_params();
+
+  std::vector<SystemComparison> serial;
+  for (const auto& p : profiles) {
+    serial.push_back(compare_systems(p, sim, params));
+  }
+  expect_comparisons_equal(sweep_comparisons(profiles, sim, params, 4),
+                           serial);
+}
+
+TEST(Sweep, ResultsIndependentOfThreadCount) {
+  const std::vector<workload::AppProfile> profiles = {
+      workload::make_profile(workload::App::kHist),
+      workload::make_profile(workload::App::kKmeans),
+      workload::make_profile(workload::App::kLR)};
+  const FullSystemSim sim;
+  const PlatformParams params = quick_params();
+
+  const auto one = sweep_comparisons(profiles, sim, params, 1);
+  expect_comparisons_equal(sweep_comparisons(profiles, sim, params, 8), one);
+}
+
+}  // namespace
+}  // namespace vfimr::sysmodel
