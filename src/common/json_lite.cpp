@@ -81,7 +81,8 @@ MetricMap parse(const std::string& text) {
   MetricMap out;
   std::size_t i = 0;
   skip_ws(text, i);
-  if (i >= text.size() || text[i] != '{') fail("expected '{'", i);
+  if (i >= text.size()) fail("empty input (truncated file?)", i);
+  if (text[i] != '{') fail("expected '{'", i);
   ++i;
   skip_ws(text, i);
   if (i < text.size() && text[i] == '}') {

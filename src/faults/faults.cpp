@@ -1,0 +1,102 @@
+#include "faults/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::faults {
+
+namespace {
+
+/// Deterministic event count for an expected value: the integer part plus a
+/// Bernoulli draw on the fraction (so sweeps scale smoothly with rate).
+std::uint64_t draw_count(double expected, Rng& rng) {
+  if (expected <= 0.0) return 0;
+  const double whole = std::floor(expected);
+  std::uint64_t count = static_cast<std::uint64_t>(whole);
+  if (rng.bernoulli(expected - whole)) ++count;
+  return count;
+}
+
+void emit_events(NocFaultKind kind, const std::vector<std::uint32_t>& ids,
+                 double rate, const FaultSpec& spec,
+                 std::uint64_t horizon_cycles, Rng& rng,
+                 FaultSchedule& out) {
+  if (ids.empty() || horizon_cycles == 0) return;
+  const double expected =
+      rate * static_cast<double>(horizon_cycles) / 100'000.0;
+  const std::uint64_t count = draw_count(expected, rng);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    NocFault f;
+    f.kind = kind;
+    f.id = ids[rng.uniform_u64(ids.size())];
+    f.at_cycle = rng.uniform_u64(horizon_cycles);
+    if (rng.bernoulli(spec.transient_fraction)) {
+      const double mean = static_cast<double>(spec.mean_repair_cycles);
+      const auto repair = static_cast<std::uint64_t>(
+          std::max(1.0, rng.uniform(0.5 * mean, 1.5 * mean)));
+      f.until_cycle = f.at_cycle + repair;
+    }
+    out.add(f);
+  }
+}
+
+}  // namespace
+
+FaultSchedule make_noc_schedule(const FaultSpec& spec,
+                                const std::vector<std::uint32_t>& edge_ids,
+                                const std::vector<std::uint32_t>& router_ids,
+                                const std::vector<std::uint32_t>& wi_ids,
+                                std::uint64_t horizon_cycles,
+                                std::uint64_t seed) {
+  VFIMR_REQUIRE(spec.transient_fraction >= 0.0 &&
+                spec.transient_fraction <= 1.0);
+  FaultSchedule sched;
+  Rng rng{seed ^ 0xFA417ULL};
+  emit_events(NocFaultKind::kLink, edge_ids, spec.link_rate, spec,
+              horizon_cycles, rng, sched);
+  emit_events(NocFaultKind::kRouter, router_ids, spec.router_rate, spec,
+              horizon_cycles, rng, sched);
+  emit_events(NocFaultKind::kWi, wi_ids, spec.wi_rate, spec, horizon_cycles,
+              rng, sched);
+  return sched;
+}
+
+std::vector<CoreFault> make_core_faults(std::size_t cores,
+                                        double per_core_prob,
+                                        std::uint64_t seed) {
+  VFIMR_REQUIRE(per_core_prob >= 0.0 && per_core_prob <= 1.0);
+  std::vector<CoreFault> faults;
+  if (cores == 0 || per_core_prob <= 0.0) return faults;
+  Rng rng{seed ^ 0xC04EULL};
+  // The guaranteed survivor rotates with the seed so sweeps do not always
+  // spare core 0 (the master-side cleanup core).
+  const std::size_t survivor = rng.uniform_u64(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (c == survivor) continue;
+    if (!rng.bernoulli(per_core_prob)) continue;
+    faults.push_back(CoreFault{c, rng.uniform(0.05, 0.95)});
+  }
+  return faults;
+}
+
+WorkerFaultPlan make_worker_fault_plan(std::size_t workers, double death_prob,
+                                       std::uint64_t max_after_tasks,
+                                       std::uint64_t seed) {
+  VFIMR_REQUIRE(death_prob >= 0.0 && death_prob <= 1.0);
+  WorkerFaultPlan plan;
+  if (workers <= 1 || death_prob <= 0.0) return plan;
+  Rng rng{seed ^ 0xDEADULL};
+  const std::size_t survivor = rng.uniform_u64(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (w == survivor) continue;
+    if (!rng.bernoulli(death_prob)) continue;
+    plan.deaths.push_back(
+        WorkerFaultPlan::WorkerDeath{w, rng.uniform_u64(max_after_tasks + 1)});
+  }
+  return plan;
+}
+
+}  // namespace vfimr::faults

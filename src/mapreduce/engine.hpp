@@ -12,9 +12,11 @@
 // (utilization vector u) and the WiNoC design (traffic matrix f_ip).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <utility>
@@ -125,6 +127,9 @@ class Engine {
   }
 
   Result run(std::size_t num_map_tasks, const MapFn& map_fn) {
+    if (options_.scheduler.faults != nullptr) {
+      return run_resilient(num_map_tasks, map_fn);
+    }
     const std::size_t workers = options_.scheduler.workers;
     const std::size_t parts = options_.reduce_partitions;
     Result result;
@@ -198,6 +203,106 @@ class Engine {
   }
 
  private:
+  /// Fault-tolerant execution (scheduler.faults != nullptr).
+  ///
+  /// The legacy path's worker-local combining maps cannot survive worker
+  /// deaths or duplicate (speculative) executions: a re-executed task would
+  /// double-combine into the same worker map.  This path stages results per
+  /// TASK with a commit-once flag — the first completed execution of a task
+  /// publishes its emissions, duplicates are discarded — and shuffles in
+  /// task-id order.  Because map_fn is deterministic per task, the reduce
+  /// input (and therefore the merged output) is byte-identical under ANY
+  /// fault plan, worker count, or interleaving.  The trade-off is weaker
+  /// cross-task combining: repeated keys merge in reduce instead of in the
+  /// map-side containers, so emitted/shuffle accounting is task-grained.
+  Result run_resilient(std::size_t num_map_tasks, const MapFn& map_fn) {
+    const std::size_t workers = options_.scheduler.workers;
+    const std::size_t parts = options_.reduce_partitions;
+    Result result;
+    result.profile.shuffle_pairs = Matrix{workers, parts};
+
+    // ---- Map ---- (per-task staging, first commit wins)
+    std::vector<std::unordered_map<K, V, Hash>> task_out(num_map_tasks);
+    std::vector<std::uint64_t> task_emitted(num_map_tasks, 0);
+    std::vector<std::size_t> task_committer(num_map_tasks, 0);
+    std::unique_ptr<std::atomic<int>[]> committed{
+        new std::atomic<int>[num_map_tasks]};
+    for (std::size_t t = 0; t < num_map_tasks; ++t) {
+      committed[t].store(0, std::memory_order_relaxed);
+    }
+    TaskScheduler sched{options_.scheduler};
+    const Combiner combiner{};
+    result.profile.map_stats =
+        sched.run(num_map_tasks, [&](std::size_t task, std::size_t worker) {
+          std::unordered_map<K, V, Hash> local;
+          std::uint64_t emitted = 0;
+          Emitter em{&local, &emitted, combiner};
+          map_fn(task, em);
+          int expected = 0;
+          if (committed[task].compare_exchange_strong(
+                  expected, 1, std::memory_order_acq_rel)) {
+            task_out[task] = std::move(local);
+            task_emitted[task] = emitted;
+            task_committer[task] = worker;
+          }
+          // Losing duplicates drop their staging map.
+        });
+    result.profile.phases.map_s = result.profile.map_stats.wall_seconds;
+    for (std::uint64_t e : task_emitted) result.profile.emitted_pairs += e;
+
+    // Shuffle in task-id order: worker-independent, hence replay-exact.
+    const Hash hasher{};
+    std::vector<std::vector<KeyValue>> buckets(parts);
+    for (std::size_t t = 0; t < num_map_tasks; ++t) {
+      for (auto& [key, value] : task_out[t]) {
+        const std::size_t p = hasher(key) % parts;
+        buckets[p].push_back(KeyValue{key, std::move(value)});
+        result.profile.shuffle_pairs(task_committer[t], p) += 1.0;
+      }
+      task_out[t] = {};
+    }
+
+    // ---- Reduce ---- (same commit-once treatment per partition)
+    std::vector<std::vector<KeyValue>> partitions(parts);
+    std::unique_ptr<std::atomic<int>[]> part_committed{
+        new std::atomic<int>[parts]};
+    for (std::size_t p = 0; p < parts; ++p) {
+      part_committed[p].store(0, std::memory_order_relaxed);
+    }
+    result.profile.reduce_stats =
+        sched.run(parts, [&](std::size_t part, std::size_t /*worker*/) {
+          std::unordered_map<K, V, Hash> acc;
+          for (const auto& kv : buckets[part]) {
+            auto [it, inserted] = acc.try_emplace(kv.key, kv.value);
+            if (!inserted) combiner(it->second, kv.value);
+          }
+          std::vector<KeyValue> out;
+          out.reserve(acc.size());
+          for (auto& [key, value] : acc) {
+            out.push_back(KeyValue{key, std::move(value)});
+          }
+          std::sort(out.begin(), out.end(),
+                    [](const KeyValue& a, const KeyValue& b) {
+                      return a.key < b.key;
+                    });
+          int expected = 0;
+          if (part_committed[part].compare_exchange_strong(
+                  expected, 1, std::memory_order_acq_rel)) {
+            partitions[part] = std::move(out);
+          }
+        });
+    result.profile.phases.reduce_s = result.profile.reduce_stats.wall_seconds;
+
+    const auto merge_start = std::chrono::steady_clock::now();
+    result.pairs = merge_partitions(std::move(partitions));
+    result.profile.phases.merge_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_start)
+            .count();
+    result.profile.unique_keys = result.pairs.size();
+    return result;
+  }
+
   std::vector<KeyValue> merge_partitions(
       std::vector<std::vector<KeyValue>> partitions) {
     struct Cursor {

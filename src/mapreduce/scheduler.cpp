@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -74,6 +75,7 @@ class WorkDeque {
 SchedulerStats TaskScheduler::run(
     std::size_t num_tasks,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  if (config_.faults != nullptr) return run_resilient(num_tasks, body);
   const std::size_t w = config_.workers;
   SchedulerStats stats;
   stats.tasks_executed.assign(w, 0);
@@ -161,6 +163,209 @@ SchedulerStats TaskScheduler::run(
     }
   }
 
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  return stats;
+}
+
+// Fault-tolerant execution (SchedulerConfig::faults != nullptr).
+//
+// Differences from the fast path above:
+//  * every task has an atomic lifecycle (queued -> running -> done) and a
+//    claim timestamp, so survivors can detect and take over work;
+//  * a scheduled worker death fires the moment the worker picks its
+//    (after_tasks + 1)-th task: the pick is abandoned into a shared retry
+//    queue and the thread exits, leaving its deque for thieves;
+//  * an idle worker that finds no queued work speculatively re-issues the
+//    longest-overdue running task (straggler mitigation) — task bodies must
+//    tolerate duplicate executions;
+//  * the master re-runs anything still undone after the join, so the call
+//    completes every task even if every scheduled death fires.
+SchedulerStats TaskScheduler::run_resilient(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t w = config_.workers;
+  const faults::WorkerFaultPlan& plan = *config_.faults;
+  SchedulerStats stats;
+  stats.tasks_executed.assign(w, 0);
+  stats.tasks_stolen.assign(w, 0);
+  stats.busy_seconds.assign(w, 0.0);
+  if (num_tasks == 0) return stats;
+
+  std::vector<WorkDeque> deques(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    const std::size_t lo = i * num_tasks / w;
+    const std::size_t hi = (i + 1) * num_tasks / w;
+    for (std::size_t t = lo; t < hi; ++t) deques[i].push_back(t);
+  }
+
+  std::vector<std::size_t> cap(w, std::numeric_limits<std::size_t>::max());
+  if (config_.vfi_stealing_cap && !config_.rel_freq.empty()) {
+    for (std::size_t i = 0; i < w; ++i) {
+      if (config_.rel_freq[i] < 1.0) {
+        cap[i] = stealing_cap(num_tasks, w, config_.rel_freq[i]);
+      }
+    }
+  }
+
+  // Pick count at which each worker dies (max = immortal).
+  std::vector<std::size_t> death_after(
+      w, std::numeric_limits<std::size_t>::max());
+  for (const auto& d : plan.deaths) {
+    if (d.worker < w) {
+      death_after[d.worker] =
+          std::min<std::size_t>(death_after[d.worker], d.after_tasks);
+    }
+  }
+
+  enum : int { kQueued = 0, kRunning = 1, kDone = 2 };
+  std::unique_ptr<std::atomic<int>[]> state{new std::atomic<int>[num_tasks]};
+  std::unique_ptr<std::atomic<std::int64_t>[]> claim_ns{
+      new std::atomic<std::int64_t>[num_tasks]};
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    state[t].store(kQueued, std::memory_order_relaxed);
+    claim_ns[t].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> done_count{0};
+  std::atomic<std::uint64_t> done_exec_ns{0};  // for the straggler threshold
+  std::atomic<std::uint64_t> done_tasks{0};
+  std::atomic<std::uint64_t> speculated{0};
+  std::atomic<std::uint64_t> requeued{0};
+  std::atomic<std::uint64_t> died{0};
+  WorkDeque retry;  // tasks abandoned by dying workers
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto now_ns = [&] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - wall_start)
+        .count();
+  };
+
+  const auto execute = [&](std::size_t task, std::size_t me, double& busy,
+                           std::uint64_t& executed) {
+    if (state[task].load(std::memory_order_acquire) == kDone) return;
+    claim_ns[task].store(now_ns(), std::memory_order_relaxed);
+    state[task].store(kRunning, std::memory_order_release);
+    const auto t0 = std::chrono::steady_clock::now();
+    body(task, me);
+    const auto t1 = std::chrono::steady_clock::now();
+    busy += std::chrono::duration<double>(t1 - t0).count();
+    ++executed;
+    if (state[task].exchange(kDone, std::memory_order_acq_rel) != kDone) {
+      // First completion of this task (duplicates land in the else branch).
+      done_count.fetch_add(1, std::memory_order_acq_rel);
+      done_exec_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()),
+          std::memory_order_relaxed);
+      done_tasks.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Oldest running task that has exceeded the straggler threshold, if any.
+  // Re-claiming it bounds duplicates to one per threshold window.
+  const auto find_straggler = [&](std::size_t& out_task) {
+    const std::uint64_t dn = done_tasks.load(std::memory_order_relaxed);
+    if (dn == 0 && plan.straggler_min_seconds <= 0.0) return false;
+    const double mean_s =
+        dn > 0 ? static_cast<double>(
+                     done_exec_ns.load(std::memory_order_relaxed)) /
+                     1e9 / static_cast<double>(dn)
+               : 0.0;
+    const double threshold_s = std::max(plan.straggler_multiple * mean_s,
+                                        plan.straggler_min_seconds);
+    const std::int64_t now = now_ns();
+    const auto limit_ns = static_cast<std::int64_t>(threshold_s * 1e9);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (state[t].load(std::memory_order_acquire) != kRunning) continue;
+      const std::int64_t claimed = claim_ns[t].load(std::memory_order_relaxed);
+      if (now - claimed > limit_ns) {
+        claim_ns[t].store(now, std::memory_order_relaxed);
+        out_task = t;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto worker_fn = [&](std::size_t me) {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    double busy = 0.0;
+    std::size_t picks = 0;
+    while (done_count.load(std::memory_order_acquire) < num_tasks &&
+           executed < cap[me]) {
+      std::size_t task = 0;
+      bool got = deques[me].pop_front(task);
+      if (!got) got = retry.pop_front(task);
+      if (!got) {
+        std::size_t best = w;
+        std::size_t best_size = 0;
+        for (std::size_t v = 0; v < w; ++v) {
+          if (v == me) continue;
+          const std::size_t s = deques[v].size();
+          if (s > best_size) {
+            best_size = s;
+            best = v;
+          }
+        }
+        if (best < w) {
+          got = deques[best].steal_back(task);
+          if (got) ++stolen;
+        }
+      }
+      bool speculative = false;
+      if (!got) {
+        got = find_straggler(task);
+        speculative = got;
+      }
+      if (!got) {
+        // All remaining tasks are running elsewhere and none is overdue.
+        std::this_thread::sleep_for(std::chrono::microseconds{50});
+        continue;
+      }
+      ++picks;
+      if (picks > death_after[me]) {
+        // The fault plan kills this worker at this pick: abandon the task
+        // for the survivors and exit the thread.
+        if (!speculative &&
+            state[task].load(std::memory_order_acquire) != kDone) {
+          retry.push_back(task);
+          requeued.fetch_add(1, std::memory_order_relaxed);
+        }
+        died.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (speculative) speculated.fetch_add(1, std::memory_order_relaxed);
+      execute(task, me, busy, executed);
+    }
+    stats.tasks_executed[me] = executed;
+    stats.tasks_stolen[me] = stolen;
+    stats.busy_seconds[me] = busy;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) threads.emplace_back(worker_fn, i);
+  for (auto& t : threads) t.join();
+
+  // Master-side cleanup: re-run anything undone (deaths + caps can strand
+  // tasks in the queues; this also covers the every-worker-died plan).
+  double master_busy = 0.0;
+  std::uint64_t master_executed = 0;
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    if (state[t].load(std::memory_order_acquire) != kDone) {
+      execute(t, 0, master_busy, master_executed);
+    }
+  }
+  stats.busy_seconds[0] += master_busy;
+  stats.tasks_executed[0] += master_executed;
+
+  stats.workers_died = died.load(std::memory_order_relaxed);
+  stats.tasks_requeued = requeued.load(std::memory_order_relaxed);
+  stats.tasks_speculated = speculated.load(std::memory_order_relaxed);
   stats.wall_seconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - wall_start)
                            .count();

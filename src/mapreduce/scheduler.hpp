@@ -16,6 +16,8 @@
 #include <functional>
 #include <vector>
 
+#include "faults/faults.hpp"
+
 namespace vfimr::mr {
 
 /// Eq. 3 of the paper.  `rel_freq` is f/f_max in (0, 1]; cores at f_max are
@@ -29,6 +31,12 @@ struct SchedulerConfig {
   std::vector<double> rel_freq;
   /// Apply the Eq. 3 task cap to workers with rel_freq < 1.
   bool vfi_stealing_cap = false;
+  /// Non-null switches run() to the fault-tolerant mode: scheduled worker
+  /// deaths abandon + re-queue their picked task, survivors take over, and
+  /// tasks running longer than the plan's straggler threshold are
+  /// speculatively re-issued.  Task bodies must then tolerate duplicate
+  /// executions of the same task.  The plan must outlive the scheduler.
+  const faults::WorkerFaultPlan* faults = nullptr;
 };
 
 struct SchedulerStats {
@@ -36,6 +44,10 @@ struct SchedulerStats {
   std::vector<std::uint64_t> tasks_stolen;    ///< per worker (as thief)
   std::vector<double> busy_seconds;           ///< per worker, in task bodies
   double wall_seconds = 0.0;
+  // Fault-tolerant mode only (all zero otherwise):
+  std::uint64_t workers_died = 0;      ///< scheduled deaths that fired
+  std::uint64_t tasks_requeued = 0;    ///< abandoned by dying workers
+  std::uint64_t tasks_speculated = 0;  ///< duplicate straggler re-issues
 };
 
 /// Runs `body(task, worker)` for every task in [0, num_tasks) on `workers`
@@ -52,6 +64,10 @@ class TaskScheduler {
       const std::function<void(std::size_t task, std::size_t worker)>& body);
 
  private:
+  SchedulerStats run_resilient(
+      std::size_t num_tasks,
+      const std::function<void(std::size_t task, std::size_t worker)>& body);
+
   SchedulerConfig config_;
 };
 

@@ -29,18 +29,25 @@ struct Flit {
   std::uint8_t vn = 0;
   /// While queued at a wireless TX port: the WI node this flit is sent to.
   graph::NodeId wi_dest = graph::kInvalidId;
+  /// Per-packet fault-retry budget: number of exponential-backoff waits this
+  /// head has taken on unroutable (fault-degraded) routes.  Always 0 on
+  /// fault-free runs.
+  std::uint8_t retries = 0;
 
   /// Route memo (head flits only).  next_hop is a pure function of
   /// (router, dest, down_phase, vn), so its result for this flit at router
   /// `route_node` never changes — arbitration caches it here the first time
   /// the head is probed and every later probe at the same router is an
   /// integer compare.  Moving to another router invalidates the memo by
-  /// construction (route_node mismatch).  Purely an optimization: decisions
-  /// are bit-identical with or without the memo.
+  /// construction (route_node mismatch); a fault-driven route-table rebuild
+  /// invalidates every memo at once by bumping the network's route epoch
+  /// (route_epoch mismatch).  Purely an optimization: decisions are
+  /// bit-identical with or without the memo.
   graph::NodeId route_node = graph::kInvalidId;
   std::int32_t route_out = -1;             ///< output index at route_node
   graph::NodeId route_wi_dest = graph::kInvalidId;
   bool route_down_phase = false;
+  std::uint32_t route_epoch = 0;           ///< network route epoch of the memo
 
   bool is_head() const { return seq == 0; }
   bool is_tail() const { return seq + 1 == size; }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "faults/faults.hpp"
 #include "noc/flit.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
@@ -53,6 +54,18 @@ struct SimConfig {
   /// path is bit-identical to the reference — this flag exists so the A/B
   /// property tests can prove it, and as an escape hatch while debugging.
   bool reference_stepping = false;
+  /// Fault injection: link/router/WI failures (and repairs, for transient
+  /// faults) that the stepping loop applies at their scheduled cycles.  An
+  /// empty schedule bypasses the fault machinery entirely — the simulation
+  /// is then bit-identical to one without it.  See DESIGN.md §9.
+  faults::FaultSchedule faults;
+  /// A head flit whose route is a fault hole waits (base << retries) cycles
+  /// between attempts; after `fault_max_retries` backoffs the packet is
+  /// declared lost and purged from the network.
+  std::uint32_t fault_max_retries = 8;
+  std::uint32_t fault_backoff_base_cycles = 8;
+  /// Wireless-hop cost used when rebuilding degraded up*/down* tables.
+  double fault_reroute_wireless_cost = 2.5;
 };
 
 /// Raw event counts consumed by the power library.
@@ -76,6 +89,12 @@ struct Metrics {
   std::uint64_t cycles = 0;
   Accumulator packet_latency;  ///< inject -> tail-eject, in cycles
   EnergyCounters energy;
+  /// Fault-injection counters — all zero on fault-free runs (DESIGN.md §9).
+  std::uint64_t fault_events = 0;    ///< timeline transitions applied
+  std::uint64_t route_rebuilds = 0;  ///< degraded route-table recomputations
+  std::uint64_t retry_backoffs = 0;  ///< unroutable-head backoff waits
+  std::uint64_t packets_lost = 0;    ///< packets declared lost and purged
+  std::uint64_t flits_lost = 0;      ///< flits removed by purges
 
   double avg_latency() const { return packet_latency.mean(); }
   /// Fraction of hop traversals carried by wireless links.
@@ -195,6 +214,7 @@ class Network {
     std::vector<graph::NodeId> members;  ///< WI nodes, in id order
     std::size_t token = 0;
     bool mid_packet = false;
+    PacketId mid_packet_id = 0;  ///< packet holding the reservation
   };
 
   static constexpr std::int32_t kSourceInput = -2;
@@ -245,6 +265,41 @@ class Network {
   bool try_move_vn(graph::NodeId node, OutPort& out, std::size_t vn);
   void move_through_output(graph::NodeId node, OutPort& out);
 
+  // --- Fault injection & graceful degradation (DESIGN.md §9) ------------
+  /// One timeline transition: an element goes down (fault strikes) or comes
+  /// back up (a transient fault repairs).
+  struct FaultEvent {
+    Cycle cycle = 0;
+    faults::NocFaultKind kind = faults::NocFaultKind::kLink;
+    std::uint32_t id = 0;
+    bool down = true;
+  };
+  void build_fault_timeline();
+  /// Apply every timeline transition with cycle <= now (called at the top of
+  /// step() when a schedule is present).
+  void apply_fault_events();
+  /// Recompute the per-edge usability mask from the down counters, purge
+  /// packets caught on newly dead elements and rebuild the routing tables.
+  void recompute_fault_state();
+  void collect_edge_casualties(graph::EdgeId e, std::vector<PacketId>& out);
+  void collect_router_casualties(graph::NodeId n, std::vector<PacketId>& out);
+  void collect_wi_casualties(graph::NodeId n, std::vector<PacketId>& out);
+  /// True when the grant has already streamed at least one flit (a wormhole
+  /// cannot re-route a partially forwarded packet).
+  bool owner_streamed(RouterState& r, const OwnerState& owner, std::size_t vn);
+  /// Remove every flit of `ids` from the network, reset their wormhole
+  /// grants and wireless reservations, and account them as lost.
+  void purge_packets(std::vector<PacketId>& ids);
+  /// After a route change: invalidate every route memo, restart the
+  /// up*/down* phase of queued heads and release grants that have not
+  /// streamed yet so they re-arbitrate under the new tables.
+  void reset_route_state();
+  /// Pre-pass over every router (identical in reference and fast stepping):
+  /// ready front heads whose route is a hole take an exponential-backoff
+  /// wait, and after fault_max_retries waits the packet is declared lost.
+  void backoff_unroutable_heads();
+  void handle_unreachable(Flit& f);
+
   const Topology* topo_;
   const RoutingAlgorithm* routing_;
   SimConfig cfg_;
@@ -262,6 +317,23 @@ class Network {
   Metrics metrics_;
   std::uint64_t in_flight_flits_ = 0;
   PacketId next_packet_ = 0;
+
+  // Fault state.  `active_routing_` points at `routing_` until the first
+  // fault fires, then at `degraded_routing_` (hole-tolerant tables over the
+  // surviving edges) for the rest of the run — in-flight heads may carry
+  // stale down-phase bits that the original tables would refuse to route.
+  bool faults_enabled_ = false;
+  bool degraded_routing_active_ = false;
+  std::vector<FaultEvent> fault_timeline_;  ///< sorted by cycle
+  std::size_t next_fault_event_ = 0;
+  std::vector<std::uint32_t> edge_down_;    ///< overlapping-fault counts
+  std::vector<std::uint32_t> router_down_;
+  std::vector<std::uint32_t> wi_down_;
+  std::vector<bool> edge_usable_;           ///< effective liveness mask
+  std::unique_ptr<UpDownRouting> degraded_routing_;
+  const RoutingAlgorithm* active_routing_ = nullptr;
+  std::uint32_t route_epoch_ = 0;           ///< bumped per table rebuild
+  std::vector<PacketId> pending_lost_;      ///< purged at the next step()
 };
 
 }  // namespace vfimr::noc

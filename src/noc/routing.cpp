@@ -78,23 +78,41 @@ constexpr double kEps = 1e-9;
 
 UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
                              graph::NodeId root)
-    : n_{g.node_count()}, graph_{&g} {
+    : UpDownRouting{g, UpDownOptions{wireless_cost, root, nullptr, false}} {}
+
+UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
+    : n_{g.node_count()},
+      allow_unreachable_{opts.allow_unreachable},
+      graph_{&g} {
+  const double wireless_cost = opts.wireless_cost;
   VFIMR_REQUIRE(n_ > 0);
   VFIMR_REQUIRE(wireless_cost >= 1.0);
+  if (opts.edge_alive != nullptr) {
+    VFIMR_REQUIRE_MSG(opts.edge_alive->size() == g.edge_count(),
+                      "edge liveness mask must cover every edge");
+  }
+  auto alive = [&](graph::EdgeId e) {
+    return opts.edge_alive == nullptr || (*opts.edge_alive)[e];
+  };
 
   // The up*/down* order comes from the *wired* subgraph: wire-only routes
   // (the budget-0 layer) must reach every destination, which the classic
   // up/down construction guarantees when the order's BFS tree lives in the
   // same graph those routes use.  Wireless edges inherit the orientation.
+  // Dead edges (fault masks) are excluded everywhere.
   graph::Graph wired{n_};
-  for (const auto& ed : g.edges()) {
-    if (ed.kind == graph::EdgeKind::kWire) {
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    if (ed.kind == graph::EdgeKind::kWire && alive(e)) {
       wired.add_edge(ed.a, ed.b, ed.kind, ed.length_mm);
     }
   }
-  VFIMR_REQUIRE_MSG(graph::is_connected(wired),
-                    "up*/down* routing needs a connected wired topology");
-  root_ = root == graph::kInvalidId ? graph::max_degree_node(wired) : root;
+  if (!allow_unreachable_) {
+    VFIMR_REQUIRE_MSG(graph::is_connected(wired),
+                      "up*/down* routing needs a connected wired topology");
+  }
+  root_ = opts.root == graph::kInvalidId ? graph::max_degree_node(wired)
+                                         : opts.root;
   VFIMR_REQUIRE(root_ < n_);
 
   const auto level = graph::bfs_hops(wired, root_);
@@ -143,7 +161,7 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
         pq.pop();
         if (dcur > du[0][u] + kEps) continue;
         for (graph::EdgeId e : g.incident(u)) {
-          if (is_wireless(e)) continue;
+          if (is_wireless(e) || !alive(e)) continue;
           const graph::NodeId v = g.other_end(e, u);
           if (!order.less(v, u)) continue;  // need v -> u to be a down move
           const double nd = du[0][u] + edge_cost(e);
@@ -162,8 +180,9 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
       std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
       du[1][dest] = 0.0;
       pq.emplace(0.0, dest);
-      for (const auto& ed : g.edges()) {
-        if (ed.kind != graph::EdgeKind::kWireless) continue;
+      for (graph::EdgeId we = 0; we < g.edge_count(); ++we) {
+        const auto& ed = g.edge(we);
+        if (ed.kind != graph::EdgeKind::kWireless || !alive(we)) continue;
         // Taking the wireless edge v -> u (down) consumes the budget, so the
         // remainder is wire-only: candidate du1[v] = cw + du0[u].
         for (const auto& [v, u] :
@@ -182,7 +201,7 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
         pq.pop();
         if (dcur > du[1][u] + kEps) continue;
         for (graph::EdgeId e : g.incident(u)) {
-          if (is_wireless(e)) continue;
+          if (is_wireless(e) || !alive(e)) continue;
           const graph::NodeId v = g.other_end(e, u);
           if (!order.less(v, u)) continue;
           const double nd = du[1][u] + edge_cost(e);
@@ -199,6 +218,7 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
       for (graph::NodeId v : asc) {
         dup[b][v] = du[b][v];
         for (graph::EdgeId e : g.incident(v)) {
+          if (!alive(e)) continue;
           const graph::NodeId w = g.other_end(e, v);
           if (!order.less(w, v)) continue;  // need v -> w to be an up move
           if (is_wireless(e)) {
@@ -218,10 +238,17 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, double wireless_cost,
     for (int b = 0; b < 2; ++b) {
       for (graph::NodeId v = 0; v < n_; ++v) {
         if (v == dest) continue;
-        VFIMR_REQUIRE_MSG(dup[b][v] != kInfW, "up*/down* must reach all nodes");
+        if (dup[b][v] == kInfW) {
+          // Faults cut v off from dest: leave the table hole and let
+          // next_hop report it (graceful degradation) instead of aborting.
+          VFIMR_REQUIRE_MSG(allow_unreachable_,
+                            "up*/down* must reach all nodes");
+          continue;
+        }
         std::vector<std::pair<RouteDecision, graph::NodeId>> down_opts;
         std::vector<std::pair<RouteDecision, graph::NodeId>> up_opts;
         for (graph::EdgeId e : g.incident(v)) {
+          if (!alive(e)) continue;
           const graph::NodeId w = g.other_end(e, v);
           const bool wless = is_wireless(e);
           if (wless && b == 0) continue;  // budget exhausted
@@ -271,8 +298,19 @@ RouteDecision UpDownRouting::next_hop(graph::NodeId node, graph::NodeId dest,
   VFIMR_REQUIRE(node != dest);
   const auto& layer = layers_[wireless_used ? 0 : 1][down_phase ? 1 : 0];
   const auto& d = layer.table[node * n_ + dest];
-  VFIMR_REQUIRE_MSG(d.edge != graph::kInvalidId, "routing hole");
+  // On a fault-degraded instance a hole means "dest unreachable from here":
+  // the caller (network backoff/loss logic) must handle it.  On a healthy
+  // instance a hole is a construction bug.
+  VFIMR_REQUIRE_MSG(allow_unreachable_ || d.edge != graph::kInvalidId,
+                    "routing hole");
   return d;
+}
+
+bool UpDownRouting::reachable(graph::NodeId s, graph::NodeId d) const {
+  VFIMR_REQUIRE(s < n_ && d < n_);
+  if (s == d) return true;
+  // A fresh packet starts in the up phase with its wireless budget intact.
+  return layers_[1][0].table[s * n_ + d].edge != graph::kInvalidId;
 }
 
 std::uint32_t UpDownRouting::walk(graph::NodeId s, graph::NodeId d,

@@ -57,6 +57,22 @@ class XyRouting final : public RoutingAlgorithm {
   std::vector<std::array<graph::EdgeId, 4>> edge_to_;
 };
 
+/// Construction options for UpDownRouting (fault-degraded instances).
+struct UpDownOptions {
+  double wireless_cost = 2.5;
+  /// Root of the up*/down* order; kInvalidId = max-degree node heuristic.
+  graph::NodeId root = graph::kInvalidId;
+  /// Optional per-EdgeId liveness mask (size == g.edge_count()); nullptr
+  /// means every edge is usable.  Dead edges are excluded from the order,
+  /// the cost passes and the tables — the construction routes around them.
+  const std::vector<bool>* edge_alive = nullptr;
+  /// Tolerate a disconnected (fault-mutilated) topology: instead of
+  /// REQUIRE-failing, unreachable (node, dest) pairs are left as table holes
+  /// and next_hop reports them with RouteDecision{kInvalidId} so callers can
+  /// degrade gracefully (retry / drop) rather than loop or crash.
+  bool allow_unreachable = false;
+};
+
 /// Up*/down* shortest legal path routing with precomputed per-phase tables.
 ///
 /// Paths are weight-optimal: a wire hop costs 1 and a wireless hop costs
@@ -72,11 +88,23 @@ class UpDownRouting final : public RoutingAlgorithm {
   explicit UpDownRouting(const graph::Graph& g, double wireless_cost = 2.5,
                          graph::NodeId root = graph::kInvalidId);
 
+  /// Fault-aware construction: honours `opts.edge_alive` and, with
+  /// `opts.allow_unreachable`, survives topologies that faults have cut
+  /// into several components.
+  UpDownRouting(const graph::Graph& g, const UpDownOptions& opts);
+
+  /// With `allow_unreachable`, a hole (no legal route) is reported as
+  /// RouteDecision{graph::kInvalidId} instead of a REQUIRE failure.
   RouteDecision next_hop(graph::NodeId node, graph::NodeId dest,
                          bool down_phase,
                          bool wireless_used = false) const override;
 
   graph::NodeId root() const { return root_; }
+
+  /// True when a fresh packet at `s` has a legal route to `d` (always true
+  /// for s == d).  On instances built without `allow_unreachable` this is
+  /// true for every pair by construction.
+  bool reachable(graph::NodeId s, graph::NodeId d) const;
 
   /// Length (hops) of the deterministic route from s to d. 0 when s == d.
   std::uint32_t route_hops(graph::NodeId s, graph::NodeId d) const;
@@ -96,6 +124,7 @@ class UpDownRouting final : public RoutingAlgorithm {
 
   std::size_t n_ = 0;
   graph::NodeId root_ = 0;
+  bool allow_unreachable_ = false;
   // Indexed [budget][phase]: budget 1 = wireless hop still available,
   // budget 0 = wire-only; phase 0 = up*, phase 1 = down*.
   Layer layers_[2][2];

@@ -27,7 +27,9 @@ graph::EdgeId Topology::add_wireless(graph::NodeId a, graph::NodeId b) {
 
 Topology make_placed_grid(std::size_t width, std::size_t height,
                           double pitch_mm) {
-  VFIMR_REQUIRE(width > 0 && height > 0);
+  VFIMR_REQUIRE_MSG(width > 0 && height > 0,
+                    "mesh dimensions must be positive, got "
+                        << width << "x" << height);
   Topology t;
   t.graph = graph::Graph{width * height};
   t.positions.resize(width * height);

@@ -26,7 +26,8 @@ const VfTable& VfTable::standard() {
 }
 
 VfTable::VfTable(std::vector<VfPoint> points) : points_{std::move(points)} {
-  VFIMR_REQUIRE(!points_.empty());
+  VFIMR_REQUIRE_MSG(!points_.empty(),
+                    "VfTable needs at least one V/F point");
   VFIMR_REQUIRE_MSG(
       std::is_sorted(points_.begin(), points_.end(),
                      [](const VfPoint& a, const VfPoint& b) {
@@ -34,7 +35,9 @@ VfTable::VfTable(std::vector<VfPoint> points) : points_{std::move(points)} {
                      }),
       "VfTable points must be in ascending frequency order");
   for (const auto& p : points_) {
-    VFIMR_REQUIRE(p.voltage_v > 0.0 && p.freq_hz > 0.0);
+    VFIMR_REQUIRE_MSG(p.voltage_v > 0.0 && p.freq_hz > 0.0,
+                      "VfPoint must have positive voltage and frequency, got "
+                          << p.voltage_v << " V / " << p.freq_hz << " Hz");
   }
 }
 

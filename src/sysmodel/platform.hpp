@@ -49,6 +49,12 @@ struct PlatformParams {
   noc::Cycle sim_cycles = 60'000;    ///< measured injection window
   noc::Cycle drain_cycles = 60'000;  ///< post-injection drain budget
   std::uint64_t traffic_seed = 99;
+  /// Fault model for the resilience experiments.  NoC rates expand into a
+  /// concrete seeded schedule inside evaluate_network (links/routers/WIs of
+  /// the built platform); core_fail_prob draws per-phase core failures in
+  /// FullSystemSim::run.  The default (all rates zero) is bit-identical to a
+  /// fault-free run.
+  faults::FaultSpec faults{};
 };
 
 /// A constructed platform, ready for network simulation.

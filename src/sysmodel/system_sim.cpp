@@ -72,6 +72,11 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   report.net = evaluate_network(built, profile, params, models_.noc);
   report.has_vfi = built.has_vfi;
   if (built.has_vfi) report.vfi = built.vfi;
+  report.resilience.noc_fault_events = report.net.metrics.fault_events;
+  report.resilience.noc_route_rebuilds = report.net.metrics.route_rebuilds;
+  report.resilience.noc_retry_backoffs = report.net.metrics.retry_backoffs;
+  report.resilience.packets_lost = report.net.metrics.packets_lost;
+  report.resilience.flits_lost = report.net.metrics.flits_lost;
 
   report.baseline_latency_cycles = baseline_latency_cycles > 0.0
                                        ? baseline_latency_cycles
@@ -135,6 +140,26 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     return energy;
   };
 
+  // Core-failure draws: a fresh, seed-derived plan per parallel phase, so a
+  // fixed (profile, params) pair replays bit-identically while map and
+  // reduce phases of different iterations see independent failures.  The
+  // *nominal* (fault-free, f_max) runs never see faults — they stay the
+  // energy-normalization reference.
+  const bool core_faults_on = params.faults.core_fail_prob > 0.0;
+  std::uint64_t fault_phase = 0;
+  auto draw_core_faults = [&]() {
+    return faults::make_core_faults(
+        n, params.faults.core_fail_prob,
+        params.faults.seed ^
+            (static_cast<std::uint64_t>(profile.app) << 20) ^
+            (++fault_phase * 0x9E3779B97F4A7C15ull));
+  };
+  auto account_phase = [&](const TaskSimResult& actual) {
+    report.resilience.core_failures += actual.cores_failed;
+    report.resilience.tasks_reexecuted += actual.tasks_reexecuted;
+    report.resilience.wasted_core_seconds += actual.wasted_seconds;
+  };
+
   for (int iter = 0; iter < profile.iterations; ++iter) {
     // Library init (serial, master).
     const double t_li =
@@ -148,24 +173,32 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     // Map.
     const auto map_tasks =
         materialize_tasks(profile.phases.map, profile.utilization, task_rng);
+    std::vector<faults::CoreFault> map_faults;
+    if (core_faults_on) map_faults = draw_core_faults();
     const TaskSimResult map_actual =
-        simulate_phase(map_tasks, cores, report.mem_scale, policy);
+        simulate_phase(map_tasks, cores, report.mem_scale, policy,
+                       core_faults_on ? &map_faults : nullptr);
     const TaskSimResult map_nominal = simulate_phase(
         map_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.map_s += map_actual.makespan_s;
     report.core_energy_j +=
         parallel_energy(profile.phases.map, map_actual, map_nominal);
+    account_phase(map_actual);
 
     // Reduce.
     const auto red_tasks = materialize_tasks(profile.phases.reduce,
                                              profile.utilization, task_rng);
+    std::vector<faults::CoreFault> red_faults;
+    if (core_faults_on) red_faults = draw_core_faults();
     const TaskSimResult red_actual =
-        simulate_phase(red_tasks, cores, report.mem_scale, policy);
+        simulate_phase(red_tasks, cores, report.mem_scale, policy,
+                       core_faults_on ? &red_faults : nullptr);
     const TaskSimResult red_nominal = simulate_phase(
         red_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.reduce_s += red_actual.makespan_s;
     report.core_energy_j +=
         parallel_energy(profile.phases.reduce, red_actual, red_nominal);
+    account_phase(red_actual);
 
     // Merge (serial, master).
     const double t_merge =
@@ -175,6 +208,31 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   }
 
   report.exec_s = report.phases.total_s();
+  // Traffic only flows while cores make progress; network energy below uses
+  // the pre-stall execution time.
+  const double traffic_exec_s = report.exec_s;
+
+  // ---- Lost-packet stalls.  The NoC run is a sample of the network under
+  // this traffic; extrapolate its loss rate over the whole execution and
+  // charge each lost packet a receiver-timeout stall on its destination
+  // core.  With losses spread over n cores the added wall-clock is
+  //   losses/cycle x (exec_s x f_net) x (timeout / f_net) / n
+  // — the network clock cancels.  Zero losses leave exec_s untouched.
+  if (report.net.metrics.packets_lost > 0 && report.net.metrics.cycles > 0) {
+    const double loss_per_cycle =
+        static_cast<double>(report.net.metrics.packets_lost) /
+        static_cast<double>(report.net.metrics.cycles);
+    const double stall_s =
+        loss_per_cycle * report.exec_s *
+        static_cast<double>(params.faults.loss_timeout_cycles) /
+        static_cast<double>(n);
+    report.resilience.net_stall_seconds = stall_s;
+    report.exec_s += stall_s;
+    // Stalled cores sit idle at their operating point.
+    for (std::size_t t = 0; t < n; ++t) {
+      report.core_energy_j += models_.core.energy_j(0.0, vf[t], stall_s);
+    }
+  }
 
   // ---- Network energy over the whole run.  On VFI systems the routers and
   // links inside each island run at the island's voltage, so interconnect
@@ -189,7 +247,7 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   }
   const double packets_per_cycle = profile.traffic.sum();
   const double flits = packets_per_cycle * params.network_clock_hz *
-                       report.exec_s *
+                       traffic_exec_s *
                        static_cast<double>(profile.packet_flits);
   report.net_dynamic_j = report.net.energy_per_flit_j * flits * net_v2_factor;
   report.net_static_j = models_.noc.static_energy_j(n, built.wi_count,

@@ -35,6 +35,28 @@ struct PhaseBreakdown {
   double total_s() const { return lib_init_s + map_s + reduce_s + merge_s; }
 };
 
+/// Degraded-mode accounting accumulated over a full-system run; every field
+/// is zero when PlatformParams::faults is the default (fault-free) spec.
+struct ResilienceStats {
+  std::uint64_t core_failures = 0;      ///< core deaths across all phases
+  std::uint64_t tasks_reexecuted = 0;   ///< task re-runs after core deaths
+  double wasted_core_seconds = 0.0;     ///< partial work discarded at deaths
+  std::uint64_t noc_fault_events = 0;   ///< NoC fault transitions applied
+  std::uint64_t noc_route_rebuilds = 0; ///< degraded route recomputations
+  std::uint64_t noc_retry_backoffs = 0; ///< unroutable-head backoff waits
+  std::uint64_t packets_lost = 0;       ///< packets purged after retry budget
+  std::uint64_t flits_lost = 0;         ///< flits removed with them
+  /// Wall-clock added to exec_s for lost-packet timeouts: the sampled loss
+  /// rate, extrapolated over the run, stalls the destination core for
+  /// loss_timeout_cycles per loss (stalls spread evenly across cores).
+  double net_stall_seconds = 0.0;
+
+  bool any() const {
+    return core_failures > 0 || tasks_reexecuted > 0 ||
+           noc_fault_events > 0 || packets_lost > 0;
+  }
+};
+
 struct SystemReport {
   SystemKind kind = SystemKind::kNvfiMesh;
   PhaseBreakdown phases;            ///< summed over MapReduce iterations
@@ -43,6 +65,7 @@ struct SystemReport {
   double net_dynamic_j = 0.0;
   double net_static_j = 0.0;
   NetworkEval net;
+  ResilienceStats resilience;
   double baseline_latency_cycles = 0.0;  ///< NVFI-mesh latency used as ref
   double mem_scale = 1.0;                ///< memory-time multiplier applied
   bool has_vfi = false;

@@ -55,7 +55,8 @@ std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
 
 TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
                              const std::vector<SimCore>& cores,
-                             double mem_scale, StealingPolicy policy) {
+                             double mem_scale, StealingPolicy policy,
+                             const std::vector<faults::CoreFault>* core_faults) {
   const std::size_t c = cores.size();
   const std::size_t n = tasks.size();
   VFIMR_REQUIRE(c > 0);
@@ -116,6 +117,24 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
     }
   }
 
+  // Core failure instants: at_fraction of the phase's ideal (fault-free,
+  // perfectly balanced) makespan.  Infinity = never fails.
+  std::vector<double> fail_time(c, std::numeric_limits<double>::infinity());
+  std::vector<bool> failed(c, false);
+  if (core_faults != nullptr && !core_faults->empty()) {
+    double ideal = 0.0;
+    for (const auto& t : tasks) {
+      ideal += t.cycles / fmax + t.mem_seconds * mem_scale;
+    }
+    ideal /= static_cast<double>(c);
+    for (const auto& f : *core_faults) {
+      if (f.core < c) {
+        fail_time[f.core] =
+            std::min(fail_time[f.core], f.at_fraction * ideal);
+      }
+    }
+  }
+
   std::vector<double> free_time(c, 0.0);
   std::vector<bool> active(c, true);
   for (std::size_t i = 0; i < c; ++i) {
@@ -124,6 +143,13 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
     if (cap[i] == 0) active[i] = false;
   }
   std::size_t remaining = n;
+  // Tasks abandoned by failing cores: re-executable by survivors, but not
+  // before the failure instant (causality).
+  struct Retry {
+    std::size_t task;
+    double ready;
+  };
+  std::deque<Retry> retries;
 
   while (remaining > 0) {
     // Earliest-free active core (ties -> lowest id).
@@ -133,19 +159,37 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
       if (who == c || free_time[i] < free_time[who]) who = i;
     }
     if (who == c) {
-      // Every core is capped out while tasks remain (possible only with a
-      // degenerate configuration); lift the caps so work always finishes.
+      // Every core is capped out or failed while tasks remain (possible
+      // only with a degenerate configuration); lift the caps and restart
+      // the failed cores so work always finishes.
       for (std::size_t i = 0; i < c; ++i) {
         active[i] = true;
         cap[i] = std::numeric_limits<std::size_t>::max();
+        fail_time[i] = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    if (fail_time[who] <= free_time[who]) {
+      // This core's failure instant has passed: it dies instead of picking.
+      // Its queue stays in place — survivors steal from it as usual.
+      active[who] = false;
+      if (!failed[who]) {
+        failed[who] = true;
+        ++result.cores_failed;
       }
       continue;
     }
 
     std::size_t task = n;
+    double ready = 0.0;
     if (!queues[who].empty()) {
       task = queues[who].front();
       queues[who].pop_front();
+    } else if (!retries.empty()) {
+      task = retries.front().task;
+      ready = retries.front().ready;
+      retries.pop_front();
+      ++result.tasks_reexecuted;
     } else {
       // Steal from the victim with the most remaining tasks.
       std::size_t victim = c;
@@ -166,8 +210,26 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
 
     const double duration = tasks[task].cycles / cores[who].freq_hz +
                             tasks[task].mem_seconds * mem_scale;
+    const double start = std::max(free_time[who], ready);
+    const double end = start + duration;
+    if (end > fail_time[who]) {
+      // The core dies mid-task: partial work up to the failure instant is
+      // wasted, the task goes back for a survivor to re-execute.
+      const double wasted = std::max(0.0, fail_time[who] - start);
+      result.busy_seconds[who] += wasted;
+      result.wasted_seconds += wasted;
+      free_time[who] = fail_time[who];
+      result.makespan_s = std::max(result.makespan_s, fail_time[who]);
+      active[who] = false;
+      if (!failed[who]) {
+        failed[who] = true;
+        ++result.cores_failed;
+      }
+      retries.push_back(Retry{task, std::max(ready, fail_time[who])});
+      continue;
+    }
     result.busy_seconds[who] += duration;
-    free_time[who] += duration;
+    free_time[who] = end;
     result.makespan_s = std::max(result.makespan_s, free_time[who]);
     --remaining;
     if (++result.tasks_executed[who] >= cap[who]) active[who] = false;

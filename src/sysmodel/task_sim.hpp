@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "faults/faults.hpp"
 #include "workload/profile.hpp"
 
 namespace vfimr::sysmodel {
@@ -32,6 +33,10 @@ struct TaskSimResult {
   std::vector<double> busy_seconds;          ///< per core
   std::vector<std::uint64_t> tasks_executed;  ///< per core
   std::uint64_t steals = 0;
+  // Fault accounting (all zero on fault-free runs):
+  std::uint64_t cores_failed = 0;     ///< cores lost during this phase
+  std::uint64_t tasks_reexecuted = 0; ///< re-runs of tasks lost to failures
+  double wasted_seconds = 0.0;        ///< partial work discarded at failures
 };
 
 /// How Eq. 3 of the paper is applied to the scheduler.  The paper states the
@@ -82,8 +87,15 @@ std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
 /// Simulate one phase under the given stealing policy.  rel_freq is
 /// interpreted relative to the fastest core *present in this run* (Eq. 3's
 /// f_max is the maximum operating frequency of the configuration).
-TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
-                             const std::vector<SimCore>& cores,
-                             double mem_scale, StealingPolicy policy);
+///
+/// `core_faults` (optional) injects permanent core failures: a faulted core
+/// dies at `at_fraction` of the phase's ideal makespan — partial work on its
+/// current task is discarded (charged as wasted busy time) and the task is
+/// re-executed by a survivor no earlier than the failure instant.  Passing
+/// nullptr or an empty list is bit-identical to the fault-free simulation.
+TaskSimResult simulate_phase(
+    const std::vector<SimTask>& tasks, const std::vector<SimCore>& cores,
+    double mem_scale, StealingPolicy policy,
+    const std::vector<faults::CoreFault>* core_faults = nullptr);
 
 }  // namespace vfimr::sysmodel

@@ -1,0 +1,106 @@
+// Input-validation hardening: invalid platform / simulation / power
+// configurations must fail fast with a descriptive RequirementError instead
+// of corrupting a run (satellite of the fault-injection PR).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/require.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "power/vf_table.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr {
+namespace {
+
+/// EXPECT_THROW plus a check that the message mentions `needle` — the error
+/// must tell the user *what* was wrong, not just that something was.
+template <typename Fn>
+void expect_requirement(const Fn& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected RequirementError mentioning \"" << needle << "\"";
+  } catch (const RequirementError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ConfigValidation, VfTableRejectsEmptyAndNonPositivePoints) {
+  expect_requirement([] { power::VfTable t{{}}; (void)t; },
+                     "at least one V/F point");
+  expect_requirement(
+      [] {
+        power::VfTable t{{power::VfPoint{0.0, 2.5e9}}};
+        (void)t;
+      },
+      "positive voltage");
+  expect_requirement(
+      [] {
+        power::VfTable t{{power::VfPoint{1.0, -1.0}}};
+        (void)t;
+      },
+      "positive voltage and frequency");
+}
+
+TEST(ConfigValidation, MeshRejectsZeroDimensions) {
+  expect_requirement([] { noc::make_mesh(0, 4); }, "must be positive");
+  expect_requirement([] { noc::make_mesh(4, 0); }, "must be positive");
+}
+
+TEST(ConfigValidation, NetworkRejectsZeroBufferDepths) {
+  const noc::Topology topo = noc::make_mesh(2, 2);
+  const noc::XyRouting routing{topo.graph, 2, 2};
+  expect_requirement(
+      [&] {
+        noc::SimConfig cfg;
+        cfg.wire_buffer_depth = 0;
+        noc::Network net{topo, routing, cfg};
+      },
+      "wire_buffer_depth");
+  expect_requirement(
+      [&] {
+        noc::SimConfig cfg;
+        cfg.wi_buffer_depth = 0;
+        noc::Network net{topo, routing, cfg};
+      },
+      "wi_buffer_depth");
+}
+
+TEST(ConfigValidation, SystemSimRejectsBadNetworkParams) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const sysmodel::FullSystemSim sim;
+
+  sysmodel::PlatformParams params;
+  params.network_clock_hz = 0.0;
+  expect_requirement([&] { sim.run(profile, params); }, "network_clock_hz");
+
+  params = sysmodel::PlatformParams{};
+  params.network_clock_hz = -1.0e9;
+  expect_requirement([&] { sim.run(profile, params); }, "network_clock_hz");
+
+  params = sysmodel::PlatformParams{};
+  params.router_pipeline_cycles = 0;
+  expect_requirement([&] { sim.run(profile, params); },
+                     "router_pipeline_cycles");
+
+  params = sysmodel::PlatformParams{};
+  params.sim_cycles = 0;
+  expect_requirement([&] { sim.run(profile, params); }, "sim_cycles");
+}
+
+TEST(ConfigValidation, PlatformRejectsNonDieSizedProfiles) {
+  auto profile = workload::make_profile(workload::App::kWC);
+  profile.threads = 16;
+  profile.utilization.resize(16);
+  const sysmodel::FullSystemSim sim;
+  expect_requirement([&] { sim.run(profile, sysmodel::PlatformParams{}); },
+                     "8x8 die");
+}
+
+}  // namespace
+}  // namespace vfimr

@@ -18,7 +18,10 @@
 #include <string>
 
 #include "common/json_lite.hpp"
+#include "faults/faults.hpp"
 #include "sysmodel/figures.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
 
 #ifndef VFIMR_SOURCE_DIR
 #error "tests/CMakeLists.txt must define VFIMR_SOURCE_DIR"
@@ -119,6 +122,37 @@ TEST_F(GoldenFigures, GuardDetectsMapTimePerturbation) {
   }
   EXPECT_GT(violations, 0u)
       << "+5% map time stayed within tolerance everywhere — guard is blind";
+}
+
+TEST(ZeroFaultIdentity, SeededZeroRateSpecIsBitIdentical) {
+  // The goldens are produced with the default (fault-free) PlatformParams.
+  // A FaultSpec with every rate at zero — regardless of its seed — must
+  // leave every simulated quantity bit-identical: the fault machinery is
+  // provably dormant in the runs the goldens guard, so the fault-injection
+  // subsystem cannot move a golden without a nonzero rate.
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const sysmodel::FullSystemSim sim;
+  const auto clean = sysmodel::compare_systems(profile, sim);
+
+  sysmodel::PlatformParams params;
+  params.faults = faults::FaultSpec{};
+  params.faults.seed = 0xBADD1Eull;  // the seed alone must not matter
+  const auto seeded = sysmodel::compare_systems(profile, sim, params);
+
+  auto expect_same = [](const sysmodel::SystemReport& a,
+                        const sysmodel::SystemReport& b) {
+    EXPECT_EQ(a.exec_s, b.exec_s);
+    EXPECT_EQ(a.core_energy_j, b.core_energy_j);
+    EXPECT_EQ(a.net_dynamic_j, b.net_dynamic_j);
+    EXPECT_EQ(a.net_static_j, b.net_static_j);
+    EXPECT_EQ(a.net.avg_latency_cycles, b.net.avg_latency_cycles);
+    EXPECT_EQ(a.mem_scale, b.mem_scale);
+    EXPECT_FALSE(b.resilience.any());
+    EXPECT_EQ(b.resilience.net_stall_seconds, 0.0);
+  };
+  expect_same(clean.nvfi_mesh, seeded.nvfi_mesh);
+  expect_same(clean.vfi_mesh, seeded.vfi_mesh);
+  expect_same(clean.vfi_winoc, seeded.vfi_winoc);
 }
 
 TEST_F(GoldenFigures, GuardDetectsCoreEnergyPerturbation) {

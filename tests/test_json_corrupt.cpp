@@ -1,0 +1,109 @@
+// json_lite corrupt-input coverage: every malformed or truncated input must
+// raise a descriptive parse error carrying the byte offset, so a damaged
+// golden/metric file is diagnosable from the message alone.
+
+#include "common/json_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace vfimr::json {
+namespace {
+
+/// Parse must fail, the message must carry the byte offset and mention the
+/// expected defect.
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    parse(text);
+    FAIL() << "parse accepted malformed input: " << text;
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("at offset"), std::string::npos)
+        << "no byte offset in: " << msg;
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "expected \"" << needle << "\" in: " << msg;
+  }
+}
+
+TEST(JsonCorrupt, EmptyAndWhitespaceOnlyInput) {
+  expect_parse_error("", "empty input");
+  expect_parse_error("   \n\t  ", "empty input");
+}
+
+TEST(JsonCorrupt, TruncatedObjects) {
+  expect_parse_error("{", "expected '\"'");
+  expect_parse_error("{\"a\"", "expected ':'");
+  expect_parse_error("{\"a\":", "expected number");
+  expect_parse_error("{\"a\": 1.0", "expected ',' or '}'");
+  expect_parse_error("{\"a\": 1.0,", "expected '\"'");
+}
+
+TEST(JsonCorrupt, NotAnObject) {
+  expect_parse_error("42", "expected '{'");
+  expect_parse_error("[1, 2]", "expected '{'");
+  expect_parse_error("null", "expected '{'");
+}
+
+TEST(JsonCorrupt, MalformedStringsAndNumbers) {
+  expect_parse_error("{\"unterminated: 1}", "unterminated string");
+  expect_parse_error("{\"bad\\nescape\": 1}", "unsupported escape");
+  expect_parse_error("{\"a\": abc}", "expected number");
+  expect_parse_error("{\"a\": 1.2.3}", "malformed number");
+  expect_parse_error("{\"a\": --5}", "malformed number");
+  // Non-numeric values outside the supported subset.
+  expect_parse_error("{\"a\": \"string\"}", "expected number");
+  expect_parse_error("{\"a\": true}", "expected number");
+  expect_parse_error("{\"a\": {}}", "expected number");
+}
+
+TEST(JsonCorrupt, StructuralDefects) {
+  expect_parse_error("{\"a\": 1, \"a\": 2}", "duplicate key");
+  expect_parse_error("{\"a\": 1} garbage", "trailing content");
+  expect_parse_error("{\"a\": 1}}", "trailing content");
+  expect_parse_error("{\"a\" 1}", "expected ':'");
+}
+
+TEST(JsonCorrupt, OffsetPointsAtTheDefect) {
+  // The offending '[' is at byte offset 6; the error must say so.
+  try {
+    parse("{\"k\": [x]}");
+    FAIL() << "parse accepted an array value";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at offset 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonCorrupt, ValidInputsStillParse) {
+  EXPECT_TRUE(parse("{}").empty());
+  const auto m = parse("{\"a\": 1.5, \"b\": -2e3}");
+  EXPECT_DOUBLE_EQ(m.at("a"), 1.5);
+  EXPECT_DOUBLE_EQ(m.at("b"), -2000.0);
+  // Round-trip through dump.
+  EXPECT_EQ(parse(dump(m)), m);
+}
+
+TEST(JsonCorrupt, LoadFileReportsPathAndOffset) {
+  EXPECT_THROW(load_file("/nonexistent/golden.json"), std::runtime_error);
+
+  const std::string path = ::testing::TempDir() + "corrupt_golden.json";
+  {
+    std::ofstream out{path};
+    out << "{\"fig8.metric\": 0.31";  // truncated mid-object
+  }
+  try {
+    load_file(path);
+    FAIL() << "load_file accepted a truncated file";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("at offset"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(path), std::string::npos)
+        << "path missing from: " << msg;
+  }
+}
+
+}  // namespace
+}  // namespace vfimr::json

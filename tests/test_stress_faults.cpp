@@ -1,0 +1,116 @@
+// Concurrency stress for the fault-tolerant MapReduce runtime, meant for the
+// sanitizer pass (tier2): many workers, dense death plans and aggressive
+// straggler speculation hammer the scheduler's task lifecycle and the
+// engine's commit-once staging under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "faults/faults.hpp"
+#include "harness/property.hpp"
+#include "mapreduce/apps/wordcount.hpp"
+#include "mapreduce/engine.hpp"
+#include "mapreduce/scheduler.hpp"
+
+namespace vfimr::mr {
+namespace {
+
+TEST(StressFaults, SchedulerSurvivesDenseDeathsAndSpeculation) {
+  test::for_each_seed(4, [](Rng& rng, std::uint64_t seed) {
+    const std::size_t workers = 4 + rng.uniform_u64(8);
+    auto plan = faults::make_worker_fault_plan(
+        workers, /*death_prob=*/0.6, /*max_after_tasks=*/6, seed);
+    plan.straggler_multiple = 1.5;
+    plan.straggler_min_seconds = 1e-4;
+
+    SchedulerConfig cfg;
+    cfg.workers = workers;
+    cfg.faults = &plan;
+    TaskScheduler sched{cfg};
+
+    constexpr std::size_t kTasks = 160;
+    std::vector<std::atomic<std::uint32_t>> runs(kTasks);
+    std::atomic<std::uint64_t> total{0};
+    const auto stats = sched.run(kTasks, [&](std::size_t task, std::size_t) {
+      runs[task].fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(task, std::memory_order_relaxed);
+      // Keep the pool alive past (sanitizer-slowed) thread startup so the
+      // scheduled deaths actually get a chance to fire.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(task % 37 == 0 ? 400 : 100));
+    });
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      ASSERT_GE(runs[t].load(), 1u) << "task " << t << " lost";
+    }
+    // A death only fires if its worker claims enough tasks before the pool
+    // drains; under sanitizers thread startup is slow enough that late
+    // workers can miss all their picks, so bound the count instead of
+    // demanding every scheduled death.
+    EXPECT_GE(stats.workers_died, 1u);
+    EXPECT_LE(stats.workers_died, plan.deaths.size());
+  });
+}
+
+TEST(StressFaults, EngineOutputStableAcrossHostileInterleavings) {
+  using CountEngine = Engine<std::string, std::uint64_t>;
+  auto run_with = [](std::size_t workers,
+                     const faults::WorkerFaultPlan* plan) {
+    CountEngine::Options o;
+    o.scheduler.workers = workers;
+    o.scheduler.faults = plan;
+    CountEngine engine{o};
+    const auto result =
+        engine.run(120, [](std::size_t task, CountEngine::Emitter& em) {
+          em.emit("mod" + std::to_string(task % 13), task * task + 1);
+          em.emit("all", 1);
+          if (task % 29 == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+          }
+        });
+    std::map<std::string, std::uint64_t> got;
+    for (const auto& kv : result.pairs) got[kv.key] = kv.value;
+    return got;
+  };
+
+  faults::WorkerFaultPlan clean;
+  const auto ref = run_with(1, &clean);
+  test::for_each_seed(4, [&](Rng& rng, std::uint64_t seed) {
+    const std::size_t workers = 3 + rng.uniform_u64(9);
+    auto plan = faults::make_worker_fault_plan(workers, 0.7, 8, seed);
+    plan.straggler_multiple = 1.0;
+    plan.straggler_min_seconds = 5e-5;
+    EXPECT_EQ(run_with(workers, &plan), ref)
+        << workers << " workers, " << plan.deaths.size() << " deaths";
+  });
+}
+
+TEST(StressFaults, WordCountUnderRepeatedFaultPlans) {
+  apps::WordCountConfig cfg;
+  cfg.word_count = 60'000;
+  cfg.vocabulary = 1'500;
+  cfg.map_tasks = 48;
+  cfg.scheduler.workers = 8;
+
+  faults::WorkerFaultPlan clean;
+  cfg.scheduler.faults = &clean;
+  const auto ref = apps::run_word_count(cfg);
+
+  test::for_each_seed(3, [&](Rng&, std::uint64_t seed) {
+    auto plan = faults::make_worker_fault_plan(8, 0.8, 10, seed);
+    plan.straggler_multiple = 2.0;
+    plan.straggler_min_seconds = 1e-4;
+    apps::WordCountConfig faulty = cfg;
+    faulty.scheduler.faults = &plan;
+    const auto got = apps::run_word_count(faulty);
+    EXPECT_EQ(got.counts, ref.counts);
+    EXPECT_EQ(got.total_words, ref.total_words);
+  });
+}
+
+}  // namespace
+}  // namespace vfimr::mr
