@@ -89,7 +89,8 @@ Outcome evaluate(const workload::AppProfile& profile, std::size_t clusters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};  // accepts the uniform flags
   TextTable t{{"App", "m=1 EDP", "m=2 EDP", "m=4 EDP", "m=8 EDP", "m=16 EDP",
                "best m"}};
   for (workload::App app :

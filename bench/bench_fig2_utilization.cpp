@@ -10,7 +10,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};  // accepts the uniform flags
   const workload::App apps[] = {workload::App::kKmeans, workload::App::kPCA,
                                 workload::App::kMM, workload::App::kHist};
 

@@ -11,7 +11,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   const workload::App apps[] = {workload::App::kPCA, workload::App::kHist,
                                 workload::App::kMM};
   const sysmodel::FullSystemSim sim;
@@ -25,14 +26,18 @@ int main() {
     const auto profile = workload::make_profile(app);
 
     sysmodel::PlatformParams params;
+    params.telemetry = telemetry.sink();
     params.kind = sysmodel::SystemKind::kNvfiMesh;
     const auto nvfi = sim.run(profile, params);
     const double base_lat = nvfi.net.avg_latency_cycles;
 
+    // VFI 1 and VFI 2 are both kVfiMesh; disambiguate the trace labels.
     params.kind = sysmodel::SystemKind::kVfiMesh;
     params.use_vfi2 = false;
+    params.telemetry_label = profile.name() + " / VFI1 Mesh";
     const auto vfi1 = sim.run(profile, params, base_lat);
     params.use_vfi2 = true;
+    params.telemetry_label = profile.name() + " / VFI2 Mesh";
     const auto vfi2 = sim.run(profile, params, base_lat);
 
     fig4.add_row({profile.name(), fmt(vfi1.exec_s / nvfi.exec_s),

@@ -7,7 +7,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   const sysmodel::FullSystemSim sim;
   TextTable t{{"App", "min-hop EDP (norm)", "max-wireless EDP (norm)",
                "relative", "min-hop wless%", "max-wless wless%"}};
@@ -15,15 +16,19 @@ int main() {
   for (workload::App app : workload::kAllApps) {
     const auto profile = workload::make_profile(app);
     sysmodel::PlatformParams params;
+    params.telemetry = telemetry.sink();
     params.kind = sysmodel::SystemKind::kNvfiMesh;
     const auto nvfi = sim.run(profile, params);
     const double base_lat = nvfi.net.avg_latency_cycles;
     const double base_edp = nvfi.edp_js();
 
+    // The two placements would share one label; disambiguate the traces.
     params.kind = sysmodel::SystemKind::kVfiWinoc;
     params.placement = winoc::PlacementStrategy::kMinHopCount;
+    params.telemetry_label = profile.name() + " / WiNoC min-hop";
     const auto minhop = sim.run(profile, params, base_lat);
     params.placement = winoc::PlacementStrategy::kMaxWirelessUtilization;
+    params.telemetry_label = profile.name() + " / WiNoC max-wireless";
     const auto maxwl = sim.run(profile, params, base_lat);
 
     t.add_row({profile.name(), fmt(minhop.edp_js() / base_edp),

@@ -12,7 +12,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   const sysmodel::FullSystemSim sim;
   TextTable t{{"App", "System", "Map", "Reduce", "Merge", "LibInit", "Total"}};
 
@@ -20,7 +21,9 @@ int main() {
   for (workload::App app : workload::kAllApps) {
     profiles.push_back(workload::make_profile(app));
   }
-  const auto comparisons = sysmodel::sweep_comparisons(profiles, sim);
+  sysmodel::PlatformParams params;
+  params.telemetry = telemetry.sink();
+  const auto comparisons = sysmodel::sweep_comparisons(profiles, sim, params);
 
   double max_winoc_gain_vs_mesh = 0.0;
   std::string max_gain_app;

@@ -11,16 +11,36 @@
 
 using namespace vfimr;
 
-int main() {
+// Usage: bench_fig8_full_system_edp [--small] [--trace-out FILE]
+//                                   [--metrics-out FILE]
+// --small shrinks the app set and simulated cycle window for CI smoke runs
+// (numbers drift from the paper's; the telemetry plumbing is identical).
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--small") small = true;
+  }
+
   const sysmodel::FullSystemSim sim;
   TextTable t{{"App", "VFI Mesh EDP", "VFI WiNoC EDP", "WiNoC exec time",
                "Core E (norm)", "Net E (norm)"}};
 
   std::vector<workload::AppProfile> profiles;
-  for (workload::App app : workload::kAllApps) {
-    profiles.push_back(workload::make_profile(app));
+  sysmodel::PlatformParams params;
+  params.telemetry = telemetry.sink();
+  if (small) {
+    for (workload::App app : {workload::App::kHist, workload::App::kKmeans}) {
+      profiles.push_back(workload::make_profile(app));
+    }
+    params.sim_cycles = 6'000;
+    params.drain_cycles = 30'000;
+  } else {
+    for (workload::App app : workload::kAllApps) {
+      profiles.push_back(workload::make_profile(app));
+    }
   }
-  const auto comparisons = sysmodel::sweep_comparisons(profiles, sim);
+  const auto comparisons = sysmodel::sweep_comparisons(profiles, sim, params);
 
   std::vector<double> savings;
   double max_saving = 0.0;

@@ -7,7 +7,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   const power::VfTable& table = power::VfTable::standard();
   const power::NocPowerModel noc_power;
 
@@ -21,6 +22,12 @@ int main() {
     int i = 0;
     for (const double k_intra : {3.0, 2.0}) {
       sysmodel::PlatformParams params;
+      params.telemetry = telemetry.sink();
+      params.telemetry_label = profile.name() + " / WiNoC (" +
+                               std::to_string(static_cast<int>(k_intra)) +
+                               "," +
+                               std::to_string(4 - static_cast<int>(k_intra)) +
+                               ")";
       params.kind = sysmodel::SystemKind::kVfiWinoc;
       params.smallworld.k_intra = k_intra;
       params.smallworld.k_inter = 4.0 - k_intra;

@@ -88,6 +88,7 @@ bool reports_identical(const sysmodel::SystemReport& a,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   bool small = false;
   std::string out_path = "BENCH_resilience.json";
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
 
   std::vector<workload::AppProfile> profiles;
   sysmodel::PlatformParams params;
+  params.telemetry = telemetry.sink();
   std::vector<double> rates;
   double noc_scale = 1.0;
   if (small) {

@@ -45,7 +45,8 @@ Fabric make_winoc_fabric() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   TextTable t{{"Pattern", "Fabric", "Inj (flits/node/cyc)", "Avg latency",
                "Throughput", "Hottest link", "Drained"}};
 
@@ -56,7 +57,11 @@ int main() {
   for (const char* pattern : {"uniform", "transpose"}) {
     for (auto& fabric : fabrics) {
       for (double rate : rates) {
-        noc::Network net{fabric.topo, *fabric.routing, {}, fabric.wireless};
+        noc::SimConfig cfg;
+        cfg.telemetry = telemetry.sink();
+        cfg.telemetry_label = std::string{pattern} + " / " + fabric.name +
+                              " @ " + fmt(rate * kFlits, 3);
+        noc::Network net{fabric.topo, *fabric.routing, cfg, fabric.wireless};
         std::unique_ptr<noc::TrafficGenerator> gen;
         if (std::string(pattern) == "uniform") {
           gen = std::make_unique<noc::UniformRandomTraffic>(64, rate, kFlits,

@@ -16,7 +16,8 @@
 using namespace vfimr;
 using sysmodel::StealingPolicy;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   const auto profile = workload::make_profile(workload::App::kWC);
 
   // The paper's exact setup: 100 tasks; WC map-task calibration W = 0.5
@@ -58,7 +59,9 @@ int main() {
   TextTable t{{"Scheduler", "Makespan (s)", "vs NVFI", "Steals",
                "Slow-core tasks (max)"}};
   auto add = [&](const char* name, StealingPolicy policy) {
-    const auto r = simulate_phase(tasks, cores, 1.0, policy);
+    sysmodel::PhaseTelemetry pt{telemetry.sink(), name, name, "map", 0.0};
+    const auto r = simulate_phase(tasks, cores, 1.0, policy, nullptr,
+                                  telemetry.sink() != nullptr ? &pt : nullptr);
     std::uint64_t slow_max = 0;
     for (std::size_t i = 32; i < 64; ++i) {
       slow_max = std::max(slow_max, r.tasks_executed[i]);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "common/json_lite.hpp"
 #include "common/parallel_for.hpp"
 #include "sysmodel/sweep.hpp"
@@ -51,6 +52,10 @@ bool reports_identical(const sysmodel::SystemReport& a,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Telemetry attaches only when --trace-out/--metrics-out are passed; the
+  // timed sweeps below are the disabled-path overhead guard in CI, so an
+  // unflagged run must stay the pre-telemetry hot path.
+  bench::TelemetryScope telemetry{argc, argv};
   bool small = false;
   std::string out_path = "BENCH_sweep.json";
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
 
   std::vector<workload::AppProfile> profiles;
   sysmodel::PlatformParams params;
+  params.telemetry = telemetry.sink();
   if (small) {
     for (workload::App a : {workload::App::kHist, workload::App::kWC}) {
       profiles.push_back(workload::make_profile(a));

@@ -5,7 +5,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};  // accepts the uniform flags
   TextTable t{{"Application", "Input dataset size", "MR iters", "Map tasks",
                "Reduce tasks", "Packet flits", "Traffic (pkts/cyc)",
                "Net sensitivity"}};

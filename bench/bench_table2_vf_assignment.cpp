@@ -49,7 +49,8 @@ std::string join(const std::vector<power::VfPoint>& vf) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};  // accepts the uniform flags
   const auto& table = power::VfTable::standard();
   TextTable t{{"App", "VFI 1 (V/GHz per cluster)", "VFI 2 (V/GHz per cluster)",
                "Raised clusters", "Matches paper"}};

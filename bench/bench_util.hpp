@@ -4,13 +4,92 @@
 // working directory.
 
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "common/json_lite.hpp"
 #include "common/table.hpp"
 #include "sysmodel/system_sim.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/profile.hpp"
 
 namespace vfimr::bench {
+
+/// Uniform telemetry hookup for the paper benches: strips
+/// `--trace-out[=]FILE` and `--metrics-out[=]FILE` from argv, owns a
+/// TelemetrySink while either flag is present, and writes the Chrome trace
+/// JSON (load in Perfetto / chrome://tracing) and the metrics file
+/// (flat-JSON when FILE ends in .json, CSV otherwise) on destruction.
+///
+/// Benches pass `scope.sink()` into PlatformParams::telemetry /
+/// SimConfig::telemetry; it is nullptr when neither flag was given, so an
+/// unflagged run is the untraced fast path.
+class TelemetryScope {
+ public:
+  TelemetryScope(int& argc, char** argv) {
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value_of = [&](const std::string& flag) -> const char* {
+        if (arg.rfind(flag + "=", 0) == 0) return argv[i] + flag.size() + 1;
+        if (arg == flag && i + 1 < argc) return argv[++i];
+        return nullptr;
+      };
+      if (const char* v = value_of("--trace-out")) {
+        trace_path_ = v;
+      } else if (const char* v = value_of("--metrics-out")) {
+        metrics_path_ = v;
+      } else {
+        argv[keep++] = argv[i];
+      }
+    }
+    argc = keep;
+    if (!trace_path_.empty() || !metrics_path_.empty()) {
+      sink_ = std::make_unique<telemetry::TelemetrySink>();
+    }
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  /// Null when telemetry was not requested on the command line.
+  telemetry::TelemetrySink* sink() { return sink_.get(); }
+
+  ~TelemetryScope() {
+    if (sink_ == nullptr) return;
+    std::cout << "== telemetry summary\n"
+              << sink_->metrics().summary_table().to_string();
+    if (sink_->tracer().dropped() > 0) {
+      std::cout << "(trace truncated: " << sink_->tracer().dropped()
+                << " events dropped past the cap)\n";
+    }
+    try {
+      if (!trace_path_.empty()) {
+        telemetry::write_chrome_trace(trace_path_, sink_->tracer());
+        std::cout << "(trace: " << trace_path_ << ", "
+                  << sink_->tracer().events() << " events)\n";
+      }
+      if (!metrics_path_.empty()) {
+        const bool as_json = metrics_path_.size() >= 5 &&
+                             metrics_path_.compare(metrics_path_.size() - 5,
+                                                   5, ".json") == 0;
+        if (as_json) {
+          json::save_file(metrics_path_, sink_->metrics().snapshot());
+        } else {
+          sink_->metrics().summary_table().write_csv(metrics_path_);
+        }
+        std::cout << "(metrics: " << metrics_path_ << ")\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "(telemetry not written: " << e.what() << ")\n";
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<telemetry::TelemetrySink> sink_;
+};
 
 /// Print the table and write `<csv_name>.csv`; CSV failures are reported but
 /// non-fatal (benches may run in read-only directories).

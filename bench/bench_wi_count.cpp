@@ -12,7 +12,8 @@
 
 using namespace vfimr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry{argc, argv};
   const power::VfTable& table = power::VfTable::standard();
   const power::NocPowerModel noc_power;
 
@@ -23,6 +24,9 @@ int main() {
     const auto profile = workload::make_profile(app);
     for (std::size_t w : {1u, 2u, 3u, 4u}) {
       sysmodel::PlatformParams params;
+      params.telemetry = telemetry.sink();
+      params.telemetry_label =
+          profile.name() + " / WiNoC " + std::to_string(4 * w) + "WI";
       params.kind = sysmodel::SystemKind::kVfiWinoc;
       params.smallworld.wis_per_cluster = w;
       params.smallworld.channels = static_cast<int>(w);

@@ -116,6 +116,14 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
 }
 
+Histogram::Histogram(double lo, double hi, std::vector<std::uint64_t> counts,
+                     double sum)
+    : lo_{lo}, hi_{hi}, counts_{std::move(counts)}, sum_{sum} {
+  if (counts_.empty()) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  for (auto c : counts_) total_ += c;
+}
+
 void Histogram::add(double x) {
   const double frac = (x - lo_) / (hi_ - lo_);
   auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
@@ -123,6 +131,41 @@ void Histogram::add(double x) {
                                  static_cast<std::int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  sum_ += x;
+}
+
+double Histogram::mean() const {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge requires identical binning");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile p out of range");
+  if (total_ == 0) return 0.0;
+  // Target rank in [0, total]; walk the cumulative counts and interpolate
+  // linearly inside the bucket that crosses it.
+  const double target = p * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double frac =
+          std::clamp((target - before) / static_cast<double>(counts_[i]), 0.0, 1.0);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+  }
+  return bucket_hi(counts_.size() - 1);
 }
 
 double Histogram::bucket_lo(std::size_t i) const {
@@ -131,6 +174,82 @@ double Histogram::bucket_lo(std::size_t i) const {
 }
 
 double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+P2Quantile::P2Quantile(double p) : p_{p} {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("P2Quantile needs p in (0, 1)");
+  }
+  dpos_[0] = 0.0;
+  dpos_[1] = p / 2.0;
+  dpos_[2] = p;
+  dpos_[3] = (1.0 + p) / 2.0;
+  dpos_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    q_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(q_, q_ + 5);
+      for (int i = 0; i < 5; ++i) pos_[i] = static_cast<double>(i + 1);
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * p_;
+      desired_[2] = 1.0 + 4.0 * p_;
+      desired_[3] = 3.0 + 2.0 * p_;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+  ++n_;
+
+  // Locate the cell containing x, extending the extreme markers if needed.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += dpos_[i];
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction; fall back to linear when it would
+      // break marker monotonicity.
+      const double np = pos_[i] + s;
+      const double parabolic =
+          q_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (pos_[i + 1] - pos_[i]) +
+                       (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (pos_[i] - pos_[i - 1]));
+      if (q_[i - 1] < parabolic && parabolic < q_[i + 1]) {
+        q_[i] = parabolic;
+      } else {
+        const int j = s > 0.0 ? i + 1 : i - 1;
+        q_[i] += s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ >= 5) return q_[2];
+  // Exact small-sample quantile over the stored observations.
+  std::vector<double> xs(q_, q_ + n_);
+  return percentile(std::move(xs), p_ * 100.0);
+}
 
 std::string Histogram::to_string() const {
   std::ostringstream os;

@@ -59,6 +59,10 @@ double coeff_variation(std::span<const double> xs);
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
+  /// Rebuild from per-bucket counts (telemetry snapshots, shard merges).
+  /// `sum` is the exact sample sum when the caller tracked it.
+  Histogram(double lo, double hi, std::vector<std::uint64_t> counts,
+            double sum = 0.0);
 
   void add(double x);
   std::uint64_t count() const { return total_; }
@@ -66,6 +70,21 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double sum() const { return sum_; }
+  /// Exact sample mean (sum / count); 0 when empty.
+  double mean() const;
+
+  /// Fold another histogram into this one; requires identical [lo, hi) and
+  /// bin count (throws std::invalid_argument otherwise).  Used to reduce
+  /// per-shard histograms collected under parallel_for.
+  void merge(const Histogram& other);
+
+  /// Quantile estimate for p in [0, 1], linearly interpolated inside the
+  /// containing bucket.  Exact to within one bucket width for in-range
+  /// samples; 0 when empty.
+  double quantile(double p) const;
 
   /// Render a compact textual summary ("[0.0,0.1): ####  12" style).
   std::string to_string() const;
@@ -75,6 +94,29 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// P² streaming quantile estimator (Jain & Chlamtac, CACM 1985): tracks a
+/// single quantile in O(1) memory with five markers adjusted by parabolic
+/// interpolation.  Exact for fewer than five samples.  Complements
+/// Histogram::quantile when the sample range is not known up front.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);  // p in (0, 1)
+
+  void add(double x);
+  double value() const;
+  std::uint64_t count() const { return n_; }
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  std::uint64_t n_ = 0;
+  double q_[5] = {};        // marker heights
+  double pos_[5] = {};      // actual marker positions (1-based)
+  double desired_[5] = {};  // desired marker positions
+  double dpos_[5] = {};     // desired-position increments per sample
 };
 
 }  // namespace vfimr

@@ -51,7 +51,7 @@ std::string TextTable::to_string() const {
 
 namespace {
 std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += '"';
@@ -81,6 +81,71 @@ void TextTable::write_csv(const std::string& path) const {
   if (!f) throw std::runtime_error("cannot open CSV output: " + path);
   f << to_csv();
   if (!f) throw std::runtime_error("failed writing CSV output: " + path);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  bool cell_started = false;  // distinguishes "" (one empty row) from "\n"
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < n) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell += '"';
+          i += 2;
+        } else {
+          quoted = false;
+          ++i;
+        }
+      } else {
+        cell += ch;
+        ++i;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        quoted = true;
+        cell_started = true;
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;  // a comma opens the next (possibly empty) cell
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
+        [[fallthrough]];
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        cell += ch;
+        cell_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (quoted) throw std::runtime_error("parse_csv: unterminated quoted field");
+  if (cell_started || !row.empty()) end_row();
+  return rows;
 }
 
 std::string fmt(double v, int precision) {

@@ -34,6 +34,12 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Parse RFC-4180 CSV text into rows of cells.  Quoted fields may contain
+/// commas, doubled quotes, and embedded line breaks; both \n and \r\n row
+/// terminators are accepted and a trailing terminator does not yield an
+/// empty row.  Inverse of TextTable::to_csv for any cell content.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
 /// Format a double with fixed precision (default 3 decimals).
 std::string fmt(double v, int precision = 3);
 

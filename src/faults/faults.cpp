@@ -8,6 +8,18 @@
 
 namespace vfimr::faults {
 
+const char* kind_name(NocFaultKind kind) {
+  switch (kind) {
+    case NocFaultKind::kLink:
+      return "link";
+    case NocFaultKind::kRouter:
+      return "router";
+    case NocFaultKind::kWi:
+      return "wi";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Deterministic event count for an expected value: the integer part plus a

@@ -35,6 +35,9 @@ enum class NocFaultKind : std::uint8_t {
   kWi,      ///< a wireless interface dies; its router keeps wire routing
 };
 
+/// Short human-readable name: "link" / "router" / "wi" (telemetry, logs).
+const char* kind_name(NocFaultKind kind);
+
 struct NocFault {
   NocFaultKind kind = NocFaultKind::kLink;
   std::uint32_t id = 0;  ///< EdgeId for kLink, NodeId for kRouter / kWi

@@ -25,6 +25,7 @@
 #include "common/matrix.hpp"
 #include "common/require.hpp"
 #include "mapreduce/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vfimr::mr {
 
@@ -77,6 +78,44 @@ struct JobProfile {
 
   /// Accumulate another job's profile (for iterative apps: Kmeans, PCA).
   void merge(const JobProfile& other);
+};
+
+/// Emits an engine run's phase spans onto a per-job "phases" trace track and
+/// mirrors commit-once accounting into counters.  Timestamps are wall µs
+/// since construction (job start), so map/reduce/merge spans abut.  Null
+/// sink: every call is a pointer test.
+class PhaseTrace {
+ public:
+  explicit PhaseTrace(const SchedulerConfig& cfg)
+      : sink_{cfg.telemetry},
+        label_{cfg.telemetry_label},
+        start_{std::chrono::steady_clock::now()} {
+    if (sink_ != nullptr) {
+      track_ = sink_->tracer().track(label_, "phases");
+    }
+  }
+
+  /// Record a phase that just ended and lasted `seconds`.
+  void phase(const char* name, double seconds) const {
+    if (sink_ == nullptr) return;
+    const double end_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count();
+    sink_->tracer().complete(track_, name, end_us - seconds * 1e6,
+                             seconds * 1e6);
+  }
+
+  /// Bump `<label><suffix>` (e.g. ".mr.map_commits") by one.
+  void count(const char* suffix) const {
+    if (sink_ == nullptr) return;
+    sink_->metrics().counter(label_ + suffix).add();
+  }
+
+ private:
+  telemetry::TelemetrySink* sink_;
+  std::string label_;
+  std::uint32_t track_ = 0;
+  std::chrono::steady_clock::time_point start_;
 };
 
 template <typename K, typename V, typename Combiner = SumCombiner<V>,
@@ -132,6 +171,7 @@ class Engine {
     }
     const std::size_t workers = options_.scheduler.workers;
     const std::size_t parts = options_.reduce_partitions;
+    const PhaseTrace trace{options_.scheduler};
     Result result;
     result.profile.shuffle_pairs = Matrix{workers, parts};
 
@@ -146,6 +186,7 @@ class Engine {
           map_fn(task, em);
         });
     result.profile.phases.map_s = result.profile.map_stats.wall_seconds;
+    trace.phase("map", result.profile.phases.map_s);
     for (std::uint64_t e : emitted) result.profile.emitted_pairs += e;
 
     // Shuffle: bucket every worker's combined pairs by reduce partition in
@@ -189,6 +230,7 @@ class Engine {
                     });
         });
     result.profile.phases.reduce_s = result.profile.reduce_stats.wall_seconds;
+    trace.phase("reduce", result.profile.phases.reduce_s);
 
     // ---- Merge ---- (k-way merge of the sorted partitions; sequential on
     // the master, matching the paper's shrinking-thread-count merge stages)
@@ -198,6 +240,7 @@ class Engine {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       merge_start)
             .count();
+    trace.phase("merge", result.profile.phases.merge_s);
     result.profile.unique_keys = result.pairs.size();
     return result;
   }
@@ -218,6 +261,7 @@ class Engine {
   Result run_resilient(std::size_t num_map_tasks, const MapFn& map_fn) {
     const std::size_t workers = options_.scheduler.workers;
     const std::size_t parts = options_.reduce_partitions;
+    const PhaseTrace trace{options_.scheduler};
     Result result;
     result.profile.shuffle_pairs = Matrix{workers, parts};
 
@@ -244,10 +288,14 @@ class Engine {
             task_out[task] = std::move(local);
             task_emitted[task] = emitted;
             task_committer[task] = worker;
+            trace.count(".mr.map_commits");
+          } else {
+            // Losing duplicates drop their staging map.
+            trace.count(".mr.duplicate_maps");
           }
-          // Losing duplicates drop their staging map.
         });
     result.profile.phases.map_s = result.profile.map_stats.wall_seconds;
+    trace.phase("map", result.profile.phases.map_s);
     for (std::uint64_t e : task_emitted) result.profile.emitted_pairs += e;
 
     // Shuffle in task-id order: worker-independent, hence replay-exact.
@@ -292,6 +340,7 @@ class Engine {
           }
         });
     result.profile.phases.reduce_s = result.profile.reduce_stats.wall_seconds;
+    trace.phase("reduce", result.profile.phases.reduce_s);
 
     const auto merge_start = std::chrono::steady_clock::now();
     result.pairs = merge_partitions(std::move(partitions));
@@ -299,6 +348,7 @@ class Engine {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       merge_start)
             .count();
+    trace.phase("merge", result.profile.phases.merge_s);
     result.profile.unique_keys = result.pairs.size();
     return result;
   }

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/require.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vfimr::mr {
 
@@ -70,6 +71,75 @@ class WorkDeque {
   std::deque<std::size_t> tasks_;
 };
 
+/// Per-run telemetry wiring, resolved before workers spawn so the task loop
+/// never touches the registry mutex.  A null sink reduces every hook to one
+/// pointer test.  Trace timestamps: wall-clock µs since the run started.
+struct RunTelemetry {
+  telemetry::TelemetrySink* sink = nullptr;
+  telemetry::Counter* tasks = nullptr;
+  telemetry::Counter* steals = nullptr;
+  telemetry::Counter* deaths = nullptr;
+  telemetry::Counter* requeues = nullptr;
+  telemetry::Counter* speculations = nullptr;
+  std::vector<std::uint32_t> worker_tracks;
+  std::chrono::steady_clock::time_point start;
+
+  static RunTelemetry make(const SchedulerConfig& cfg,
+                           std::chrono::steady_clock::time_point start) {
+    RunTelemetry t;
+    t.sink = cfg.telemetry;
+    t.start = start;
+    if (t.sink == nullptr) return t;
+    auto& m = t.sink->metrics();
+    const std::string& label = cfg.telemetry_label;
+    t.tasks = &m.counter(label + ".mr.tasks");
+    t.steals = &m.counter(label + ".mr.steals");
+    t.deaths = &m.counter(label + ".mr.worker_deaths");
+    t.requeues = &m.counter(label + ".mr.tasks_requeued");
+    t.speculations = &m.counter(label + ".mr.tasks_speculated");
+    t.worker_tracks.reserve(cfg.workers);
+    for (std::size_t i = 0; i < cfg.workers; ++i) {
+      t.worker_tracks.push_back(
+          t.sink->tracer().track(label, "worker " + std::to_string(i)));
+    }
+    return t;
+  }
+
+  double us(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - start).count();
+  }
+  double us_now() const { return us(std::chrono::steady_clock::now()); }
+
+  void task_done(std::size_t worker, std::size_t task,
+                 std::chrono::steady_clock::time_point t0,
+                 std::chrono::steady_clock::time_point t1) const {
+    if (sink == nullptr) return;
+    tasks->add();
+    sink->tracer().complete(
+        worker_tracks[worker], "task " + std::to_string(task), us(t0),
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  void stole(std::size_t thief, std::size_t victim, std::size_t task) const {
+    if (sink == nullptr) return;
+    steals->add();
+    sink->tracer().instant(worker_tracks[thief], "steal", us_now(),
+                           {{"victim", static_cast<double>(victim)},
+                            {"task", static_cast<double>(task)}});
+  }
+  void died(std::size_t worker, bool task_requeued) const {
+    if (sink == nullptr) return;
+    deaths->add();
+    if (task_requeued) requeues->add();
+    sink->tracer().instant(worker_tracks[worker], "death", us_now());
+  }
+  void speculated(std::size_t worker, std::size_t task) const {
+    if (sink == nullptr) return;
+    speculations->add();
+    sink->tracer().instant(worker_tracks[worker], "speculate", us_now(),
+                           {{"task", static_cast<double>(task)}});
+  }
+};
+
 }  // namespace
 
 SchedulerStats TaskScheduler::run(
@@ -104,6 +174,7 @@ SchedulerStats TaskScheduler::run(
 
   std::atomic<std::size_t> remaining{num_tasks};
   const auto wall_start = std::chrono::steady_clock::now();
+  const RunTelemetry tele = RunTelemetry::make(config_, wall_start);
 
   auto worker_fn = [&](std::size_t me) {
     std::uint64_t executed = 0;
@@ -127,7 +198,10 @@ SchedulerStats TaskScheduler::run(
         }
         if (best == w) break;  // nothing anywhere: done (or racing stragglers)
         got = deques[best].steal_back(task);
-        if (got) ++stolen;
+        if (got) {
+          ++stolen;
+          tele.stole(me, best, task);
+        }
       }
       if (!got) continue;  // lost a race; rescan
       const auto t0 = std::chrono::steady_clock::now();
@@ -136,6 +210,7 @@ SchedulerStats TaskScheduler::run(
       busy += std::chrono::duration<double>(t1 - t0).count();
       ++executed;
       remaining.fetch_sub(1, std::memory_order_acq_rel);
+      tele.task_done(me, task, t0, t1);
     }
     stats.tasks_executed[me] = executed;
     stats.tasks_stolen[me] = stolen;
@@ -160,6 +235,7 @@ SchedulerStats TaskScheduler::run(
           std::chrono::duration<double>(t1 - t0).count();
       ++stats.tasks_executed[0];
       remaining.fetch_sub(1, std::memory_order_acq_rel);
+      tele.task_done(0, task, t0, t1);
     }
   }
 
@@ -236,6 +312,7 @@ SchedulerStats TaskScheduler::run_resilient(
   WorkDeque retry;  // tasks abandoned by dying workers
 
   const auto wall_start = std::chrono::steady_clock::now();
+  const RunTelemetry tele = RunTelemetry::make(config_, wall_start);
   const auto now_ns = [&] {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now() - wall_start)
@@ -252,6 +329,7 @@ SchedulerStats TaskScheduler::run_resilient(
     const auto t1 = std::chrono::steady_clock::now();
     busy += std::chrono::duration<double>(t1 - t0).count();
     ++executed;
+    tele.task_done(me, task, t0, t1);
     if (state[task].exchange(kDone, std::memory_order_acq_rel) != kDone) {
       // First completion of this task (duplicates land in the else branch).
       done_count.fetch_add(1, std::memory_order_acq_rel);
@@ -313,7 +391,10 @@ SchedulerStats TaskScheduler::run_resilient(
         }
         if (best < w) {
           got = deques[best].steal_back(task);
-          if (got) ++stolen;
+          if (got) {
+            ++stolen;
+            tele.stole(me, best, task);
+          }
         }
       }
       bool speculative = false;
@@ -330,15 +411,21 @@ SchedulerStats TaskScheduler::run_resilient(
       if (picks > death_after[me]) {
         // The fault plan kills this worker at this pick: abandon the task
         // for the survivors and exit the thread.
+        bool task_requeued = false;
         if (!speculative &&
             state[task].load(std::memory_order_acquire) != kDone) {
           retry.push_back(task);
           requeued.fetch_add(1, std::memory_order_relaxed);
+          task_requeued = true;
         }
         died.fetch_add(1, std::memory_order_relaxed);
+        tele.died(me, task_requeued);
         break;
       }
-      if (speculative) speculated.fetch_add(1, std::memory_order_relaxed);
+      if (speculative) {
+        speculated.fetch_add(1, std::memory_order_relaxed);
+        tele.speculated(me, task);
+      }
       execute(task, me, busy, executed);
     }
     stats.tasks_executed[me] = executed;

@@ -14,9 +14,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "faults/faults.hpp"
+
+namespace vfimr::telemetry {
+class TelemetrySink;
+}  // namespace vfimr::telemetry
 
 namespace vfimr::mr {
 
@@ -37,6 +42,12 @@ struct SchedulerConfig {
   /// speculatively re-issued.  Task bodies must then tolerate duplicate
   /// executions of the same task.  The plan must outlive the scheduler.
   const faults::WorkerFaultPlan* faults = nullptr;
+  /// Telemetry sink (nullable, caller-owned; see src/telemetry/telemetry.hpp).
+  /// Scheduler trace events use wall-clock µs since the run() call started;
+  /// when null the hot path is one pointer test per task.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// Track/metric prefix for this scheduler's events, e.g. "Kmeans MR".
+  std::string telemetry_label = "mapreduce";
 };
 
 struct SchedulerStats {

@@ -33,6 +33,10 @@ struct Flit {
   /// head has taken on unroutable (fault-degraded) routes.  Always 0 on
   /// fault-free runs.
   std::uint8_t retries = 0;
+  /// Links traversed so far (wire + wireless).  Maintained only when the
+  /// network has a telemetry sink — purely observational, never read by the
+  /// simulator itself.
+  std::uint16_t hops = 0;
 
   /// Route memo (head flits only).  next_hop is a pure function of
   /// (router, dest, down_phase, vn), so its result for this flit at router

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vfimr::noc {
 
@@ -100,6 +101,8 @@ Network::Network(const Topology& topology, const RoutingAlgorithm& routing,
     }
   }
 
+  setup_telemetry();
+
   active_routing_ = routing_;
   if (!cfg_.faults.empty()) {
     faults_enabled_ = true;
@@ -110,6 +113,24 @@ Network::Network(const Topology& topology, const RoutingAlgorithm& routing,
     edge_usable_.assign(g.edge_count(), true);
     build_fault_timeline();
   }
+}
+
+void Network::setup_telemetry() {
+  tele_ = cfg_.telemetry;
+  if (tele_ == nullptr) return;
+  const std::string& label = cfg_.telemetry_label;
+  auto& m = tele_->metrics();
+  tele_latency_ = &m.histogram(label + ".noc.latency_cycles", 0.0, 512.0, 64);
+  tele_hops_ = &m.histogram(label + ".noc.hops", 0.0, 32.0, 32);
+  tele_queue_depth_ =
+      &m.histogram(label + ".noc.source_queue_depth", 0.0, 64.0, 32);
+  tele_backoffs_ = &m.counter(label + ".noc.retry_backoffs");
+  tele_lost_ = &m.counter(label + ".noc.packets_lost");
+  tele_fault_events_ = &m.counter(label + ".noc.fault_events");
+  tele_packets_track_ = tele_->tracer().track(label, "NoC packets (sampled)");
+  tele_faults_track_ = tele_->tracer().track(label, "NoC faults");
+  tele_sample_every_ = std::max<std::uint64_t>(
+      1, tele_->config().noc_packet_sample_every);
 }
 
 void Network::build_fault_timeline() {
@@ -173,6 +194,9 @@ void Network::inject(graph::NodeId src, graph::NodeId dest,
   ++metrics_.packets_injected;
   in_flight_flits_ += flits;
   note_arrival(src, flits);
+  if (tele_ != nullptr) {
+    tele_queue_depth_->add(static_cast<double>(q.size()));
+  }
 }
 
 void Network::note_arrival(graph::NodeId n, std::uint64_t flits) {
@@ -246,6 +270,19 @@ void Network::eject_router(graph::NodeId n, Cycle now) {
     if (f.is_tail()) {
       ++metrics_.packets_ejected;
       metrics_.packet_latency.add(static_cast<double>(now - f.inject_cycle));
+      if (tele_ != nullptr) {
+        const double latency = static_cast<double>(now - f.inject_cycle);
+        tele_latency_->add(latency);
+        tele_hops_->add(static_cast<double>(f.hops));
+        if (f.packet % tele_sample_every_ == 0) {
+          tele_->tracer().complete(
+              tele_packets_track_,
+              "pkt " + std::to_string(f.src) + "->" + std::to_string(f.dest),
+              static_cast<double>(f.inject_cycle), latency,
+              {{"hops", static_cast<double>(f.hops)},
+               {"flits", static_cast<double>(f.size)}});
+        }
+      }
     }
     q.pop_front();
     VFIMR_REQUIRE(ejectable_flits_[n] > 0);
@@ -301,6 +338,7 @@ void Network::service_wireless_channels() {
           // island boundary (§7, [8]) — one of the WiNoC's advantages for
           // inter-VFI exchanges.
           Flit moved = f;
+          if (tele_ != nullptr) ++moved.hops;
           const graph::NodeId hop_dest = f.wi_dest;
           holder.tx_queue.pop_front();
           note_departure(ch.members[ch.token]);
@@ -537,6 +575,7 @@ bool Network::try_move_vn(graph::NodeId node, OutPort& out, std::size_t vn) {
   Flit moved = f;
   q->pop_front();
   ++metrics_.energy.buffer_reads;
+  if (tele_ != nullptr && out.kind == OutKind::kWire) ++moved.hops;
   moved.ready_cycle = now + 1;
   if (out.kind == OutKind::kWire && !cfg_.node_cluster.empty() &&
       cfg_.node_cluster[node] != cfg_.node_cluster[out.neighbor]) {
@@ -724,6 +763,14 @@ void Network::apply_fault_events() {
     }
     ++metrics_.fault_events;
     changed = true;
+    if (tele_ != nullptr) {
+      tele_fault_events_->add();
+      tele_->tracer().instant(
+          tele_faults_track_,
+          std::string{faults::kind_name(ev.kind)} + (ev.down ? " down" : " up"),
+          static_cast<double>(metrics_.cycles),
+          {{"id", static_cast<double>(ev.id)}});
+    }
   }
   if (changed) recompute_fault_state();
 }
@@ -913,6 +960,13 @@ void Network::purge_packets(std::vector<PacketId>& ids) {
   in_flight_flits_ -= removed_total;
   metrics_.flits_lost += removed_total;
   metrics_.packets_lost += ids.size();
+  if (tele_ != nullptr) {
+    tele_lost_->add(ids.size());
+    tele_->tracer().instant(tele_faults_track_, "purge",
+                            static_cast<double>(metrics_.cycles),
+                            {{"packets", static_cast<double>(ids.size())},
+                             {"flits", static_cast<double>(removed_total)}});
+  }
 }
 
 void Network::reset_route_state() {
@@ -949,6 +1003,7 @@ void Network::reset_route_state() {
 void Network::handle_unreachable(Flit& f) {
   const Cycle now = metrics_.cycles;
   ++metrics_.retry_backoffs;
+  if (tele_ != nullptr) tele_backoffs_->add();
   if (f.retries >= cfg_.fault_max_retries) {
     // Retry budget exhausted: declare the packet lost.  ready_cycle = now+1
     // keeps the drain loop stepping so next step()'s purge collects it.

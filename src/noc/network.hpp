@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -26,6 +27,12 @@
 #include "noc/flit.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
+
+namespace vfimr::telemetry {
+class Counter;
+class HistogramMetric;
+class TelemetrySink;
+}  // namespace vfimr::telemetry
 
 namespace vfimr::noc {
 
@@ -66,6 +73,13 @@ struct SimConfig {
   std::uint32_t fault_backoff_base_cycles = 8;
   /// Wireless-hop cost used when rebuilding degraded up*/down* tables.
   double fault_reroute_wireless_cost = 2.5;
+  /// Telemetry sink (nullable, caller-owned; see src/telemetry/telemetry.hpp).
+  /// When null, every instrumentation site is a single pointer test and the
+  /// simulation is bit-identical to the pre-telemetry code.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// Prefix for this network's metric names and trace tracks, e.g.
+  /// "Kmeans/VFI WiNoC".
+  std::string telemetry_label = "noc";
 };
 
 /// Raw event counts consumed by the power library.
@@ -334,6 +348,21 @@ class Network {
   const RoutingAlgorithm* active_routing_ = nullptr;
   std::uint32_t route_epoch_ = 0;           ///< bumped per table rebuild
   std::vector<PacketId> pending_lost_;      ///< purged at the next step()
+
+  // Telemetry (all null when cfg_.telemetry is null).  Instruments are
+  // resolved once in the constructor so hot-path sites never take the
+  // registry mutex; trace timestamps use 1 NoC cycle == 1 µs.
+  void setup_telemetry();
+  telemetry::TelemetrySink* tele_ = nullptr;
+  telemetry::HistogramMetric* tele_latency_ = nullptr;     ///< tail-eject cycles
+  telemetry::HistogramMetric* tele_hops_ = nullptr;        ///< per-packet hops
+  telemetry::HistogramMetric* tele_queue_depth_ = nullptr; ///< source q at inject
+  telemetry::Counter* tele_backoffs_ = nullptr;
+  telemetry::Counter* tele_lost_ = nullptr;
+  telemetry::Counter* tele_fault_events_ = nullptr;
+  std::uint32_t tele_packets_track_ = 0;  ///< sampled packet journeys
+  std::uint32_t tele_faults_track_ = 0;   ///< fault/purge instants
+  std::uint64_t tele_sample_every_ = 0;   ///< packet-journey sampling stride
 };
 
 }  // namespace vfimr::noc

@@ -8,6 +8,12 @@
 
 namespace vfimr::sysmodel {
 
+std::string telemetry_label(const workload::AppProfile& profile,
+                            const PlatformParams& params) {
+  if (!params.telemetry_label.empty()) return params.telemetry_label;
+  return profile.name() + " / " + system_name(params.kind);
+}
+
 std::string system_name(SystemKind kind) {
   switch (kind) {
     case SystemKind::kNvfiMesh:
@@ -86,6 +92,10 @@ NetworkEval evaluate_network(const BuiltPlatform& platform,
   VFIMR_REQUIRE_MSG(params.sim_cycles > 0,
                     "sim_cycles must be positive (no injection window)");
   noc::SimConfig sim_cfg = params.noc_sim;
+  if (params.telemetry != nullptr && sim_cfg.telemetry == nullptr) {
+    sim_cfg.telemetry = params.telemetry;
+    sim_cfg.telemetry_label = telemetry_label(profile, params);
+  }
   if (platform.has_vfi && sim_cfg.node_cluster.empty()) {
     // VFI systems pay mixed-clock synchronizer latency at island borders.
     sim_cfg.node_cluster = winoc::quadrant_clusters();

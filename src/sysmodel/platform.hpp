@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -55,7 +56,21 @@ struct PlatformParams {
   /// FullSystemSim::run.  The default (all rates zero) is bit-identical to a
   /// fault-free run.
   faults::FaultSpec faults{};
+  /// Telemetry sink (nullable, caller-owned; see src/telemetry).  When set,
+  /// evaluate_network attaches it to the NoC simulation and
+  /// FullSystemSim::run records phase spans, per-core task lifecycles and
+  /// VFI island state — all on the simulated-time axis.  Null reproduces
+  /// the untraced run bit-identically.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// Process / metric prefix override; empty derives
+  /// "<App> / <System>" (e.g. "Kmeans / VFI WiNoC").
+  std::string telemetry_label;
 };
+
+/// The process/metric prefix a telemetry-enabled run uses: the explicit
+/// PlatformParams::telemetry_label, or "<App> / <System>".
+std::string telemetry_label(const workload::AppProfile& profile,
+                            const PlatformParams& params);
 
 /// A constructed platform, ready for network simulation.
 struct BuiltPlatform {

@@ -1,8 +1,10 @@
 #include "sysmodel/system_sim.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/require.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vfimr::sysmodel {
 
@@ -66,6 +68,11 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
 
   SystemReport report;
   report.kind = params.kind;
+
+  // ---- Telemetry (nullable; every hook below is gated on `tele`).
+  telemetry::TelemetrySink* const tele = params.telemetry;
+  const std::string label =
+      tele != nullptr ? telemetry_label(profile, params) : std::string{};
 
   // ---- Interconnect: build + cycle-accurate evaluation.
   BuiltPlatform built = build_platform(profile, params, *table_);
@@ -160,12 +167,45 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     report.resilience.wasted_core_seconds += actual.wasted_seconds;
   };
 
+  // Phase spans chain end to end on the simulated-time axis (1 simulated
+  // second = 1e6 trace µs); `sim_us` is the running cursor and doubles as
+  // the t0 of each parallel phase's task-level trace.
+  telemetry::TrackId phases_track = 0;
+  double sim_us = 0.0;
+  if (tele != nullptr) phases_track = tele->tracer().track(label, "phases");
+  auto trace_phase = [&](const char* name, double seconds) {
+    if (tele != nullptr && seconds > 0.0) {
+      tele->tracer().complete(phases_track, name, sim_us, seconds * 1e6);
+    }
+    sim_us += seconds * 1e6;
+  };
+  // Busy/idle attribution, whole-chip and (on VFI systems) per island.
+  auto note_phase = [&](const TaskSimResult& actual) {
+    if (tele == nullptr) return;
+    auto& metrics = tele->metrics();
+    double busy = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      busy += actual.busy_seconds[t];
+      if (built.has_vfi) {
+        const std::string island =
+            label + ".vfi.island" + std::to_string(built.vfi.assignment[t]);
+        metrics.gauge(island + ".busy_s").add(actual.busy_seconds[t]);
+        metrics.gauge(island + ".idle_s")
+            .add(actual.makespan_s - actual.busy_seconds[t]);
+      }
+    }
+    metrics.gauge(label + ".sys.busy_s").add(busy);
+    metrics.gauge(label + ".sys.idle_s")
+        .add(actual.makespan_s * static_cast<double>(n) - busy);
+  };
+
   for (int iter = 0; iter < profile.iterations; ++iter) {
     // Library init (serial, master).
     const double t_li =
         serial_time(profile.phases.lib_init, f_master, report.mem_scale);
     report.phases.lib_init_s += t_li;
     report.core_energy_j += serial_energy(t_li);
+    trace_phase("lib_init", t_li);
 
     const StealingPolicy policy =
         built.has_vfi ? params.vfi_stealing : StealingPolicy::kPhoenixDefault;
@@ -175,36 +215,46 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
         materialize_tasks(profile.phases.map, profile.utilization, task_rng);
     std::vector<faults::CoreFault> map_faults;
     if (core_faults_on) map_faults = draw_core_faults();
+    PhaseTelemetry map_pt{tele, label, label, "map", sim_us};
     const TaskSimResult map_actual =
         simulate_phase(map_tasks, cores, report.mem_scale, policy,
-                       core_faults_on ? &map_faults : nullptr);
+                       core_faults_on ? &map_faults : nullptr,
+                       tele != nullptr ? &map_pt : nullptr);
+    // The nominal (f_max, fault-free) normalization run stays untraced.
     const TaskSimResult map_nominal = simulate_phase(
         map_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.map_s += map_actual.makespan_s;
     report.core_energy_j +=
         parallel_energy(profile.phases.map, map_actual, map_nominal);
     account_phase(map_actual);
+    note_phase(map_actual);
+    trace_phase("map", map_actual.makespan_s);
 
     // Reduce.
     const auto red_tasks = materialize_tasks(profile.phases.reduce,
                                              profile.utilization, task_rng);
     std::vector<faults::CoreFault> red_faults;
     if (core_faults_on) red_faults = draw_core_faults();
+    PhaseTelemetry red_pt{tele, label, label, "reduce", sim_us};
     const TaskSimResult red_actual =
         simulate_phase(red_tasks, cores, report.mem_scale, policy,
-                       core_faults_on ? &red_faults : nullptr);
+                       core_faults_on ? &red_faults : nullptr,
+                       tele != nullptr ? &red_pt : nullptr);
     const TaskSimResult red_nominal = simulate_phase(
         red_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.reduce_s += red_actual.makespan_s;
     report.core_energy_j +=
         parallel_energy(profile.phases.reduce, red_actual, red_nominal);
     account_phase(red_actual);
+    note_phase(red_actual);
+    trace_phase("reduce", red_actual.makespan_s);
 
     // Merge (serial, master).
     const double t_merge =
         serial_time(profile.phases.merge, f_master, report.mem_scale);
     report.phases.merge_s += t_merge;
     report.core_energy_j += serial_energy(t_merge);
+    trace_phase("merge", t_merge);
   }
 
   report.exec_s = report.phases.total_s();
@@ -232,6 +282,14 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     for (std::size_t t = 0; t < n; ++t) {
       report.core_energy_j += models_.core.energy_j(0.0, vf[t], stall_s);
     }
+    if (tele != nullptr) {
+      tele->tracer().complete(phases_track, "net stall", sim_us,
+                              stall_s * 1e6,
+                              {{"packets_lost",
+                                static_cast<double>(
+                                    report.net.metrics.packets_lost)}});
+      tele->metrics().gauge(label + ".sys.net_stall_s").add(stall_s);
+    }
   }
 
   // ---- Network energy over the whole run.  On VFI systems the routers and
@@ -253,6 +311,33 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   report.net_static_j = models_.noc.static_energy_j(n, built.wi_count,
                                                     report.exec_s) *
                         net_v2_factor;
+
+  if (tele != nullptr) {
+    // One interval per VFI island spanning the whole run at its operating
+    // point — the "VFI island" rows of the trace.
+    if (built.has_vfi) {
+      const auto& points = params.use_vfi2 ? built.vfi.vfi2 : built.vfi.vfi1;
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        char name[32];
+        std::snprintf(name, sizeof name, "%.2f GHz", points[k].freq_hz / 1e9);
+        const telemetry::TrackId track =
+            tele->tracer().track(label, "VFI island " + std::to_string(k));
+        tele->tracer().complete(track, name, 0.0, report.exec_s * 1e6,
+                                {{"freq_ghz", points[k].freq_hz / 1e9},
+                                 {"voltage_v", points[k].voltage_v}});
+        tele->metrics()
+            .gauge(label + ".vfi.island" + std::to_string(k) + ".freq_ghz")
+            .set(points[k].freq_hz / 1e9);
+      }
+    }
+    auto& metrics = tele->metrics();
+    metrics.gauge(label + ".sys.exec_s").set(report.exec_s);
+    metrics.gauge(label + ".sys.energy_j").set(report.total_energy_j());
+    metrics.gauge(label + ".sys.edp_js").set(report.edp_js());
+    metrics.gauge(label + ".sys.mem_scale").set(report.mem_scale);
+    metrics.gauge(label + ".sys.avg_noc_latency_cycles")
+        .set(report.net.avg_latency_cycles);
+  }
   return report;
 }
 

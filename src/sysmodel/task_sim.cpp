@@ -7,8 +7,48 @@
 
 #include "common/require.hpp"
 #include "mapreduce/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vfimr::sysmodel {
+
+namespace {
+
+/// Resolved telemetry state for one simulate_phase call.  All pointers null
+/// when the caller passed no sink, so every hook below is one pointer test.
+struct PhaseTele {
+  telemetry::Tracer* tracer = nullptr;
+  std::vector<telemetry::TrackId> core_track;
+  telemetry::Counter* steals = nullptr;
+  telemetry::Counter* reexecs = nullptr;
+  telemetry::Counter* deaths = nullptr;
+  const char* phase = "phase";
+  double t0 = 0.0;
+  std::uint64_t span_budget = 0;
+
+  static PhaseTele make(const PhaseTelemetry* pt, std::size_t cores) {
+    PhaseTele tele;
+    if (pt == nullptr || pt->sink == nullptr) return tele;
+    auto& sink = *pt->sink;
+    tele.tracer = &sink.tracer();
+    tele.core_track.reserve(cores);
+    for (std::size_t i = 0; i < cores; ++i) {
+      // Tracer::track dedups by (process, thread), so successive phases of
+      // one run land on the same per-core rows.
+      tele.core_track.push_back(
+          sink.tracer().track(pt->process, "core " + std::to_string(i)));
+    }
+    tele.steals = &sink.metrics().counter(pt->label + ".sys.steals");
+    tele.reexecs =
+        &sink.metrics().counter(pt->label + ".sys.tasks_reexecuted");
+    tele.deaths = &sink.metrics().counter(pt->label + ".sys.core_failures");
+    tele.phase = pt->phase;
+    tele.t0 = pt->t0_us;
+    tele.span_budget = sink.config().max_task_events_per_phase;
+    return tele;
+  }
+};
+
+}  // namespace
 
 std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
                                        Rng& rng) {
@@ -56,7 +96,8 @@ std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
 TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
                              const std::vector<SimCore>& cores,
                              double mem_scale, StealingPolicy policy,
-                             const std::vector<faults::CoreFault>* core_faults) {
+                             const std::vector<faults::CoreFault>* core_faults,
+                             const PhaseTelemetry* telemetry) {
   const std::size_t c = cores.size();
   const std::size_t n = tasks.size();
   VFIMR_REQUIRE(c > 0);
@@ -66,6 +107,8 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
   result.busy_seconds.assign(c, 0.0);
   result.tasks_executed.assign(c, 0);
   if (n == 0) return result;
+
+  PhaseTele tele = PhaseTele::make(telemetry, c);
 
   // Eq. 3's f_max: the fastest core actually present in this configuration.
   double fmax = 0.0;
@@ -176,12 +219,19 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
       if (!failed[who]) {
         failed[who] = true;
         ++result.cores_failed;
+        if (tele.deaths != nullptr) {
+          tele.deaths->add();
+          tele.tracer->instant(tele.core_track[who], "core death",
+                               tele.t0 + fail_time[who] * 1e6);
+        }
       }
       continue;
     }
 
     std::size_t task = n;
     double ready = 0.0;
+    bool stolen = false;
+    bool reexec = false;
     if (!queues[who].empty()) {
       task = queues[who].front();
       queues[who].pop_front();
@@ -190,6 +240,8 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
       ready = retries.front().ready;
       retries.pop_front();
       ++result.tasks_reexecuted;
+      reexec = true;
+      if (tele.reexecs != nullptr) tele.reexecs->add();
     } else {
       // Steal from the victim with the most remaining tasks.
       std::size_t victim = c;
@@ -206,6 +258,8 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
       task = queues[victim].back();
       queues[victim].pop_back();
       ++result.steals;
+      stolen = true;
+      if (tele.steals != nullptr) tele.steals->add();
     }
 
     const double duration = tasks[task].cycles / cores[who].freq_hz +
@@ -224,6 +278,12 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
       if (!failed[who]) {
         failed[who] = true;
         ++result.cores_failed;
+        if (tele.deaths != nullptr) {
+          tele.deaths->add();
+          tele.tracer->instant(tele.core_track[who], "core death",
+                               tele.t0 + fail_time[who] * 1e6,
+                               {{"task", static_cast<double>(task)}});
+        }
       }
       retries.push_back(Retry{task, std::max(ready, fail_time[who])});
       continue;
@@ -232,6 +292,14 @@ TaskSimResult simulate_phase(const std::vector<SimTask>& tasks,
     free_time[who] = end;
     result.makespan_s = std::max(result.makespan_s, free_time[who]);
     --remaining;
+    if (tele.tracer != nullptr && tele.span_budget > 0) {
+      --tele.span_budget;
+      tele.tracer->complete(tele.core_track[who], tele.phase,
+                            tele.t0 + start * 1e6, duration * 1e6,
+                            {{"task", static_cast<double>(task)},
+                             {"stolen", stolen ? 1.0 : 0.0},
+                             {"reexec", reexec ? 1.0 : 0.0}});
+    }
     if (++result.tasks_executed[who] >= cap[who]) active[who] = false;
   }
   return result;

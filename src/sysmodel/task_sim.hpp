@@ -10,11 +10,16 @@
 // workload/profile.hpp).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "faults/faults.hpp"
 #include "workload/profile.hpp"
+
+namespace vfimr::telemetry {
+class TelemetrySink;
+}  // namespace vfimr::telemetry
 
 namespace vfimr::sysmodel {
 
@@ -84,6 +89,22 @@ std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
                                        const std::vector<double>& utilization,
                                        Rng& rng);
 
+/// Nullable telemetry hookup for one simulate_phase call.  Timestamps use
+/// the simulated-time axis: 1 simulated second = 1e6 trace µs, and `t0_us`
+/// places the phase start on that axis (phases of one run chain end to end).
+/// `process` groups the per-core tracks in the trace viewer (one Chrome
+/// process per system under test, e.g. "Kmeans / VFI WiNoC"); `label`
+/// prefixes the registry metric names.  Span volume per call is capped by
+/// TelemetryConfig::max_task_events_per_phase — metrics keep counting past
+/// the cap.  Passing nullptr (or a null sink) is the untraced fast path.
+struct PhaseTelemetry {
+  telemetry::TelemetrySink* sink = nullptr;
+  std::string process = "system";
+  std::string label = "system";
+  const char* phase = "phase";  ///< span name: "map", "reduce", ...
+  double t0_us = 0.0;
+};
+
 /// Simulate one phase under the given stealing policy.  rel_freq is
 /// interpreted relative to the fastest core *present in this run* (Eq. 3's
 /// f_max is the maximum operating frequency of the configuration).
@@ -96,6 +117,7 @@ std::vector<SimTask> materialize_tasks(const workload::TaskSet& spec,
 TaskSimResult simulate_phase(
     const std::vector<SimTask>& tasks, const std::vector<SimCore>& cores,
     double mem_scale, StealingPolicy policy,
-    const std::vector<faults::CoreFault>* core_faults = nullptr);
+    const std::vector<faults::CoreFault>* core_faults = nullptr,
+    const PhaseTelemetry* telemetry = nullptr);
 
 }  // namespace vfimr::sysmodel

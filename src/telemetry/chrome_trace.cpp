@@ -1,0 +1,162 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace vfimr::telemetry {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+// %.17g round-trips doubles exactly and is locale-independent for the "C"
+// numerics the simulators emit; identical inputs give identical bytes.
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+struct TrackPlacement {
+  int pid = 0;
+  int tid = 0;
+};
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer) {
+  const auto tracks = tracer.tracks();
+
+  // Processes numbered in first-registration order; tids restart per process.
+  std::map<std::string, int> pid_of;
+  std::vector<TrackPlacement> place(tracks.size());
+  std::map<int, int> next_tid;
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    auto [it, inserted] =
+        pid_of.try_emplace(tracks[i].process,
+                           static_cast<int>(pid_of.size()) + 1);
+    place[i].pid = it->second;
+    place[i].tid = ++next_tid[it->second];
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto event_prefix = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+
+  // Metadata: process names once, thread names per track.
+  for (const auto& [process, pid] : pid_of) {
+    event_prefix();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    append_json_string(out, process);
+    out += "}}";
+  }
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    event_prefix();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(place[i].pid);
+    out += ",\"tid\":";
+    out += std::to_string(place[i].tid);
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, tracks[i].thread);
+    out += "}}";
+  }
+
+  tracer.for_each_event([&](const TraceEvent& ev) {
+    if (ev.track >= tracks.size()) return;  // race-registered after snapshot
+    const TrackPlacement& at = place[ev.track];
+    event_prefix();
+    out += "{\"ph\":\"";
+    switch (ev.phase) {
+      case TraceEvent::Phase::kComplete:
+        out += "X";
+        break;
+      case TraceEvent::Phase::kInstant:
+        out += "i";
+        break;
+      case TraceEvent::Phase::kCounter:
+        out += "C";
+        break;
+    }
+    out += "\",\"name\":";
+    append_json_string(out, ev.name);
+    out += ",\"pid\":";
+    out += std::to_string(at.pid);
+    out += ",\"tid\":";
+    out += std::to_string(at.tid);
+    out += ",\"ts\":";
+    append_number(out, ev.ts_us);
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      out += ",\"dur\":";
+      append_number(out, ev.dur_us);
+    }
+    if (ev.phase == TraceEvent::Phase::kInstant) {
+      out += ",\"s\":\"t\"";  // thread-scoped marker
+    }
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < ev.args.size(); ++a) {
+        if (a) out += ",";
+        append_json_string(out, ev.args[a].key);
+        out += ":";
+        append_number(out, ev.args[a].value);
+      }
+      out += "}";
+    }
+    out += "}";
+  });
+
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"events\":";
+  append_number(out, static_cast<double>(tracer.events()));
+  out += ",\"dropped\":";
+  append_number(out, static_cast<double>(tracer.dropped()));
+  out += "}}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path, const Tracer& tracer) {
+  std::ofstream f{path};
+  if (!f) throw std::runtime_error("cannot open trace output: " + path);
+  f << to_chrome_json(tracer);
+  if (!f) throw std::runtime_error("failed writing trace output: " + path);
+}
+
+}  // namespace vfimr::telemetry

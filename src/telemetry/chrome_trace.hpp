@@ -1,0 +1,23 @@
+#pragma once
+// Chrome trace-event JSON export (the `{"traceEvents": [...]}` object
+// format), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Each registered track becomes a (pid, tid) pair: processes are numbered
+// in first-registration order, threads within a process likewise, and
+// metadata events name both so the UI shows e.g. "Kmeans/VFI WiNoC" with a
+// "worker 12" row.  Written with deterministic number formatting so
+// identical event streams produce byte-identical files.
+
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace vfimr::telemetry {
+
+/// Serialize the tracer's buffered events.  Events appear in buffer
+/// registration/append order (trace viewers sort by timestamp themselves).
+std::string to_chrome_json(const Tracer& tracer);
+
+/// Write to `path`; throws std::runtime_error on I/O failure.
+void write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace vfimr::telemetry

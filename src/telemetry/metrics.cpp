@@ -1,0 +1,86 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vfimr::telemetry {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins) {
+  if (bins == 0) throw std::invalid_argument("HistogramMetric needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("HistogramMetric needs hi > lo");
+}
+
+void HistogramMetric::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, x);
+}
+
+Histogram HistogramMetric::snapshot() const {
+  std::vector<std::uint64_t> counts(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return Histogram{lo_, hi_, std::move(counts),
+                   sum_.load(std::memory_order_relaxed)};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins) {
+  std::lock_guard lock{mu_};
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+  } else if (slot->lo() != lo || slot->hi() != hi || slot->bins() != bins) {
+    throw std::invalid_argument("histogram '" + name +
+                                "' re-registered with different binning");
+  }
+  return *slot;
+}
+
+json::MetricMap MetricsRegistry::snapshot() const {
+  std::lock_guard lock{mu_};
+  json::MetricMap out;
+  for (const auto& [name, c] : counters_) {
+    out[name] = static_cast<double>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram snap = h->snapshot();
+    out[name + ".count"] = static_cast<double>(snap.count());
+    out[name + ".mean"] = snap.mean();
+    out[name + ".p50"] = snap.quantile(0.50);
+    out[name + ".p95"] = snap.quantile(0.95);
+    out[name + ".p99"] = snap.quantile(0.99);
+  }
+  return out;
+}
+
+TextTable MetricsRegistry::summary_table() const {
+  TextTable table{{"metric", "value"}};
+  for (const auto& [name, value] : snapshot()) {
+    table.add_row({name, fmt(value, 6)});
+  }
+  return table;
+}
+
+}  // namespace vfimr::telemetry

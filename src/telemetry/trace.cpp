@@ -1,0 +1,87 @@
+#include "telemetry/trace.hpp"
+
+#include <utility>
+
+namespace vfimr::telemetry {
+
+namespace {
+std::atomic<std::uint64_t> next_tracer_id{1};
+}  // namespace
+
+Tracer::Tracer(std::uint64_t max_events)
+    : id_{next_tracer_id.fetch_add(1, std::memory_order_relaxed)},
+      max_events_{max_events} {}
+
+TrackId Tracer::track(const std::string& process, const std::string& thread) {
+  std::lock_guard lock{mu_};
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].process == process && tracks_[i].thread == thread) {
+      return static_cast<TrackId>(i);
+    }
+  }
+  tracks_.push_back(TrackInfo{process, thread});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+std::vector<Tracer::TrackInfo> Tracer::tracks() const {
+  std::lock_guard lock{mu_};
+  return tracks_;
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // Cache keyed by tracer instance id: a fresh tracer at a recycled address
+  // gets a fresh buffer, and switching tracers re-registers cleanly.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Buffer* cached = nullptr;
+  if (cached_id != id_) {
+    std::lock_guard lock{mu_};
+    buffers_.push_back(std::make_unique<Buffer>());
+    cached = buffers_.back().get();
+    cached_id = id_;
+  }
+  return *cached;
+}
+
+void Tracer::emit(TraceEvent ev) {
+  if (events_.fetch_add(1, std::memory_order_relaxed) >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  local_buffer().events.push_back(std::move(ev));
+}
+
+void Tracer::complete(TrackId track, std::string name, double ts_us,
+                      double dur_us, std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.name = std::move(name);
+  ev.args.assign(args.begin(), args.end());
+  emit(std::move(ev));
+}
+
+void Tracer::instant(TrackId track, std::string name, double ts_us,
+                     std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.name = std::move(name);
+  ev.args.assign(args.begin(), args.end());
+  emit(std::move(ev));
+}
+
+void Tracer::counter(TrackId track, const char* series, double ts_us,
+                     double value) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kCounter;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.name = series;
+  ev.args.push_back(TraceArg{"value", value});
+  emit(std::move(ev));
+}
+
+}  // namespace vfimr::telemetry

@@ -1,0 +1,108 @@
+#pragma once
+// Cycle-domain event tracer.  Tracks (process/thread name pairs) map onto
+// Chrome trace-event pid/tid rows; events land on per-thread buffers so the
+// hot path never takes a lock: each OS thread appends to a buffer it owns
+// exclusively, created once under the registration mutex and cached in a
+// thread_local keyed by the tracer's instance id (so a thread touching a
+// second tracer — or a tracer recreated at the same address — never writes
+// through a stale pointer).  Readers (exporters) run after the simulation
+// joined its workers; the registration mutex makes the buffer list itself
+// safe to walk at any time.
+//
+// Timestamps are doubles in microseconds of *simulated* time.  The adopted
+// conventions (see DESIGN.md §10): 1 NoC cycle = 1 µs, 1 simulated second =
+// 1e6 µs, real (wall-clock) scheduler events use µs since the run started.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vfimr::telemetry {
+
+using TrackId = std::uint32_t;
+
+/// A numeric event argument; `key` must have static storage duration (call
+/// sites pass string literals), keeping events cheap to record.
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kComplete,  ///< Chrome "X": a span with ts + dur
+    kInstant,   ///< Chrome "i": a point-in-time marker
+    kCounter,   ///< Chrome "C": a sampled counter series
+  };
+  Phase phase = Phase::kInstant;
+  TrackId track = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< kComplete only
+  std::string name;
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  struct TrackInfo {
+    std::string process;  ///< Chrome process row, e.g. "Kmeans/VFI WiNoC"
+    std::string thread;   ///< Chrome thread row, e.g. "worker 12"
+  };
+
+  /// `max_events` bounds total buffered events across all threads; once
+  /// reached, further events are counted in dropped() and discarded, so a
+  /// runaway trace degrades to a truncated file rather than OOM.
+  explicit Tracer(std::uint64_t max_events = 4'000'000);
+
+  /// Register (or re-register) a track; returns a stable id.  The same
+  /// (process, thread) pair always maps to one track.
+  TrackId track(const std::string& process, const std::string& thread);
+
+  void complete(TrackId track, std::string name, double ts_us, double dur_us,
+                std::initializer_list<TraceArg> args = {});
+  void instant(TrackId track, std::string name, double ts_us,
+               std::initializer_list<TraceArg> args = {});
+  void counter(TrackId track, const char* series, double ts_us, double value);
+
+  std::vector<TrackInfo> tracks() const;
+  std::uint64_t events() const {
+    return std::min(events_.load(std::memory_order_relaxed), max_events_);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Visit every buffered event, buffer by buffer in registration order,
+  /// events within a buffer in append order.  Deterministic for a
+  /// single-threaded writer.  Call after writer threads joined.
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    std::lock_guard lock{mu_};
+    for (const auto& buf : buffers_) {
+      for (const TraceEvent& ev : buf->events) fn(ev);
+    }
+  }
+
+ private:
+  struct Buffer {
+    std::deque<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+  void emit(TraceEvent ev);
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread_local cache
+  const std::uint64_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<TrackInfo> tracks_;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace vfimr::telemetry

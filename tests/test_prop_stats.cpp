@@ -1,0 +1,144 @@
+// Property tests for the streaming statistics added for the telemetry
+// layer: histogram merge across parallel_for-style shards, histogram
+// quantiles against the exact sorted-percentile answer, and the P²
+// streaming quantile estimator.
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+
+namespace vfimr {
+namespace {
+
+std::vector<double> random_samples(Rng& rng, std::size_t n) {
+  std::vector<double> xs(n);
+  // Mix of smooth and clustered data so bucket boundaries get exercised.
+  const double lo = rng.uniform(-10.0, 10.0);
+  const double spread = rng.uniform(0.5, 25.0);
+  for (auto& x : xs) {
+    x = rng.bernoulli(0.8) ? rng.uniform(lo, lo + spread)
+                           : rng.normal(lo + spread / 2, spread / 10);
+  }
+  return xs;
+}
+
+TEST(PropStats, ShardedHistogramMergeMatchesSingleHistogram) {
+  test::for_each_seed(20, [](Rng& rng, std::uint64_t) {
+    const std::size_t n = 1 + rng.uniform_u64(2000);
+    const auto xs = random_samples(rng, n);
+    const double lo = -15.0, hi = 40.0;
+    const std::size_t bins = 1 + rng.uniform_u64(64);
+
+    Histogram whole{lo, hi, bins};
+    for (double x : xs) whole.add(x);
+
+    // Split into shards the way parallel_for splits an index range, fill a
+    // per-shard histogram each, and merge — the aggregate must be exact.
+    const std::size_t shards = 1 + rng.uniform_u64(8);
+    Histogram merged{lo, hi, bins};
+    for (std::size_t s = 0; s < shards; ++s) {
+      Histogram shard{lo, hi, bins};
+      const std::size_t begin = s * n / shards;
+      const std::size_t end = (s + 1) * n / shards;
+      for (std::size_t i = begin; i < end; ++i) shard.add(xs[i]);
+      merged.merge(shard);
+    }
+
+    ASSERT_EQ(merged.count(), whole.count());
+    for (std::size_t b = 0; b < bins; ++b) {
+      EXPECT_EQ(merged.bucket(b), whole.bucket(b)) << "bin " << b;
+    }
+    // Shard partial sums round differently than one sequential sum.
+    EXPECT_NEAR(merged.sum(), whole.sum(),
+                1e-9 * std::max(1.0, std::abs(whole.sum())));
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_EQ(merged.quantile(p), whole.quantile(p)) << "p=" << p;
+    }
+  });
+}
+
+TEST(PropStats, HistogramMergeRejectsMismatchedBinning) {
+  Histogram a{0.0, 1.0, 10};
+  Histogram bins{0.0, 1.0, 20};
+  Histogram range{0.0, 2.0, 10};
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
+TEST(PropStats, HistogramQuantileWithinOneBucketOfExact) {
+  test::for_each_seed(20, [](Rng& rng, std::uint64_t) {
+    const std::size_t n = 50 + rng.uniform_u64(3000);
+    auto xs = random_samples(rng, n);
+    // Keep every sample strictly inside the histogram range so clamping
+    // can't shift mass between edge buckets.
+    for (auto& x : xs) x = std::clamp(x, -14.9, 39.9);
+
+    const std::size_t bins = 32 + rng.uniform_u64(96);
+    Histogram h{-15.0, 40.0, bins};
+    for (double x : xs) h.add(x);
+    const double bucket = (40.0 - (-15.0)) / static_cast<double>(bins);
+
+    for (double p : {5.0, 25.0, 50.0, 75.0, 95.0}) {
+      const double exact = percentile(xs, p);
+      const double approx = h.quantile(p / 100.0);
+      EXPECT_NEAR(approx, exact, bucket + 1e-9)
+          << "p=" << p << " bins=" << bins;
+    }
+  });
+}
+
+TEST(PropStats, P2MatchesExactBelowFiveSamples) {
+  test::for_each_seed(10, [](Rng& rng, std::uint64_t) {
+    const auto xs = random_samples(rng, 1 + rng.uniform_u64(4));
+    P2Quantile q{0.5};
+    for (double x : xs) q.add(x);
+    auto sorted = xs;
+    EXPECT_DOUBLE_EQ(q.value(), percentile(sorted, 50.0));
+  });
+}
+
+TEST(PropStats, P2TracksExactQuantileOnRandomStreams) {
+  test::for_each_seed(20, [](Rng& rng, std::uint64_t) {
+    const std::size_t n = 200 + rng.uniform_u64(5000);
+    const auto xs = random_samples(rng, n);
+    const double range =
+        *std::max_element(xs.begin(), xs.end()) -
+        *std::min_element(xs.begin(), xs.end());
+
+    for (double p : {0.5, 0.9, 0.95}) {
+      P2Quantile q{p};
+      for (double x : xs) q.add(x);
+      EXPECT_EQ(q.count(), xs.size());
+      const double exact = percentile(xs, p * 100.0);
+      // P² is an approximation; 10% of the data range is the documented
+      // engineering tolerance for these stream sizes.
+      EXPECT_NEAR(q.value(), exact, 0.10 * range + 1e-9) << "p=" << p;
+    }
+  });
+}
+
+TEST(PropStats, P2IsExactOnSortedUniformGrid) {
+  // A deterministic sanity anchor: on 0..999 the true median is ~499.5 and
+  // P² lands within a couple of grid steps even though the input is sorted
+  // (the estimator's worst case).
+  P2Quantile q{0.5};
+  for (int i = 0; i < 1000; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.value(), 499.5, 25.0);
+}
+
+TEST(PropStats, P2RejectsInvalidProbability) {
+  EXPECT_THROW(P2Quantile{0.0}, std::invalid_argument);
+  EXPECT_THROW(P2Quantile{1.0}, std::invalid_argument);
+  EXPECT_THROW(P2Quantile{-0.2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vfimr

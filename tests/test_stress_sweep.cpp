@@ -15,6 +15,7 @@
 
 #include "common/parallel_for.hpp"
 #include "sysmodel/sweep.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/profile.hpp"
 
 namespace vfimr::sysmodel {
@@ -55,6 +56,53 @@ TEST(StressSweep, EightThreadSweepIsRaceFreeAndRepeatable) {
     EXPECT_EQ(first[i].vfi_winoc.edp_js(), second[i].vfi_winoc.edp_js());
     EXPECT_GT(first[i].nvfi_mesh.exec_s, 0.0);
   }
+}
+
+TEST(StressSweep, SharedTelemetrySinkUnderEightThreadSweep) {
+  // One TelemetrySink shared by every concurrent run: counters, histogram
+  // buckets and per-thread trace buffers all take concurrent traffic here.
+  // This is the TSan target for the telemetry layer, and results must stay
+  // bit-identical run to run despite the shared sink.
+  const std::vector<workload::AppProfile> profiles = {
+      workload::make_profile(workload::App::kHist),
+      workload::make_profile(workload::App::kLR),
+      workload::make_profile(workload::App::kWC)};
+  const FullSystemSim sim;
+  PlatformParams params;
+  params.sim_cycles = 1'500;
+  params.drain_cycles = 15'000;
+  params.faults.link_rate = 30.0;
+  params.faults.core_fail_prob = 0.05;
+
+  telemetry::TelemetrySink sink_a;
+  params.telemetry = &sink_a;
+  const auto first = sweep_comparisons(profiles, sim, params, 8);
+
+  telemetry::TelemetrySink sink_b;
+  params.telemetry = &sink_b;
+  const auto second = sweep_comparisons(profiles, sim, params, 8);
+
+  ASSERT_EQ(first.size(), profiles.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].nvfi_mesh.exec_s, second[i].nvfi_mesh.exec_s);
+    EXPECT_EQ(first[i].vfi_winoc.edp_js(), second[i].vfi_winoc.edp_js());
+  }
+  // Event *counts* are deterministic; only buffer order varies with
+  // scheduling (integer adds commute, see telemetry/metrics.hpp).
+  EXPECT_EQ(sink_a.tracer().events(), sink_b.tracer().events());
+  EXPECT_GT(sink_a.tracer().events(), 0u);
+  auto count_like = [](telemetry::TelemetrySink& s, const char* suffix) {
+    std::uint64_t total = 0;
+    for (const auto& [name, value] : s.metrics().snapshot()) {
+      if (name.size() > std::string(suffix).size() &&
+          name.rfind(suffix) == name.size() - std::string(suffix).size()) {
+        total += static_cast<std::uint64_t>(value);
+      }
+    }
+    return total;
+  };
+  EXPECT_EQ(count_like(sink_a, ".sys.steals"),
+            count_like(sink_b, ".sys.steals"));
 }
 
 }  // namespace

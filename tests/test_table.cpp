@@ -57,6 +57,53 @@ TEST(TextTable, WriteCsvBadPathThrows) {
   EXPECT_THROW(t.write_csv("/nonexistent_dir_zz/x.csv"), std::runtime_error);
 }
 
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsv, QuotedSpecials) {
+  const auto rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\r\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"a,b", "say \"hi\"", "two\nlines"}));
+}
+
+TEST(ParseCsv, EmptyAndEdgeCells) {
+  EXPECT_TRUE(parse_csv("").empty());
+  const auto rows = parse_csv("a,\n,b\n\"\"\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "b"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{""}));
+}
+
+TEST(ParseCsv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"oops\n"), std::runtime_error);
+}
+
+TEST(ParseCsv, RoundTripsEveryCsvSpecial) {
+  // The satellite bug this guards: cells with commas, quotes, newlines AND
+  // bare carriage returns must survive to_csv -> parse_csv unchanged.
+  const std::vector<std::string> header = {"plain", "com,ma", "qu\"ote"};
+  const std::vector<std::vector<std::string>> bodies = {
+      {"multi\nline", "tab\tok", "cr\rreturn"},
+      {"", "\"", "\r\n"},
+      {",", "a,b,\"c\"\nd\re", "  spaced  "},
+  };
+  TextTable t{header};
+  for (const auto& row : bodies) t.add_row(row);
+
+  const auto parsed = parse_csv(t.to_csv());
+  ASSERT_EQ(parsed.size(), bodies.size() + 1);
+  EXPECT_EQ(parsed[0], header);
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    EXPECT_EQ(parsed[i + 1], bodies[i]) << "row " << i;
+  }
+}
+
 TEST(Format, Fmt) {
   EXPECT_EQ(fmt(1.23456), "1.235");
   EXPECT_EQ(fmt(1.23456, 1), "1.2");

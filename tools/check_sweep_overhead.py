@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI guard: the telemetry layer must not slow the untraced sweep path.
+
+Usage: check_sweep_overhead.py COMMITTED.json FRESH.json [MAX_REGRESSION]
+
+Compares `bench_sweep.speedup.fast_vs_reference_1t` between the committed
+BENCH_sweep.json snapshot and a freshly measured run.  The *speedup ratio*
+is the comparison key — wall seconds differ across machines and presets,
+but both stepping paths run on the same box in the same process, so their
+ratio is the portable signal.  Telemetry's disabled path is a single
+null-pointer test per site; if the fresh ratio drops more than
+MAX_REGRESSION (default 3%) below the committed one, some "zero overhead
+when disabled" claim has regressed and the build fails.
+"""
+
+import json
+import sys
+
+KEY = "bench_sweep.speedup.fast_vs_reference_1t"
+
+
+def load_ratio(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if KEY not in doc:
+        print(f"check_sweep_overhead: FAIL: {path} has no {KEY}", file=sys.stderr)
+        sys.exit(1)
+    return float(doc[KEY]), doc
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(
+            "usage: check_sweep_overhead.py COMMITTED.json FRESH.json"
+            " [MAX_REGRESSION]",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    max_regression = float(argv[3]) if len(argv) > 3 else 0.03
+
+    committed, cdoc = load_ratio(argv[1])
+    fresh, fdoc = load_ratio(argv[2])
+    floor = (1.0 - max_regression) * committed
+
+    if cdoc.get("bench_sweep.config.small") != fdoc.get(
+        "bench_sweep.config.small"
+    ):
+        print(
+            "check_sweep_overhead: note: committed and fresh runs use "
+            "different presets; the speedup ratio is still comparable, "
+            "wall seconds are not"
+        )
+
+    print(
+        f"check_sweep_overhead: committed {KEY} = {committed:.3f}, "
+        f"fresh = {fresh:.3f}, floor = {floor:.3f} "
+        f"(max regression {max_regression:.0%})"
+    )
+    if fresh < floor:
+        print(
+            f"check_sweep_overhead: FAIL: fresh speedup {fresh:.3f} fell "
+            f"below {floor:.3f} — the untraced sweep path slowed down",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("check_sweep_overhead: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI schema check for telemetry artifacts (DESIGN.md §10).
+
+Usage: check_trace.py TRACE.json [METRICS.json|METRICS.csv]
+
+Validates that the Chrome trace-event file emitted by --trace-out is
+well-formed and Perfetto-loadable in shape:
+
+  * top-level object with a "traceEvents" array;
+  * every event carries name/ph/pid/tid, with ph in {M, X, i, C};
+  * "X" (complete) events have numeric ts and dur >= 0;
+  * process_name / thread_name metadata exists, and the expected track
+    kinds from a full-system run are present (MapReduce core rows, VFI
+    island rows, and the phases row; NoC packet rows appear only when
+    sampling catches a packet, so they are reported but not required);
+  * at least one map-phase span exists.
+
+The optional second argument is the --metrics-out file; JSON must parse
+to a flat name->number map, CSV must parse with a name column.
+"""
+
+import csv
+import json
+import sys
+
+ALLOWED_PH = {"M", "X", "i", "C"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    thread_names = []
+    span_names = set()
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing required key {key!r}")
+        ph = ev["ph"]
+        if ph not in ALLOWED_PH:
+            fail(f"event {i} has unexpected ph {ph!r}")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or not isinstance(
+                dur, (int, float)
+            ):
+                fail(f"X event {i} needs numeric ts and dur")
+            if dur < 0:
+                fail(f"X event {i} has negative dur {dur}")
+            span_names.add(ev["name"])
+        if ph == "M" and ev["name"] == "thread_name":
+            thread_names.append(ev.get("args", {}).get("name", ""))
+
+    if not any(ev["ph"] == "M" and ev["name"] == "process_name" for ev in events):
+        fail("no process_name metadata (trace would be one anonymous pid)")
+    if not thread_names:
+        fail("no thread_name metadata")
+
+    kinds = {
+        "core": sum(1 for n in thread_names if n.startswith("core ")),
+        "vfi": sum(1 for n in thread_names if n.startswith("VFI island")),
+        "phases": sum(1 for n in thread_names if n == "phases"),
+        "noc": sum(1 for n in thread_names if n.startswith("NoC")),
+    }
+    for kind in ("core", "vfi", "phases"):
+        if kinds[kind] == 0:
+            fail(f"expected at least one {kind!r} track, names={thread_names[:8]}")
+    if "map" not in span_names:
+        fail(f"no 'map' phase span found; spans={sorted(span_names)[:12]}")
+
+    print(
+        f"check_trace: OK: {len(events)} events, tracks: "
+        f"{kinds['core']} core / {kinds['vfi']} VFI / "
+        f"{kinds['noc']} NoC / {kinds['phases']} phases; "
+        f"{len(span_names)} distinct span names"
+    )
+
+
+def check_metrics(path):
+    if path.endswith(".json"):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if not isinstance(doc, dict) or not doc:
+            fail("metrics JSON must be a non-empty object")
+        for name, value in doc.items():
+            if not isinstance(value, (int, float)):
+                fail(f"metric {name!r} is not numeric: {value!r}")
+        print(f"check_metrics: OK: {len(doc)} metrics")
+    else:
+        with open(path, newline="", encoding="utf-8") as f:
+            rows = list(csv.reader(f))
+        if len(rows) < 2 or "metric" not in [c.lower() for c in rows[0]]:
+            fail("metrics CSV needs a header with a metric column and rows")
+        print(f"check_metrics: OK: {len(rows) - 1} metrics (csv)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: check_trace.py TRACE.json [METRICS.{json,csv}]")
+    check_trace(argv[1])
+    if len(argv) > 2:
+        check_metrics(argv[2])
+
+
+if __name__ == "__main__":
+    main(sys.argv)
