@@ -45,37 +45,7 @@ Network::Network(const Topology& topology, const RoutingAlgorithm& routing,
     }
   }
 
-  // Wireless interfaces.
-  std::vector<std::int32_t> wi_channel(g.node_count(), -1);
-  for (const auto& wi : wireless.interfaces) {
-    VFIMR_REQUIRE(wi.node < g.node_count());
-    VFIMR_REQUIRE_MSG(wi.channel >= 0 && wi.channel < wireless.channel_count,
-                      "WI channel out of range");
-    VFIMR_REQUIRE_MSG(wi_channel[wi.node] < 0, "duplicate WI on node");
-    wi_channel[wi.node] = wi.channel;
-    auto& r = routers_[wi.node];
-    InPort rx;
-    rx.capacity = cfg_.wi_buffer_depth;
-    rx.is_wireless_rx = true;
-    r.wireless_rx = static_cast<std::int32_t>(r.in.size());
-    r.in.push_back(std::move(rx));
-    OutPort tx;
-    tx.kind = OutKind::kWirelessTx;
-    r.wireless_tx = static_cast<std::int32_t>(r.out.size());
-    r.out.push_back(tx);
-    r.wi_channel = wi.channel;
-    channels_[static_cast<std::size_t>(wi.channel)].members.push_back(wi.node);
-  }
-  for (auto& ch : channels_) std::sort(ch.members.begin(), ch.members.end());
-
-  // Validate wireless edges connect same-channel WIs.
-  for (const auto& ed : g.edges()) {
-    if (ed.kind != graph::EdgeKind::kWireless) continue;
-    VFIMR_REQUIRE_MSG(wi_channel[ed.a] >= 0 && wi_channel[ed.b] >= 0,
-                      "wireless edge endpoint lacks a WI");
-    VFIMR_REQUIRE_MSG(wi_channel[ed.a] == wi_channel[ed.b],
-                      "wireless edge endpoints on different channels");
-  }
+  setup_wireless(wireless);
 
   // The fast-path candidate masks hold one bit per input slot + source.
   for (const auto& r : routers_) {
@@ -131,38 +101,6 @@ void Network::setup_telemetry() {
   tele_faults_track_ = tele_->tracer().track(label, "NoC faults");
   tele_sample_every_ = std::max<std::uint64_t>(
       1, tele_->config().noc_packet_sample_every);
-}
-
-void Network::build_fault_timeline() {
-  const auto& g = topo_->graph;
-  for (const auto& ev : cfg_.faults.events()) {
-    switch (ev.kind) {
-      case faults::NocFaultKind::kLink:
-        VFIMR_REQUIRE_MSG(ev.id < g.edge_count(),
-                          "link fault id out of range");
-        break;
-      case faults::NocFaultKind::kRouter:
-        VFIMR_REQUIRE_MSG(ev.id < g.node_count(),
-                          "router fault id out of range");
-        break;
-      case faults::NocFaultKind::kWi:
-        VFIMR_REQUIRE_MSG(
-            ev.id < g.node_count() && routers_[ev.id].wireless_tx >= 0,
-            "WI fault on a node without a wireless interface");
-        break;
-    }
-    fault_timeline_.push_back(FaultEvent{ev.at_cycle, ev.kind, ev.id, true});
-    if (ev.transient()) {
-      VFIMR_REQUIRE_MSG(ev.until_cycle > ev.at_cycle,
-                        "transient fault repairs before it strikes");
-      fault_timeline_.push_back(
-          FaultEvent{ev.until_cycle, ev.kind, ev.id, false});
-    }
-  }
-  // Stable sort: same-cycle transitions apply in schedule order.
-  std::stable_sort(
-      fault_timeline_.begin(), fault_timeline_.end(),
-      [](const FaultEvent& a, const FaultEvent& b) { return a.cycle < b.cycle; });
 }
 
 void Network::inject(graph::NodeId src, graph::NodeId dest,
@@ -305,71 +243,6 @@ void Network::eject_ready_flits() {
     // the naive probe of every input buffer would find no dest == n front.
     if (ejectable_flits_[n] == 0) continue;
     eject_router(n, now);
-  }
-}
-
-void Network::service_wireless_channels() {
-  const Cycle now = metrics_.cycles;
-  for (auto& ch : channels_) {
-    if (ch.members.empty()) continue;
-    auto& holder = routers_[ch.members[ch.token]];
-    bool sent = false;
-    if (!holder.tx_queue.empty()) {
-      Flit& f = holder.tx_queue.front();
-      if (f.ready_cycle <= now) {
-        VFIMR_REQUIRE(f.wi_dest != graph::kInvalidId);
-        auto& dest_router = routers_[f.wi_dest];
-        VFIMR_REQUIRE(dest_router.wireless_rx >= 0);
-        // Post-wireless flits live on VN1.
-        auto& rx =
-            dest_router.in[static_cast<std::size_t>(dest_router.wireless_rx)]
-                .buf[1];
-        const std::uint32_t rx_cap = cfg_.wi_buffer_depth;
-        // Whole-packet reservation: a head flit starts transmitting only if
-        // the destination RX can absorb the entire packet.  The RX has a
-        // single writer (this channel), so the reservation cannot be stolen
-        // and a started packet always completes — the token is never held
-        // behind a blocked receiver.
-        const bool can_go = f.is_head() ? rx.size() + f.size <= rx_cap
-                                        : rx.size() < rx_cap;
-        if (can_go) {
-          // No synchronizer penalty on the wireless path: the deep (8-flit)
-          // WI buffers exist precisely to absorb resynchronization at the
-          // island boundary (§7, [8]) — one of the WiNoC's advantages for
-          // inter-VFI exchanges.
-          Flit moved = f;
-          if (tele_ != nullptr) ++moved.hops;
-          const graph::NodeId hop_dest = f.wi_dest;
-          holder.tx_queue.pop_front();
-          note_departure(ch.members[ch.token]);
-          note_arrival(hop_dest, 1);
-          moved.ready_cycle = now + 1;
-          moved.wi_dest = graph::kInvalidId;
-          moved.vn = 1;
-          rx.push_back(moved);
-          if (moved.dest == hop_dest) ++ejectable_flits_[hop_dest];
-          if (const auto e =
-                  topo_->graph.find_edge(ch.members[ch.token], hop_dest)) {
-            ++edge_flits_[*e];
-          }
-          ++metrics_.energy.wireless_flits;
-          ++metrics_.energy.buffer_reads;
-          ++metrics_.energy.buffer_writes;
-          sent = true;
-          if (moved.is_tail()) {
-            ch.mid_packet = false;
-            ch.token = (ch.token + 1) % ch.members.size();
-          } else {
-            ch.mid_packet = true;
-            ch.mid_packet_id = moved.packet;
-          }
-        }
-      }
-    }
-    if (!sent && !ch.mid_packet) {
-      // Idle or head-blocked holder without a packet in flight: pass token.
-      ch.token = (ch.token + 1) % ch.members.size();
-    }
   }
 }
 
@@ -707,17 +580,6 @@ Cycle Network::next_front_ready_cycle() const {
   return earliest;
 }
 
-void Network::advance_idle_cycles(Cycle delta) {
-  // A naive idle step only rotates the token of every channel that is not
-  // mid-packet (service_wireless_channels with nothing ready) and bumps the
-  // cycle counter; replay `delta` of them in O(channels).
-  metrics_.cycles += delta;
-  for (auto& ch : channels_) {
-    if (ch.members.empty() || ch.mid_packet) continue;
-    ch.token = (ch.token + delta) % ch.members.size();
-  }
-}
-
 bool Network::drain(Cycle max_cycles) {
   if (cfg_.reference_stepping) {
     for (Cycle c = 0; c < max_cycles && in_flight_flits_ > 0; ++c) step();
@@ -744,301 +606,6 @@ bool Network::drain(Cycle max_cycles) {
     --budget;
   }
   return in_flight_flits_ == 0;
-}
-
-void Network::apply_fault_events() {
-  bool changed = false;
-  while (next_fault_event_ < fault_timeline_.size() &&
-         fault_timeline_[next_fault_event_].cycle <= metrics_.cycles) {
-    const FaultEvent& ev = fault_timeline_[next_fault_event_++];
-    std::uint32_t& down =
-        ev.kind == faults::NocFaultKind::kLink     ? edge_down_[ev.id]
-        : ev.kind == faults::NocFaultKind::kRouter ? router_down_[ev.id]
-                                                   : wi_down_[ev.id];
-    if (ev.down) {
-      ++down;
-    } else {
-      VFIMR_REQUIRE(down > 0);
-      --down;
-    }
-    ++metrics_.fault_events;
-    changed = true;
-    if (tele_ != nullptr) {
-      tele_fault_events_->add();
-      tele_->tracer().instant(
-          tele_faults_track_,
-          std::string{faults::kind_name(ev.kind)} + (ev.down ? " down" : " up"),
-          static_cast<double>(metrics_.cycles),
-          {{"id", static_cast<double>(ev.id)}});
-    }
-  }
-  if (changed) recompute_fault_state();
-}
-
-void Network::recompute_fault_state() {
-  const auto& g = topo_->graph;
-  std::vector<PacketId> poisoned;
-  bool any_down = false;
-  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
-    const auto& ed = g.edge(e);
-    bool usable = edge_down_[e] == 0 && router_down_[ed.a] == 0 &&
-                  router_down_[ed.b] == 0;
-    if (usable && ed.kind == graph::EdgeKind::kWireless) {
-      usable = wi_down_[ed.a] == 0 && wi_down_[ed.b] == 0;
-    }
-    if (!usable) {
-      any_down = true;
-      if (edge_usable_[e]) collect_edge_casualties(e, poisoned);
-    }
-    edge_usable_[e] = usable;
-  }
-  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
-    if (router_down_[n] > 0) {
-      any_down = true;
-      collect_router_casualties(n, poisoned);
-    } else if (wi_down_[n] > 0) {
-      any_down = true;
-      collect_wi_casualties(n, poisoned);
-    }
-  }
-  purge_packets(poisoned);
-  reset_route_state();
-  if (any_down || degraded_routing_active_) {
-    // Rebuild hole-tolerant tables over the surviving edges.  Once any
-    // fault has fired these stay active even after every element repairs:
-    // in-flight heads may carry down-phase bits from an older tree that the
-    // original (hole-intolerant) tables would refuse to route.
-    UpDownOptions opts;
-    opts.wireless_cost = cfg_.fault_reroute_wireless_cost;
-    opts.edge_alive = &edge_usable_;
-    opts.allow_unreachable = true;
-    degraded_routing_ = std::make_unique<UpDownRouting>(g, opts);
-    active_routing_ = degraded_routing_.get();
-    degraded_routing_active_ = true;
-    ++metrics_.route_rebuilds;
-  }
-}
-
-bool Network::owner_streamed(RouterState& r, const OwnerState& owner,
-                             std::size_t vn) {
-  if (owner.owner_input == -1) return false;
-  auto* q = input_queue(r, owner.owner_input, vn);
-  // If the granted packet's head is still at the front, nothing moved yet.
-  return q == nullptr || q->empty() ||
-         q->front().packet != owner.owner_packet || !q->front().is_head();
-}
-
-void Network::collect_edge_casualties(graph::EdgeId e,
-                                      std::vector<PacketId>& out) {
-  const auto& ed = topo_->graph.edge(e);
-  if (ed.kind == graph::EdgeKind::kWire) {
-    // A packet mid-stream over a dead wire link is cut in two and lost.
-    // Grants that have not streamed a flit yet are spared: reset_route_state
-    // releases them and the packet re-arbitrates around the dead link.
-    for (const graph::NodeId n : {ed.a, ed.b}) {
-      auto& r = routers_[n];
-      for (auto& op : r.out) {
-        if (op.kind != OutKind::kWire || op.edge != e) continue;
-        for (std::size_t vn = 0; vn < kVns; ++vn) {
-          if (owner_streamed(r, op.vn[vn], vn)) {
-            out.push_back(op.vn[vn].owner_packet);
-          }
-        }
-      }
-    }
-    return;
-  }
-  // Wireless edge: flits committed to the dead hop (queued at either TX with
-  // the far end as wi_dest) and packets mid-transmission are lost.
-  const graph::NodeId ends[2] = {ed.a, ed.b};
-  for (int i = 0; i < 2; ++i) {
-    auto& r = routers_[ends[i]];
-    const graph::NodeId far = ends[1 - i];
-    for (const Flit& f : r.tx_queue) {
-      if (f.wi_dest == far) out.push_back(f.packet);
-    }
-    if (r.wireless_tx >= 0) {
-      auto& op = r.out[static_cast<std::size_t>(r.wireless_tx)];
-      for (std::size_t vn = 0; vn < kVns; ++vn) {
-        if (op.vn[vn].wi_dest == far && owner_streamed(r, op.vn[vn], vn)) {
-          out.push_back(op.vn[vn].owner_packet);
-        }
-      }
-    }
-  }
-}
-
-void Network::collect_router_casualties(graph::NodeId n,
-                                        std::vector<PacketId>& out) {
-  // A dead router loses everything it holds.  Re-collection while it stays
-  // down is a no-op: routes avoid it, injection at it is refused, and its
-  // queues were emptied when it first went down.
-  auto& r = routers_[n];
-  for (const Flit& f : r.source_queue) out.push_back(f.packet);
-  for (const Flit& f : r.tx_queue) out.push_back(f.packet);
-  for (auto& in : r.in) {
-    for (std::size_t vn = 0; vn < kVns; ++vn) {
-      for (const Flit& f : in.buf[vn]) out.push_back(f.packet);
-    }
-  }
-  for (auto& op : r.out) {
-    for (std::size_t vn = 0; vn < kVns; ++vn) {
-      if (op.vn[vn].owner_input != -1) out.push_back(op.vn[vn].owner_packet);
-    }
-  }
-}
-
-void Network::collect_wi_casualties(graph::NodeId n,
-                                    std::vector<PacketId>& out) {
-  // Only the wireless interface died; the router keeps switching wire
-  // traffic.  Flits already queued for (or mid-way through) a wireless
-  // transmission are lost; everything else reroutes over the wire mesh.
-  auto& r = routers_[n];
-  for (const Flit& f : r.tx_queue) out.push_back(f.packet);
-  if (r.wireless_tx >= 0) {
-    auto& op = r.out[static_cast<std::size_t>(r.wireless_tx)];
-    for (std::size_t vn = 0; vn < kVns; ++vn) {
-      if (owner_streamed(r, op.vn[vn], vn)) {
-        out.push_back(op.vn[vn].owner_packet);
-      }
-    }
-  }
-}
-
-void Network::purge_packets(std::vector<PacketId>& ids) {
-  if (ids.empty()) return;
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  const auto hit = [&](PacketId p) {
-    return std::binary_search(ids.begin(), ids.end(), p);
-  };
-  std::uint64_t removed_total = 0;
-  for (graph::NodeId n = 0; n < routers_.size(); ++n) {
-    auto& r = routers_[n];
-    std::uint64_t removed = 0;
-    std::uint32_t ejectable_removed = 0;
-    const auto sweep = [&](std::deque<Flit>& q, bool counts_ejectable) {
-      for (auto it = q.begin(); it != q.end();) {
-        if (hit(it->packet)) {
-          ++removed;
-          if (counts_ejectable && it->dest == n) ++ejectable_removed;
-          it = q.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    };
-    sweep(r.source_queue, false);
-    sweep(r.tx_queue, false);
-    for (auto& in : r.in) {
-      for (std::size_t vn = 0; vn < kVns; ++vn) sweep(in.buf[vn], true);
-    }
-    for (auto& op : r.out) {
-      for (std::size_t vn = 0; vn < kVns; ++vn) {
-        auto& owner = op.vn[vn];
-        if (owner.owner_input != -1 && hit(owner.owner_packet)) {
-          owner.owner_input = -1;
-          owner.remaining = 0;
-          owner.wi_dest = graph::kInvalidId;
-        }
-      }
-    }
-    if (removed > 0) {
-      VFIMR_REQUIRE(resident_flits_[n] >= removed);
-      resident_flits_[n] -= removed;
-      removed_total += removed;
-    }
-    if (ejectable_removed > 0) {
-      VFIMR_REQUIRE(ejectable_flits_[n] >= ejectable_removed);
-      ejectable_flits_[n] -= ejectable_removed;
-    }
-  }
-  for (auto& ch : channels_) {
-    if (ch.mid_packet && hit(ch.mid_packet_id)) ch.mid_packet = false;
-  }
-  VFIMR_REQUIRE(in_flight_flits_ >= removed_total);
-  in_flight_flits_ -= removed_total;
-  metrics_.flits_lost += removed_total;
-  metrics_.packets_lost += ids.size();
-  if (tele_ != nullptr) {
-    tele_lost_->add(ids.size());
-    tele_->tracer().instant(tele_faults_track_, "purge",
-                            static_cast<double>(metrics_.cycles),
-                            {{"packets", static_cast<double>(ids.size())},
-                             {"flits", static_cast<double>(removed_total)}});
-  }
-}
-
-void Network::reset_route_state() {
-  ++route_epoch_;  // invalidates every fast-path route memo at once
-  for (auto& r : routers_) {
-    // Queued heads restart their up*/down* phase: under the new tree the
-    // old phase bit is meaningless, and a fresh up-phase route always
-    // exists when the destination is reachable at all.
-    const auto restart = [](std::deque<Flit>& q) {
-      for (auto& f : q) {
-        if (f.is_head()) f.down_phase = false;
-      }
-    };
-    restart(r.source_queue);
-    restart(r.tx_queue);
-    for (auto& in : r.in) {
-      for (std::size_t vn = 0; vn < kVns; ++vn) restart(in.buf[vn]);
-    }
-    for (auto& op : r.out) {
-      for (std::size_t vn = 0; vn < kVns; ++vn) {
-        auto& owner = op.vn[vn];
-        if (owner.owner_input != -1 && !owner_streamed(r, owner, vn)) {
-          // Granted but nothing moved: release so the head re-arbitrates
-          // under the new tables instead of following a stale decision.
-          owner.owner_input = -1;
-          owner.remaining = 0;
-          owner.wi_dest = graph::kInvalidId;
-        }
-      }
-    }
-  }
-}
-
-void Network::handle_unreachable(Flit& f) {
-  const Cycle now = metrics_.cycles;
-  ++metrics_.retry_backoffs;
-  if (tele_ != nullptr) tele_backoffs_->add();
-  if (f.retries >= cfg_.fault_max_retries) {
-    // Retry budget exhausted: declare the packet lost.  ready_cycle = now+1
-    // keeps the drain loop stepping so next step()'s purge collects it.
-    pending_lost_.push_back(f.packet);
-    f.ready_cycle = now + 1;
-    return;
-  }
-  const std::uint32_t shift = std::min<std::uint32_t>(f.retries, 10);
-  f.ready_cycle =
-      now + (static_cast<Cycle>(cfg_.fault_backoff_base_cycles) << shift);
-  ++f.retries;
-}
-
-void Network::backoff_unroutable_heads() {
-  // Visits every router in id order regardless of stepping mode, so the
-  // reference and fast paths observe identical backoff decisions.
-  const Cycle now = metrics_.cycles;
-  for (graph::NodeId n = 0; n < routers_.size(); ++n) {
-    if (resident_flits_[n] == 0) continue;
-    auto& r = routers_[n];
-    const auto probe = [&](std::deque<Flit>& q) {
-      if (q.empty()) return;
-      Flit& f = q.front();
-      if (!f.is_head() || f.ready_cycle > now || f.dest == n) return;
-      const RouteDecision dec =
-          active_routing_->next_hop(n, f.dest, f.down_phase, f.vn == 1);
-      if (dec.edge == graph::kInvalidId) handle_unreachable(f);
-    };
-    // Wireless TX queues are excluded: their hop is already reserved and a
-    // dead channel purges them outright.
-    probe(r.source_queue);
-    for (auto& in : r.in) {
-      for (std::size_t vn = 0; vn < kVns; ++vn) probe(in.buf[vn]);
-    }
-  }
 }
 
 double Network::max_link_utilization() const {

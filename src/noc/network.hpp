@@ -233,6 +233,10 @@ class Network {
 
   static constexpr std::int32_t kSourceInput = -2;
 
+  /// Constructor helper (network_wireless.cpp): registers the wireless
+  /// interfaces, builds the token channels and validates wireless edges.
+  void setup_wireless(const WirelessConfig& wireless);
+
   void eject_ready_flits();
   void service_wireless_channels();
   void service_router_outputs();
