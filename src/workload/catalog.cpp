@@ -1,4 +1,6 @@
+#include <array>
 #include <cmath>
+#include <utility>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -151,6 +153,77 @@ Calibration calibrate(App app) {
   return c;
 }
 
+// How strongly each phase excites each traffic component, relative to the
+// whole-run mixture (rows: lib_init, map, reduce, merge; columns: neighbor,
+// shuffle, master, background).  LibInit and Merge are master-centric
+// (input distribution / output collection) with no K/V shuffle; Map is
+// data-locality and S-NUCA-read heavy; Reduce carries the shuffle.  LibInit
+// and Merge share a row on purpose: their matrices come out bit-identical,
+// which the NetworkEvaluator cache exploits.  The affinities are relative —
+// per component c they are normalized by sum_p w_p * A[p][c] so that the
+// phase-weighted sum of the phase matrices reproduces the whole-run matrix.
+constexpr std::size_t kComponentCount = 4;
+constexpr double kPhaseAffinity[kPhaseCount][kComponentCount] = {
+    {0.2, 0.0, 3.0, 0.5},  // lib_init
+    {1.5, 0.4, 0.7, 1.2},  // map
+    {0.5, 2.2, 0.8, 0.8},  // reduce
+    {0.2, 0.0, 3.0, 0.5},  // merge
+};
+
+/// Nominal wall-time share of each phase (serial stages on one thread, task
+/// sets spread over all threads), at f_max and baseline network latency.
+std::array<double, kPhaseCount> phase_time_weights(const PhaseModel& phases,
+                                                   std::size_t threads) {
+  constexpr double kFmax = 2.5e9;
+  const auto serial_s = [](const SerialStage& s) {
+    return s.cycles / kFmax + s.mem_seconds;
+  };
+  const auto tasks_s = [&](const TaskSet& t) {
+    return static_cast<double>(t.count) *
+           (t.cycles_mean / kFmax + t.mem_seconds_mean) /
+           static_cast<double>(threads);
+  };
+  std::array<double, kPhaseCount> w = {
+      serial_s(phases.lib_init), tasks_s(phases.map), tasks_s(phases.reduce),
+      serial_s(phases.merge)};
+  double total = 0.0;
+  for (double v : w) total += v;
+  VFIMR_REQUIRE_MSG(total > 0.0, "phase model has zero total time");
+  for (double& v : w) v /= total;
+  return w;
+}
+
+/// Populate `phase_traffic`/`phase_weight` by remixing the rate-scaled
+/// traffic components with the per-phase affinities.
+void build_phase_traffic(AppProfile& p, const TrafficComponents& parts) {
+  p.phase_weight = phase_time_weights(p.phases, p.threads);
+
+  // Normalize affinities per component: gain[p][c] = A[p][c] / sum_q w_q *
+  // A[q][c].  Map has positive weight and positive affinity for every
+  // component, so the denominator never vanishes.
+  const Matrix* comp[kComponentCount] = {&parts.neighbor, &parts.shuffle,
+                                         &parts.master, &parts.background};
+  double denom[kComponentCount];
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    denom[c] = 0.0;
+    for (std::size_t q = 0; q < kPhaseCount; ++q) {
+      denom[c] += p.phase_weight[q] * kPhaseAffinity[q][c];
+    }
+    VFIMR_REQUIRE(denom[c] > 0.0);
+  }
+  for (std::size_t ph = 0; ph < kPhaseCount; ++ph) {
+    Matrix m{p.threads, p.threads};
+    for (std::size_t c = 0; c < kComponentCount; ++c) {
+      const double gain = kPhaseAffinity[ph][c] / denom[c];
+      const auto& src = comp[c]->data();
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        m.data()[i] += gain * src[i];
+      }
+    }
+    p.phase_traffic[ph] = std::move(m);
+  }
+}
+
 }  // namespace
 
 double AppProfile::mean_utilization() const {
@@ -179,11 +252,13 @@ AppProfile make_profile(App app, const ProfileParams& params) {
     p.utilization[m] = c.master_util;
   }
   p.master_threads = c.masters;
-  p.traffic = make_traffic(params.threads, c.traffic, c.masters, rng);
+  TrafficComponents parts;
+  p.traffic = make_traffic(params.threads, c.traffic, c.masters, rng, &parts);
   p.packet_flits = c.packet_flits;
   p.net_sensitivity = c.net_sensitivity;
   p.iterations = c.iterations;
   p.phases = c.phases;
+  build_phase_traffic(p, parts);
   return p;
 }
 

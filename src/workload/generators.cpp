@@ -23,7 +23,8 @@ std::vector<double> make_utilization(
 }
 
 Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
-                    const std::vector<std::size_t>& masters, Rng& rng) {
+                    const std::vector<std::size_t>& masters, Rng& rng,
+                    TrafficComponents* components) {
   VFIMR_REQUIRE(threads >= 2);
   VFIMR_REQUIRE(spec.total_rate > 0.0);
   const double frac_bg =
@@ -31,9 +32,20 @@ Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
   VFIMR_REQUIRE_MSG(frac_bg >= -1e-9, "traffic fractions exceed 1");
 
   Matrix weight{threads, threads};
+  // Mirror of each normalized, fraction-weighted component (only filled when
+  // the caller asked for them).  The aggregate `weight` keeps accumulating
+  // components elementwise exactly as before, so its values are unchanged by
+  // this bookkeeping.
+  auto part = [&](Matrix TrafficComponents::* field) -> Matrix* {
+    if (components == nullptr) return nullptr;
+    Matrix& m = components->*field;
+    m = Matrix{threads, threads};
+    return &m;
+  };
 
   // Neighbor locality: ring (t, t+1) and stride-8 (t, t+8) links, matching
   // the row/column adjacency of the identity mapping on the 8x8 die.
+  Matrix* part_neighbor = part(&TrafficComponents::neighbor);
   if (spec.frac_neighbor > 0.0) {
     double total = 0.0;
     Matrix comp{threads, threads};
@@ -47,7 +59,9 @@ Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
       if (threads > 8) link(t, (t + 8) % threads, 0.6);
     }
     for (std::size_t i = 0; i < threads * threads; ++i) {
-      weight.data()[i] += spec.frac_neighbor * comp.data()[i] / total;
+      const double w = spec.frac_neighbor * comp.data()[i] / total;
+      weight.data()[i] += w;
+      if (part_neighbor != nullptr) part_neighbor->data()[i] = w;
     }
   }
 
@@ -55,6 +69,7 @@ Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
   // (a few hot reducers, a long tail) — the intermediate K/V exchange.
   // With probability `shuffle_locality` a pair stays within its 16-thread
   // data partition; the rest crosses partitions (distant sharers).
+  Matrix* part_shuffle = part(&TrafficComponents::shuffle);
   if (spec.frac_shuffle > 0.0 && spec.shuffle_pairs > 0) {
     const std::size_t part = std::min<std::size_t>(16, threads);
     double total = 0.0;
@@ -77,11 +92,14 @@ Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
       total += w;
     }
     for (std::size_t i = 0; i < threads * threads; ++i) {
-      weight.data()[i] += spec.frac_shuffle * comp.data()[i] / total;
+      const double w = spec.frac_shuffle * comp.data()[i] / total;
+      weight.data()[i] += w;
+      if (part_shuffle != nullptr) part_shuffle->data()[i] = w;
     }
   }
 
   // Master hotspot: scheduling/control round trips with every thread.
+  Matrix* part_master = part(&TrafficComponents::master);
   if (spec.frac_master > 0.0 && !masters.empty()) {
     double total = 0.0;
     Matrix comp{threads, threads};
@@ -95,17 +113,23 @@ Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
       }
     }
     for (std::size_t i = 0; i < threads * threads; ++i) {
-      weight.data()[i] += spec.frac_master * comp.data()[i] / total;
+      const double w = spec.frac_master * comp.data()[i] / total;
+      weight.data()[i] += w;
+      if (part_master != nullptr) part_master->data()[i] = w;
     }
   }
 
   // Uniform background (cache-coherence noise).
+  Matrix* part_bg = part(&TrafficComponents::background);
   if (frac_bg > 1e-12) {
     const double per_pair =
         frac_bg / static_cast<double>(threads * (threads - 1));
     for (std::size_t s = 0; s < threads; ++s) {
       for (std::size_t d = 0; d < threads; ++d) {
-        if (s != d) weight(s, d) += per_pair;
+        if (s != d) {
+          weight(s, d) += per_pair;
+          if (part_bg != nullptr) (*part_bg)(s, d) = per_pair;
+        }
       }
     }
   }
@@ -113,7 +137,13 @@ Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
   // Scale mixture (sums to ~1) to the requested aggregate rate.
   const double sum = weight.sum();
   VFIMR_REQUIRE(sum > 0.0);
-  for (auto& v : weight.data()) v *= spec.total_rate / sum;
+  const double rate_scale = spec.total_rate / sum;
+  for (auto& v : weight.data()) v *= rate_scale;
+  if (components != nullptr) {
+    for (Matrix* m : {part_neighbor, part_shuffle, part_master, part_bg}) {
+      for (auto& v : m->data()) v *= rate_scale;
+    }
+  }
   return weight;
 }
 

@@ -45,9 +45,23 @@ struct TrafficSpec {
   double shuffle_locality = 0.6;
 };
 
+/// The four mixture components of a synthesized traffic matrix, each scaled
+/// to its share of the aggregate rate (their elementwise sum reproduces the
+/// `make_traffic` result up to rounding).  Phase-resolved profiles remix
+/// these with per-phase gains (catalog.cpp).
+struct TrafficComponents {
+  Matrix neighbor;    ///< ring / stride-8 data locality
+  Matrix shuffle;     ///< random K/V exchange pairs
+  Matrix master;      ///< control hotspot around the master threads
+  Matrix background;  ///< uniform coherence noise (S-NUCA remote reads)
+};
+
 /// Build a thread x thread packets/cycle matrix from the mixture spec.
+/// When `components` is non-null, the individual rate-scaled mixture
+/// components are stored there as well.
 Matrix make_traffic(std::size_t threads, const TrafficSpec& spec,
-                    const std::vector<std::size_t>& masters, Rng& rng);
+                    const std::vector<std::size_t>& masters, Rng& rng,
+                    TrafficComponents* components = nullptr);
 
 /// Group threads by VFI cluster: total traffic (both directions) between
 /// cluster pairs.  `assignment[t]` in [0, clusters).

@@ -18,6 +18,7 @@
 //    (network) bound vs. fixed (local cache / DRAM bank) — high for WC and
 //    Kmeans (many keys, distant sharers), low for LR (§7.3).
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -26,6 +27,22 @@
 #include "workload/app.hpp"
 
 namespace vfimr::workload {
+
+/// The four stages of a MapReduce run, in execution order.  LibInit and
+/// Merge are serial master-thread stages; Map and Reduce are task sets.
+enum class Phase : std::uint8_t { kLibInit = 0, kMap = 1, kReduce = 2, kMerge = 3 };
+
+inline constexpr std::size_t kPhaseCount = 4;
+
+inline const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kLibInit: return "lib_init";
+    case Phase::kMap: return "map";
+    case Phase::kReduce: return "reduce";
+    case Phase::kMerge: return "merge";
+  }
+  return "?";
+}
 
 /// One parallel phase (Map or Reduce) as a set of stealable tasks.
 struct TaskSet {
@@ -65,6 +82,28 @@ struct AppProfile {
   double net_sensitivity = 0.5;  ///< fraction of mem time that is NoC-bound
   int iterations = 1;            ///< MapReduce iterations (Kmeans/PCA: 2)
   PhaseModel phases;
+
+  /// Per-phase traffic matrices (packets/cycle, thread x thread).  The
+  /// whole-run `traffic` matrix is their `phase_weight`-weighted sum, so the
+  /// per-phase view refines, not replaces, the aggregate used by the VFI
+  /// design flow.  Empty matrices (a profile built without phase resolution)
+  /// mean "use `traffic` for every phase".
+  std::array<Matrix, kPhaseCount> phase_traffic{};
+  /// Nominal fraction of run time spent in each phase (sums to 1 when the
+  /// profile is phase-resolved, all zero otherwise).
+  std::array<double, kPhaseCount> phase_weight{};
+
+  /// True when per-phase traffic matrices were populated.
+  bool phase_resolved() const {
+    return !phase_traffic[static_cast<std::size_t>(Phase::kMap)].empty();
+  }
+
+  /// Traffic matrix for `p`: the phase matrix when resolved, else the
+  /// whole-run aggregate.
+  const Matrix& traffic_of(Phase p) const {
+    const auto& m = phase_traffic[static_cast<std::size_t>(p)];
+    return m.empty() ? traffic : m;
+  }
 
   std::string name() const { return app_name(app); }
 
