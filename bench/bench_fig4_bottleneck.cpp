@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     params.telemetry = telemetry.sink();
     params.kind = sysmodel::SystemKind::kNvfiMesh;
     const auto nvfi = sim.run(profile, params);
-    const double base_lat = nvfi.net.avg_latency_cycles;
+    const auto base_lat = sysmodel::phase_baselines(nvfi);
 
     // VFI 1 and VFI 2 are both kVfiMesh; disambiguate the trace labels.
     params.kind = sysmodel::SystemKind::kVfiMesh;

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     params.telemetry = telemetry.sink();
     params.kind = sysmodel::SystemKind::kNvfiMesh;
     const auto nvfi = sim.run(profile, params);
-    const double base_lat = nvfi.net.avg_latency_cycles;
+    const auto base_lat = sysmodel::phase_baselines(nvfi);
     const double base_edp = nvfi.edp_js();
 
     // The two placements would share one label; disambiguate the traces.

@@ -4,31 +4,64 @@
 // Headline numbers to compare against the paper: average WiNoC EDP saving
 // 33.7%, maximum 66.2% (Kmeans); execution-time penalty of the WiNoC system
 // at most 3.22% (checked in the exec column).
+//
+// The WiNoC per-phase NoC latencies measured by the phase-resolved pipeline
+// (DESIGN.md §11) are appended to each row; the whole sweep shares one
+// memoizing NetworkEvaluator.
+
+#include <chrono>
 
 #include "bench/bench_util.hpp"
+#include "common/json_lite.hpp"
 #include "common/stats.hpp"
+#include "sysmodel/net_eval.hpp"
 #include "sysmodel/sweep.hpp"
 
 using namespace vfimr;
 
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 // Usage: bench_fig8_full_system_edp [--small] [--trace-out FILE]
-//                                   [--metrics-out FILE]
+//                                   [--metrics-out FILE] [--bench-out FILE]
 // --small shrinks the app set and simulated cycle window for CI smoke runs
 // (numbers drift from the paper's; the telemetry plumbing is identical).
+// --bench-out additionally re-runs the sweep with phase traffic stripped
+// (the pre-phase-resolution single-evaluation path) and writes a JSON
+// comparing the two wall times plus the NetworkEvaluator cache counters —
+// consumed by tools/check_fig8_phase.py in CI.
 int main(int argc, char** argv) {
   bench::TelemetryScope telemetry{argc, argv};
   bool small = false;
+  std::string bench_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::string{argv[i]} == "--small") small = true;
+    const std::string arg = argv[i];
+    if (arg == "--small") {
+      small = true;
+    } else if (arg.rfind("--bench-out=", 0) == 0) {
+      bench_out = arg.substr(12);
+    } else if (arg == "--bench-out" && i + 1 < argc) {
+      bench_out = argv[++i];
+    }
   }
 
   const sysmodel::FullSystemSim sim;
   TextTable t{{"App", "VFI Mesh EDP", "VFI WiNoC EDP", "WiNoC exec time",
-               "Core E (norm)", "Net E (norm)"}};
+               "Core E (norm)", "Net E (norm)", "WiNoC lat LibInit",
+               "WiNoC lat Map", "WiNoC lat Reduce", "WiNoC lat Merge"}};
 
   std::vector<workload::AppProfile> profiles;
+  sysmodel::NetworkEvaluator net_eval;
   sysmodel::PlatformParams params;
   params.telemetry = telemetry.sink();
+  params.net_eval = &net_eval;
   if (small) {
     for (workload::App app : {workload::App::kHist, workload::App::kKmeans}) {
       profiles.push_back(workload::make_profile(app));
@@ -40,7 +73,9 @@ int main(int argc, char** argv) {
       profiles.push_back(workload::make_profile(app));
     }
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const auto comparisons = sysmodel::sweep_comparisons(profiles, sim, params);
+  const double phase_ms = ms_since(t0);
 
   std::vector<double> savings;
   double max_saving = 0.0;
@@ -61,11 +96,18 @@ int main(int argc, char** argv) {
     max_penalty = std::max(
         max_penalty, cmp.vfi_winoc.exec_s / cmp.nvfi_mesh.exec_s - 1.0);
 
+    auto winoc_lat = [&](workload::Phase p) {
+      return fmt(cmp.vfi_winoc.phase_result(p).net.avg_latency_cycles);
+    };
     t.add_row({profile.name(), fmt(cmp.vfi_mesh.edp_js() / base_edp),
                fmt(winoc_edp), fmt(cmp.vfi_winoc.exec_s / cmp.nvfi_mesh.exec_s),
                fmt(cmp.vfi_winoc.core_energy_j / cmp.nvfi_mesh.core_energy_j),
                fmt((cmp.vfi_winoc.net_dynamic_j + cmp.vfi_winoc.net_static_j) /
-                   (cmp.nvfi_mesh.net_dynamic_j + cmp.nvfi_mesh.net_static_j))});
+                   (cmp.nvfi_mesh.net_dynamic_j + cmp.nvfi_mesh.net_static_j)),
+               winoc_lat(workload::Phase::kLibInit),
+               winoc_lat(workload::Phase::kMap),
+               winoc_lat(workload::Phase::kReduce),
+               winoc_lat(workload::Phase::kMerge)});
   }
   bench::emit(t, "fig8_full_system_edp",
               "Fig. 8: full-system EDP vs NVFI mesh");
@@ -75,5 +117,51 @@ int main(int argc, char** argv) {
             << "  (paper: 66.2% for KMEANS)\n"
             << "Maximum execution-time penalty: " << fmt_pct(max_penalty)
             << "  (paper: 3.22%)\n";
+  const auto stats = net_eval.stats();
+  std::cout << "NetworkEvaluator: " << stats.misses << " simulated, "
+            << stats.hits << " cache hits (hit rate "
+            << fmt_pct(stats.hit_rate()) << ")\n";
+
+  if (!bench_out.empty()) {
+    // Reference sweep: the same applications with the per-phase matrices
+    // stripped, evaluated fresh — this is the single whole-run-evaluation
+    // pipeline the repo ran before phase resolution, so phase_ms/legacy_ms
+    // is the real cost multiplier of the feature (budgeted at 2x in CI).
+    std::vector<workload::AppProfile> legacy = profiles;
+    for (auto& p : legacy) {
+      p.phase_traffic = {};
+      p.phase_weight = {};
+    }
+    sysmodel::PlatformParams legacy_params = params;
+    legacy_params.net_eval = nullptr;
+    legacy_params.telemetry = nullptr;  // time the untraced fast path
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto legacy_cmp =
+        sysmodel::sweep_comparisons(legacy, sim, legacy_params);
+    const double legacy_ms = ms_since(t1);
+
+    std::vector<double> legacy_savings;
+    for (const auto& cmp : legacy_cmp) {
+      legacy_savings.push_back(1.0 -
+                               cmp.vfi_winoc.edp_js() / cmp.nvfi_mesh.edp_js());
+    }
+
+    json::MetricMap m;
+    m["fig8.config.small"] = small ? 1.0 : 0.0;
+    m["fig8.config.apps"] = static_cast<double>(profiles.size());
+    m["fig8.phase_resolved_ms"] = phase_ms;
+    m["fig8.legacy_ms"] = legacy_ms;
+    m["fig8.runtime_ratio"] = legacy_ms > 0.0 ? phase_ms / legacy_ms : 0.0;
+    m["fig8.avg_saving"] = mean(savings);
+    m["fig8.legacy_avg_saving"] = mean(legacy_savings);
+    m["net_eval.cache_hits"] = static_cast<double>(stats.hits);
+    m["net_eval.cache_misses"] = static_cast<double>(stats.misses);
+    m["net_eval.hit_rate"] = stats.hit_rate();
+    json::save_file(bench_out, m);
+    std::cout << "phase-resolved sweep " << fmt(phase_ms) << " ms vs legacy "
+              << fmt(legacy_ms) << " ms (ratio "
+              << fmt(legacy_ms > 0.0 ? phase_ms / legacy_ms : 0.0)
+              << "); wrote " << bench_out << "\n";
+  }
   return 0;
 }

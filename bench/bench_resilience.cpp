@@ -155,7 +155,7 @@ int main(int argc, char** argv) {
     base.kind = sysmodel::SystemKind::kNvfiMesh;
     const auto nvfi = sim.run(profile, base);
     const double base_edp = nvfi.edp_js();
-    const double base_latency = nvfi.net.avg_latency_cycles;
+    const auto base_latency = sysmodel::phase_baselines(nvfi);
 
     sysmodel::PlatformParams winoc = params;
     winoc.kind = sysmodel::SystemKind::kVfiWinoc;

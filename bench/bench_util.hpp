@@ -1,8 +1,11 @@
 #pragma once
 // Shared helpers for the per-figure benchmark binaries.  Every bench prints
-// the paper's rows as an ASCII table and mirrors them to <name>.csv in the
-// working directory.
+// the paper's rows as an ASCII table and mirrors them to results/<name>.csv
+// (the directory is created on demand), so a repo-root run refreshes the
+// committed results/ set in place instead of littering the working
+// directory.
 
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -91,14 +94,26 @@ class TelemetryScope {
   std::unique_ptr<telemetry::TelemetrySink> sink_;
 };
 
-/// Print the table and write `<csv_name>.csv`; CSV failures are reported but
-/// non-fatal (benches may run in read-only directories).
+/// Bench output path: `results/<name>`, creating `results/` on demand.
+/// Falls back to `<name>` in the working directory when the directory
+/// cannot be created (read-only checkouts) so the caller's own error
+/// handling sees the write failure, not a bogus path.
+inline std::string results_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  if (ec) return name;
+  return "results/" + name;
+}
+
+/// Print the table and write `results/<csv_name>.csv`; CSV failures are
+/// reported but non-fatal (benches may run in read-only directories).
 inline void emit(const TextTable& table, const std::string& csv_name,
                  const std::string& title) {
   std::cout << "== " << title << "\n" << table.to_string();
+  const std::string path = results_path(csv_name + ".csv");
   try {
-    table.write_csv(csv_name + ".csv");
-    std::cout << "(csv: " << csv_name << ".csv)\n\n";
+    table.write_csv(path);
+    std::cout << "(csv: " << path << ")\n\n";
   } catch (const std::exception& e) {
     std::cout << "(csv not written: " << e.what() << ")\n\n";
   }

@@ -1,0 +1,239 @@
+#include "sysmodel/net_eval.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "common/require.hpp"
+#include "noc/traffic.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vfimr::sysmodel {
+
+NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
+                                     const Matrix& node_traffic,
+                                     std::uint32_t packet_flits,
+                                     const PlatformParams& params,
+                                     const power::NocPowerModel& noc_power,
+                                     const std::string& label) {
+  VFIMR_REQUIRE_MSG(params.network_clock_hz > 0.0,
+                    "network_clock_hz must be positive, got "
+                        << params.network_clock_hz);
+  VFIMR_REQUIRE_MSG(params.router_pipeline_cycles >= 1,
+                    "router_pipeline_cycles must be at least 1");
+  VFIMR_REQUIRE_MSG(params.sim_cycles > 0,
+                    "sim_cycles must be positive (no injection window)");
+  noc::SimConfig sim_cfg = params.noc_sim;
+  if (params.telemetry != nullptr && sim_cfg.telemetry == nullptr) {
+    sim_cfg.telemetry = params.telemetry;
+    sim_cfg.telemetry_label = label;
+  }
+  if (platform.has_vfi && sim_cfg.node_cluster.empty()) {
+    // VFI systems pay mixed-clock synchronizer latency at island borders.
+    sim_cfg.node_cluster = winoc::quadrant_clusters();
+  }
+  if (params.faults.any_noc() && sim_cfg.faults.empty()) {
+    // Expand the rate-based spec into a concrete schedule over this
+    // platform's actual links / switches / WIs.  Seeded by (spec, traffic
+    // seed) so the same PlatformParams replays bit-identically.
+    const auto& g = platform.topology.graph;
+    std::vector<std::uint32_t> edge_ids(g.edge_count());
+    std::iota(edge_ids.begin(), edge_ids.end(), 0u);
+    std::vector<std::uint32_t> router_ids(g.node_count());
+    std::iota(router_ids.begin(), router_ids.end(), 0u);
+    std::vector<std::uint32_t> wi_ids;
+    for (const auto& wi : platform.wireless.interfaces) {
+      wi_ids.push_back(static_cast<std::uint32_t>(wi.node));
+    }
+    // Faults are drawn over the injection window only: the drain phase ends
+    // as soon as the network empties (usually a handful of cycles), so
+    // events scheduled past sim_cycles would mostly never fire.
+    sim_cfg.faults = faults::make_noc_schedule(
+        params.faults, edge_ids, router_ids, wi_ids, params.sim_cycles,
+        params.faults.seed ^ params.traffic_seed);
+  }
+  noc::Network net{platform.topology, *platform.routing, sim_cfg,
+                   platform.wireless};
+  noc::MatrixTraffic gen{node_traffic, packet_flits, params.traffic_seed};
+  net.run(&gen, params.sim_cycles);
+  const bool drained = net.drain(params.drain_cycles);
+
+  NetworkEval eval;
+  eval.metrics = net.metrics();
+  eval.drained = drained;
+  eval.avg_latency_cycles = eval.metrics.avg_latency();
+  eval.flits_delivered = eval.metrics.flits_ejected;
+  if (eval.flits_delivered > 0 && params.router_pipeline_cycles > 1) {
+    const double wire_hops_per_flit =
+        static_cast<double>(eval.metrics.energy.wire_hops) /
+        static_cast<double>(eval.flits_delivered);
+    eval.avg_latency_cycles +=
+        wire_hops_per_flit *
+        static_cast<double>(params.router_pipeline_cycles - 1);
+  }
+  // Lost packets are deliberately NOT folded into avg_latency_cycles: the
+  // delivered packets' average already reflects the degraded network (longer
+  // reroutes, backoff waits), while a loss is a *stall* of the destination
+  // core, charged as execution time in FullSystemSim::run.  Folding a
+  // timeout that is hundreds of mean latencies into the average would let a
+  // brief router outage multiply the whole run's memory time.
+  eval.wireless_utilization = eval.metrics.wireless_utilization();
+  if (eval.flits_delivered > 0) {
+    eval.energy_per_flit_j = noc_power.energy_j(eval.metrics.energy) /
+                             static_cast<double>(eval.flits_delivered);
+  }
+  return eval;
+}
+
+namespace {
+
+// ---- Cache-key serialization.  The key is the raw bytes of every input
+// that can steer the simulation; equal keys therefore denote the exact same
+// run.  Exactness over compactness: no hashing, so no collision can ever
+// alias two different evaluations.
+
+template <typename T>
+void put(std::string& key, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  key.append(p, sizeof(T));
+}
+
+void put_matrix(std::string& key, const Matrix& m) {
+  put(key, m.rows());
+  put(key, m.cols());
+  if (!m.data().empty()) {
+    key.append(reinterpret_cast<const char*>(m.data().data()),
+               m.data().size() * sizeof(double));
+  }
+}
+
+std::string cache_key(const BuiltPlatform& platform,
+                      const Matrix& node_traffic, std::uint32_t packet_flits,
+                      const PlatformParams& params,
+                      const power::NocPowerModel& noc_power) {
+  std::string key;
+  key.reserve(512 + node_traffic.data().size() * sizeof(double));
+
+  // System kind selects the routing algorithm (XY vs. up*/down*).
+  put(key, static_cast<std::uint32_t>(params.kind));
+  put(key, static_cast<std::uint8_t>(platform.has_vfi));
+
+  // Topology: switch positions (wire lengths feed the energy model) and the
+  // full edge list.
+  const auto& topo = platform.topology;
+  put(key, topo.node_count());
+  for (const auto& pos : topo.positions) {
+    put(key, pos.x_mm);
+    put(key, pos.y_mm);
+  }
+  // Field-by-field: struct padding bytes are unspecified and must not leak
+  // into the key.
+  put(key, topo.graph.edge_count());
+  for (const auto& e : topo.graph.edges()) {
+    put(key, e.a);
+    put(key, e.b);
+    put(key, static_cast<std::uint32_t>(e.kind));
+    put(key, e.length_mm);
+  }
+
+  // Wireless layout.
+  put(key, platform.wireless.channel_count);
+  put(key, platform.wireless.interfaces.size());
+  for (const auto& wi : platform.wireless.interfaces) {
+    put(key, wi.node);
+    put(key, wi.channel);
+  }
+
+  // Offered traffic.
+  put_matrix(key, node_traffic);
+  put(key, packet_flits);
+  put(key, params.traffic_seed);
+
+  // Simulation window + latency correction.
+  put(key, params.sim_cycles);
+  put(key, params.drain_cycles);
+  put(key, params.router_pipeline_cycles);
+
+  // NoC simulator configuration (telemetry fields excluded: the traced run
+  // is proven bit-identical to the untraced one).
+  const auto& sim = params.noc_sim;
+  put(key, sim.wire_buffer_depth);
+  put(key, sim.wi_buffer_depth);
+  put(key, sim.node_cluster.size());
+  for (std::size_t c : sim.node_cluster) put(key, c);
+  put(key, sim.sync_penalty_cycles);
+  put(key, static_cast<std::uint8_t>(sim.reference_stepping));
+  put(key, sim.fault_max_retries);
+  put(key, sim.fault_backoff_base_cycles);
+  put(key, sim.fault_reroute_wireless_cost);
+  put(key, sim.faults.size());
+  for (const auto& f : sim.faults.events()) {
+    put(key, static_cast<std::uint32_t>(f.kind));
+    put(key, f.id);
+    put(key, f.at_cycle);
+    put(key, f.until_cycle);
+  }
+
+  // Rate-based fault spec (expanded into a schedule inside the evaluation;
+  // only the NoC-relevant fields matter here).
+  put(key, params.faults.link_rate);
+  put(key, params.faults.router_rate);
+  put(key, params.faults.wi_rate);
+  put(key, params.faults.transient_fraction);
+  put(key, params.faults.mean_repair_cycles);
+  put(key, params.faults.seed);
+
+  // Energy constants (scale energy_per_flit_j).
+  put(key, noc_power.params());
+  return key;
+}
+
+}  // namespace
+
+NetworkEval NetworkEvaluator::evaluate(const BuiltPlatform& platform,
+                                       const Matrix& node_traffic,
+                                       std::uint32_t packet_flits,
+                                       const PlatformParams& params,
+                                       const power::NocPowerModel& noc_power,
+                                       const std::string& label) {
+  const std::string key =
+      cache_key(platform, node_traffic, packet_flits, params, noc_power);
+
+  std::shared_ptr<Entry> entry;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    auto [it, fresh] = cache_.try_emplace(key);
+    if (fresh) it->second = std::make_shared<Entry>();
+    entry = it->second;
+    inserted = fresh;
+  }
+  auto& counter = inserted ? misses_ : hits_;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (params.telemetry != nullptr) {
+    params.telemetry->metrics()
+        .counter(inserted ? "net_eval.cache_misses" : "net_eval.cache_hits")
+        .add(1);
+  }
+
+  std::lock_guard<std::mutex> lock{entry->mutex};
+  if (!entry->ready) {
+    entry->value = evaluate_network_traffic(platform, node_traffic,
+                                            packet_flits, params, noc_power,
+                                            label);
+    entry->ready = true;
+  }
+  return entry->value;
+}
+
+std::size_t NetworkEvaluator::size() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return cache_.size();
+}
+
+void NetworkEvaluator::clear() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  cache_.clear();
+}
+
+}  // namespace vfimr::sysmodel

@@ -1,0 +1,97 @@
+#pragma once
+// NetworkEvaluator: the cycle-accurate NoC evaluation as a memoizable
+// service (DESIGN.md §11).
+//
+// The phase-resolved pipeline evaluates up to four traffic matrices per
+// (application, system) pair, and sweeps evaluate many such pairs in
+// parallel.  Identical evaluations recur — LibInit and Merge share a
+// traffic matrix by construction, and fault sweeps revisit the same clean
+// baseline — so the evaluator memoizes results behind a content-addressed
+// key: every input that can change the simulation outcome (topology,
+// wireless layout, traffic matrix, sim window, fault spec/schedule, power
+// constants, seeds) is serialized byte-for-byte into the key.  Two calls
+// with equal keys are the *same* simulation, and the cached result is
+// bit-identical to a fresh run by definition.
+//
+// Thread safety: the cache composes with common/parallel_for.  Lookups take
+// a registry mutex only to find-or-create the entry; the (expensive)
+// simulation runs under the entry's own mutex, so concurrent misses on
+// different keys simulate in parallel while a second thread asking for a
+// key being computed blocks until the result is ready (compute-once).
+//
+// Telemetry: hit/miss totals are exposed via stats() and, when the request
+// carries a sink, mirrored into the `net_eval.cache_hits` /
+// `net_eval.cache_misses` counters.  Cache hits do not re-emit the NoC
+// trace events of the original run.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/matrix.hpp"
+#include "power/noc_power.hpp"
+#include "sysmodel/platform.hpp"
+
+namespace vfimr::sysmodel {
+
+/// Drive `platform`'s NoC with an explicit node x node traffic matrix and
+/// measure latency and per-flit energy.  This is the uncached core of
+/// `evaluate_network` (which passes the platform's whole-run traffic); the
+/// phase-resolved pipeline calls it once per phase matrix.
+NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
+                                     const Matrix& node_traffic,
+                                     std::uint32_t packet_flits,
+                                     const PlatformParams& params,
+                                     const power::NocPowerModel& noc_power,
+                                     const std::string& label = "noc");
+
+class NetworkEvaluator {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t total() const { return hits + misses; }
+    double hit_rate() const {
+      return total() > 0 ? static_cast<double>(hits) /
+                               static_cast<double>(total())
+                         : 0.0;
+    }
+  };
+
+  /// Memoized evaluate_network_traffic.  The first call for a key runs the
+  /// simulation; later calls (from any thread) return the stored result.
+  NetworkEval evaluate(const BuiltPlatform& platform,
+                       const Matrix& node_traffic, std::uint32_t packet_flits,
+                       const PlatformParams& params,
+                       const power::NocPowerModel& noc_power,
+                       const std::string& label = "noc");
+
+  Stats stats() const {
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Number of distinct evaluations stored.
+  std::size_t size() const;
+
+  /// Drop all cached results (counters keep accumulating).
+  void clear();
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    bool ready = false;
+    NetworkEval value;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace vfimr::sysmodel

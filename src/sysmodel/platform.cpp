@@ -1,9 +1,7 @@
 #include "sysmodel/platform.hpp"
 
-#include <numeric>
-
 #include "common/require.hpp"
-#include "noc/traffic.hpp"
+#include "sysmodel/net_eval.hpp"
 #include "winoc/thread_mapping.hpp"
 
 namespace vfimr::sysmodel {
@@ -84,74 +82,12 @@ NetworkEval evaluate_network(const BuiltPlatform& platform,
                              const workload::AppProfile& profile,
                              const PlatformParams& params,
                              const power::NocPowerModel& noc_power) {
-  VFIMR_REQUIRE_MSG(params.network_clock_hz > 0.0,
-                    "network_clock_hz must be positive, got "
-                        << params.network_clock_hz);
-  VFIMR_REQUIRE_MSG(params.router_pipeline_cycles >= 1,
-                    "router_pipeline_cycles must be at least 1");
-  VFIMR_REQUIRE_MSG(params.sim_cycles > 0,
-                    "sim_cycles must be positive (no injection window)");
-  noc::SimConfig sim_cfg = params.noc_sim;
-  if (params.telemetry != nullptr && sim_cfg.telemetry == nullptr) {
-    sim_cfg.telemetry = params.telemetry;
-    sim_cfg.telemetry_label = telemetry_label(profile, params);
-  }
-  if (platform.has_vfi && sim_cfg.node_cluster.empty()) {
-    // VFI systems pay mixed-clock synchronizer latency at island borders.
-    sim_cfg.node_cluster = winoc::quadrant_clusters();
-  }
-  if (params.faults.any_noc() && sim_cfg.faults.empty()) {
-    // Expand the rate-based spec into a concrete schedule over this
-    // platform's actual links / switches / WIs.  Seeded by (spec, traffic
-    // seed) so the same PlatformParams replays bit-identically.
-    const auto& g = platform.topology.graph;
-    std::vector<std::uint32_t> edge_ids(g.edge_count());
-    std::iota(edge_ids.begin(), edge_ids.end(), 0u);
-    std::vector<std::uint32_t> router_ids(g.node_count());
-    std::iota(router_ids.begin(), router_ids.end(), 0u);
-    std::vector<std::uint32_t> wi_ids;
-    for (const auto& wi : platform.wireless.interfaces) {
-      wi_ids.push_back(static_cast<std::uint32_t>(wi.node));
-    }
-    // Faults are drawn over the injection window only: the drain phase ends
-    // as soon as the network empties (usually a handful of cycles), so
-    // events scheduled past sim_cycles would mostly never fire.
-    sim_cfg.faults = faults::make_noc_schedule(
-        params.faults, edge_ids, router_ids, wi_ids, params.sim_cycles,
-        params.faults.seed ^ params.traffic_seed);
-  }
-  noc::Network net{platform.topology, *platform.routing, sim_cfg,
-                   platform.wireless};
-  noc::MatrixTraffic gen{platform.node_traffic, profile.packet_flits,
-                         params.traffic_seed};
-  net.run(&gen, params.sim_cycles);
-  const bool drained = net.drain(params.drain_cycles);
-
-  NetworkEval eval;
-  eval.metrics = net.metrics();
-  eval.drained = drained;
-  eval.avg_latency_cycles = eval.metrics.avg_latency();
-  eval.flits_delivered = eval.metrics.flits_ejected;
-  if (eval.flits_delivered > 0 && params.router_pipeline_cycles > 1) {
-    const double wire_hops_per_flit =
-        static_cast<double>(eval.metrics.energy.wire_hops) /
-        static_cast<double>(eval.flits_delivered);
-    eval.avg_latency_cycles +=
-        wire_hops_per_flit *
-        static_cast<double>(params.router_pipeline_cycles - 1);
-  }
-  // Lost packets are deliberately NOT folded into avg_latency_cycles: the
-  // delivered packets' average already reflects the degraded network (longer
-  // reroutes, backoff waits), while a loss is a *stall* of the destination
-  // core, charged as execution time in FullSystemSim::run.  Folding a
-  // timeout that is hundreds of mean latencies into the average would let a
-  // brief router outage multiply the whole run's memory time.
-  eval.wireless_utilization = eval.metrics.wireless_utilization();
-  if (eval.flits_delivered > 0) {
-    eval.energy_per_flit_j = noc_power.energy_j(eval.metrics.energy) /
-                             static_cast<double>(eval.flits_delivered);
-  }
-  return eval;
+  // The uncached core lives in net_eval.cpp so the memoizing
+  // NetworkEvaluator and this whole-run convenience wrapper share one
+  // implementation.
+  return evaluate_network_traffic(platform, platform.node_traffic,
+                                  profile.packet_flits, params, noc_power,
+                                  telemetry_label(profile, params));
 }
 
 }  // namespace vfimr::sysmodel

@@ -23,6 +23,8 @@
 
 namespace vfimr::sysmodel {
 
+class NetworkEvaluator;
+
 enum class SystemKind { kNvfiMesh, kVfiMesh, kVfiWinoc };
 
 std::string system_name(SystemKind kind);
@@ -65,6 +67,20 @@ struct PlatformParams {
   /// Process / metric prefix override; empty derives
   /// "<App> / <System>" (e.g. "Kmeans / VFI WiNoC").
   std::string telemetry_label;
+  /// Memoizing NoC-evaluation service (nullable, caller-owned, thread-safe;
+  /// see sysmodel/net_eval.hpp).  When set, FullSystemSim::run routes every
+  /// network evaluation through its content-keyed cache, so identical
+  /// evaluations across phases / systems / sweep entries are simulated
+  /// once.  Null evaluates fresh each time — bit-identical results either
+  /// way.
+  NetworkEvaluator* net_eval = nullptr;
+  /// Per-phase injection-window length as a fraction of `sim_cycles`, used
+  /// by the phase-resolved pipeline (profiles with per-phase traffic).  The
+  /// default halves the window: four phase evaluations at half the window
+  /// (minus the LibInit == Merge cache hit) cost ~1.5x one whole-run
+  /// evaluation instead of 4x.  Profiles without phase traffic always use
+  /// the full window.
+  double phase_window_scale = 0.5;
 };
 
 /// The process/metric prefix a telemetry-enabled run uses: the explicit

@@ -4,7 +4,9 @@
 #include <cstdio>
 
 #include "common/require.hpp"
+#include "sysmodel/net_eval.hpp"
 #include "telemetry/telemetry.hpp"
+#include "winoc/thread_mapping.hpp"
 
 namespace vfimr::sysmodel {
 
@@ -25,6 +27,27 @@ double mem_fraction(const workload::TaskSet& spec, double fmax) {
 double serial_time(const workload::SerialStage& stage, double freq_hz,
                    double mem_scale) {
   return stage.cycles / freq_hz + stage.mem_seconds * mem_scale;
+}
+
+/// Accumulate one phase simulation's metrics into the whole-run totals.
+void merge_metrics(noc::Metrics& into, const noc::Metrics& m) {
+  into.packets_injected += m.packets_injected;
+  into.packets_ejected += m.packets_ejected;
+  into.packets_local += m.packets_local;
+  into.flits_ejected += m.flits_ejected;
+  into.cycles += m.cycles;
+  into.packet_latency.merge(m.packet_latency);
+  into.energy.switch_traversals += m.energy.switch_traversals;
+  into.energy.wire_hops += m.energy.wire_hops;
+  into.energy.wire_mm_flits += m.energy.wire_mm_flits;
+  into.energy.wireless_flits += m.energy.wireless_flits;
+  into.energy.buffer_writes += m.energy.buffer_writes;
+  into.energy.buffer_reads += m.energy.buffer_reads;
+  into.fault_events += m.fault_events;
+  into.route_rebuilds += m.route_rebuilds;
+  into.retry_backoffs += m.retry_backoffs;
+  into.packets_lost += m.packets_lost;
+  into.flits_lost += m.flits_lost;
 }
 
 }  // namespace
@@ -60,11 +83,37 @@ double vfi_network_v2_factor(const Matrix& node_traffic,
   return total > 0.0 ? weighted / total : 1.0;
 }
 
+PhaseBaselines phase_baselines(const SystemReport& nvfi_report) {
+  PhaseBaselines b;
+  for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+    const PhaseResult& pr = nvfi_report.phase_results[p];
+    // Unevaluated phases of a phase-resolved run (weight 0) stay at 0: the
+    // VFI run skips them too.  Legacy runs mirror the whole-run latency
+    // into every slot, reproducing the scalar-baseline behavior.
+    b.latency_cycles[p] = pr.evaluated || !nvfi_report.phase_resolved
+                              ? pr.net.avg_latency_cycles
+                              : 0.0;
+  }
+  return b;
+}
+
 SystemReport FullSystemSim::run(const workload::AppProfile& profile,
                                 const PlatformParams& params,
                                 double baseline_latency_cycles) const {
+  PhaseBaselines baselines;
+  baselines.latency_cycles.fill(baseline_latency_cycles);
+  return run(profile, params, baselines);
+}
+
+SystemReport FullSystemSim::run(const workload::AppProfile& profile,
+                                const PlatformParams& params,
+                                const PhaseBaselines& baselines) const {
   const std::size_t n = profile.threads;
   VFIMR_REQUIRE(profile.utilization.size() == n);
+  VFIMR_REQUIRE_MSG(params.phase_window_scale > 0.0,
+                    "phase_window_scale must be positive");
+  VFIMR_REQUIRE_MSG(params.sim_cycles > 0,
+                    "sim_cycles must be positive (no injection window)");
 
   SystemReport report;
   report.kind = params.kind;
@@ -74,26 +123,117 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   const std::string label =
       tele != nullptr ? telemetry_label(profile, params) : std::string{};
 
-  // ---- Interconnect: build + cycle-accurate evaluation.
+  // ---- Interconnect: build the platform, then evaluate the NoC — once
+  // under the whole-run matrix (legacy profiles), or once per phase matrix
+  // (the PhasePlan -> PhaseResult pipeline).  Evaluations route through the
+  // shared memo cache when params.net_eval is set.
   BuiltPlatform built = build_platform(profile, params, *table_);
-  report.net = evaluate_network(built, profile, params, models_.noc);
   report.has_vfi = built.has_vfi;
   if (built.has_vfi) report.vfi = built.vfi;
-  report.resilience.noc_fault_events = report.net.metrics.fault_events;
-  report.resilience.noc_route_rebuilds = report.net.metrics.route_rebuilds;
-  report.resilience.noc_retry_backoffs = report.net.metrics.retry_backoffs;
-  report.resilience.packets_lost = report.net.metrics.packets_lost;
-  report.resilience.flits_lost = report.net.metrics.flits_lost;
-
-  report.baseline_latency_cycles = baseline_latency_cycles > 0.0
-                                       ? baseline_latency_cycles
-                                       : report.net.avg_latency_cycles;
-  const double latency_ratio =
-      report.baseline_latency_cycles > 0.0
-          ? report.net.avg_latency_cycles / report.baseline_latency_cycles
-          : 1.0;
+  report.phase_resolved = profile.phase_resolved();
   const double s = profile.net_sensitivity;
-  report.mem_scale = (1.0 - s) + s * latency_ratio;
+
+  auto eval_traffic = [&](const Matrix& node_traffic,
+                          const PlatformParams& eval_params,
+                          const std::string& eval_label) {
+    if (params.net_eval != nullptr) {
+      return params.net_eval->evaluate(built, node_traffic,
+                                       profile.packet_flits, eval_params,
+                                       models_.noc, eval_label);
+    }
+    return evaluate_network_traffic(built, node_traffic, profile.packet_flits,
+                                    eval_params, models_.noc, eval_label);
+  };
+
+  std::array<PhasePlan, workload::kPhaseCount> plans;
+  if (!report.phase_resolved) {
+    // Legacy single-matrix coupling: one evaluation, one latency ratio, one
+    // mem_scale — bit-identical to the pre-phase-pipeline model.
+    report.net = eval_traffic(built.node_traffic, params,
+                              telemetry_label(profile, params));
+    report.resilience.noc_fault_events = report.net.metrics.fault_events;
+    report.resilience.noc_route_rebuilds = report.net.metrics.route_rebuilds;
+    report.resilience.noc_retry_backoffs = report.net.metrics.retry_backoffs;
+    report.resilience.packets_lost = report.net.metrics.packets_lost;
+    report.resilience.flits_lost = report.net.metrics.flits_lost;
+
+    const double scalar_baseline =
+        baselines.latency_cycles[static_cast<std::size_t>(
+            workload::Phase::kMap)];
+    report.baseline_latency_cycles = scalar_baseline > 0.0
+                                         ? scalar_baseline
+                                         : report.net.avg_latency_cycles;
+    const double latency_ratio =
+        report.baseline_latency_cycles > 0.0
+            ? report.net.avg_latency_cycles / report.baseline_latency_cycles
+            : 1.0;
+    report.mem_scale = (1.0 - s) + s * latency_ratio;
+    // Every phase slot mirrors the whole-run evaluation so downstream
+    // consumers (phase_baselines, bench CSV columns) see a uniform view.
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      PhaseResult& pr = report.phase_results[p];
+      pr.phase = static_cast<workload::Phase>(p);
+      pr.net = report.net;
+      pr.baseline_latency_cycles = report.baseline_latency_cycles;
+      pr.mem_scale = report.mem_scale;
+      pr.rate_packets_per_cycle = profile.traffic.sum();
+    }
+  } else {
+    // Phase-resolved pipeline, step 1: plan.  Map each phase's thread
+    // traffic onto NoC nodes through the platform's thread mapping.
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      PhasePlan& plan = plans[p];
+      plan.phase = static_cast<workload::Phase>(p);
+      plan.weight = profile.phase_weight[p];
+      if (plan.weight <= 0.0) continue;
+      const Matrix& thread_traffic = profile.phase_traffic[p];
+      plan.rate_packets_per_cycle = thread_traffic.sum();
+      plan.node_traffic = winoc::map_traffic(thread_traffic,
+                                             built.thread_to_node,
+                                             built.node_traffic.rows());
+    }
+
+    // Step 2: evaluate each planned phase in a scaled injection window.
+    // LibInit and Merge share a traffic matrix by construction, so the
+    // second of the two is a guaranteed NetworkEvaluator cache hit.
+    PlatformParams phase_params = params;
+    phase_params.sim_cycles = std::max<noc::Cycle>(
+        1, static_cast<noc::Cycle>(static_cast<double>(params.sim_cycles) *
+                                   params.phase_window_scale));
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      const PhasePlan& plan = plans[p];
+      PhaseResult& pr = report.phase_results[p];
+      pr.phase = plan.phase;
+      pr.rate_packets_per_cycle = plan.rate_packets_per_cycle;
+      if (plan.weight <= 0.0) continue;
+      std::string eval_label;
+      if (tele != nullptr) {
+        eval_label = label + " / " + workload::phase_name(plan.phase);
+      }
+      pr.net = eval_traffic(plan.node_traffic, phase_params, eval_label);
+      pr.evaluated = true;
+
+      const double base =
+          baselines.latency_cycles[p] > 0.0 ? baselines.latency_cycles[p]
+                                            : pr.net.avg_latency_cycles;
+      pr.baseline_latency_cycles = base;
+      const double ratio =
+          base > 0.0 ? pr.net.avg_latency_cycles / base : 1.0;
+      pr.mem_scale = (1.0 - s) + s * ratio;
+
+      report.resilience.noc_fault_events += pr.net.metrics.fault_events;
+      report.resilience.noc_route_rebuilds += pr.net.metrics.route_rebuilds;
+      report.resilience.noc_retry_backoffs += pr.net.metrics.retry_backoffs;
+      report.resilience.packets_lost += pr.net.metrics.packets_lost;
+      report.resilience.flits_lost += pr.net.metrics.flits_lost;
+    }
+  }
+
+  // Memory-time multiplier each execution stage actually sees.
+  const auto mem_scale_of = [&](workload::Phase p) {
+    return report.phase_resolved ? report.phase_result(p).mem_scale
+                                 : report.mem_scale;
+  };
 
   // ---- Per-thread operating points.
   const double fmax = table_->max().freq_hz;
@@ -123,7 +263,8 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   // normalized by the phase's overall dilation.
   auto parallel_energy = [&](const workload::TaskSet& spec,
                              const TaskSimResult& actual,
-                             const TaskSimResult& nominal) {
+                             const TaskSimResult& nominal,
+                             double mem_scale) {
     const double mf = mem_fraction(spec, fmax);
     const double dilation = nominal.makespan_s > 0.0
                                 ? actual.makespan_s / nominal.makespan_s
@@ -131,7 +272,7 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     double energy = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
       const double stretch =
-          (1.0 - mf) * fmax / cores[t].freq_hz + mf * report.mem_scale;
+          (1.0 - mf) * fmax / cores[t].freq_hz + mf * mem_scale;
       const double u = std::min(
           1.0, profile.utilization[t] * stretch / std::max(dilation, 1e-9));
       energy += models_.core.energy_j(u, vf[t], actual.makespan_s);
@@ -202,7 +343,8 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   for (int iter = 0; iter < profile.iterations; ++iter) {
     // Library init (serial, master).
     const double t_li =
-        serial_time(profile.phases.lib_init, f_master, report.mem_scale);
+        serial_time(profile.phases.lib_init, f_master,
+                    mem_scale_of(workload::Phase::kLibInit));
     report.phases.lib_init_s += t_li;
     report.core_energy_j += serial_energy(t_li);
     trace_phase("lib_init", t_li);
@@ -216,8 +358,9 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     std::vector<faults::CoreFault> map_faults;
     if (core_faults_on) map_faults = draw_core_faults();
     PhaseTelemetry map_pt{tele, label, label, "map", sim_us};
+    const double ms_map = mem_scale_of(workload::Phase::kMap);
     const TaskSimResult map_actual =
-        simulate_phase(map_tasks, cores, report.mem_scale, policy,
+        simulate_phase(map_tasks, cores, ms_map, policy,
                        core_faults_on ? &map_faults : nullptr,
                        tele != nullptr ? &map_pt : nullptr);
     // The nominal (f_max, fault-free) normalization run stays untraced.
@@ -225,7 +368,7 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
         map_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.map_s += map_actual.makespan_s;
     report.core_energy_j +=
-        parallel_energy(profile.phases.map, map_actual, map_nominal);
+        parallel_energy(profile.phases.map, map_actual, map_nominal, ms_map);
     account_phase(map_actual);
     note_phase(map_actual);
     trace_phase("map", map_actual.makespan_s);
@@ -236,22 +379,25 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     std::vector<faults::CoreFault> red_faults;
     if (core_faults_on) red_faults = draw_core_faults();
     PhaseTelemetry red_pt{tele, label, label, "reduce", sim_us};
+    const double ms_red = mem_scale_of(workload::Phase::kReduce);
     const TaskSimResult red_actual =
-        simulate_phase(red_tasks, cores, report.mem_scale, policy,
+        simulate_phase(red_tasks, cores, ms_red, policy,
                        core_faults_on ? &red_faults : nullptr,
                        tele != nullptr ? &red_pt : nullptr);
     const TaskSimResult red_nominal = simulate_phase(
         red_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.reduce_s += red_actual.makespan_s;
     report.core_energy_j +=
-        parallel_energy(profile.phases.reduce, red_actual, red_nominal);
+        parallel_energy(profile.phases.reduce, red_actual, red_nominal,
+                        ms_red);
     account_phase(red_actual);
     note_phase(red_actual);
     trace_phase("reduce", red_actual.makespan_s);
 
     // Merge (serial, master).
     const double t_merge =
-        serial_time(profile.phases.merge, f_master, report.mem_scale);
+        serial_time(profile.phases.merge, f_master,
+                    mem_scale_of(workload::Phase::kMerge));
     report.phases.merge_s += t_merge;
     report.core_energy_j += serial_energy(t_merge);
     trace_phase("merge", t_merge);
@@ -262,20 +408,87 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   // the pre-stall execution time.
   const double traffic_exec_s = report.exec_s;
 
-  // ---- Lost-packet stalls.  The NoC run is a sample of the network under
-  // this traffic; extrapolate its loss rate over the whole execution and
+  // ---- Attribute the measured wall time to the phase results.
+  {
+    const std::array<double, workload::kPhaseCount> phase_time = {
+        report.phases.lib_init_s, report.phases.map_s, report.phases.reduce_s,
+        report.phases.merge_s};
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      report.phase_results[p].time_s = phase_time[p];
+    }
+  }
+
+  // ---- Fold the per-phase evaluations into the whole-run view.  Latency,
+  // energy/flit and the baseline combine packet-weighted (phase p carries
+  // rate_p x time_p packets; the network clock cancels out of the weights);
+  // mem_scale combines time-weighted; metrics counters sum over the phase
+  // simulations.
+  if (report.phase_resolved) {
+    NetworkEval agg;
+    agg.drained = true;
+    double pkts_total = 0.0, lat_sum = 0.0, epf_sum = 0.0, base_sum = 0.0;
+    double t_total = 0.0, wu_sum = 0.0, ms_sum = 0.0;
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      const PhaseResult& pr = report.phase_results[p];
+      t_total += pr.time_s;
+      ms_sum += pr.time_s * pr.mem_scale;
+      if (!pr.evaluated) continue;
+      const double pkts = pr.rate_packets_per_cycle * pr.time_s;
+      pkts_total += pkts;
+      lat_sum += pkts * pr.net.avg_latency_cycles;
+      epf_sum += pkts * pr.net.energy_per_flit_j;
+      base_sum += pkts * pr.baseline_latency_cycles;
+      wu_sum += pr.time_s * pr.net.wireless_utilization;
+      agg.flits_delivered += pr.net.flits_delivered;
+      agg.drained = agg.drained && pr.net.drained;
+      merge_metrics(agg.metrics, pr.net.metrics);
+    }
+    if (pkts_total > 0.0) {
+      agg.avg_latency_cycles = lat_sum / pkts_total;
+      agg.energy_per_flit_j = epf_sum / pkts_total;
+      report.baseline_latency_cycles = base_sum / pkts_total;
+    }
+    if (t_total > 0.0) {
+      agg.wireless_utilization = wu_sum / t_total;
+      report.mem_scale = ms_sum / t_total;
+    }
+    report.net = agg;
+  }
+
+  // ---- Lost-packet stalls.  Each NoC run is a sample of the network under
+  // its traffic; extrapolate its loss rate over the (phase's) execution and
   // charge each lost packet a receiver-timeout stall on its destination
   // core.  With losses spread over n cores the added wall-clock is
   //   losses/cycle x (exec_s x f_net) x (timeout / f_net) / n
   // — the network clock cancels.  Zero losses leave exec_s untouched.
-  if (report.net.metrics.packets_lost > 0 && report.net.metrics.cycles > 0) {
-    const double loss_per_cycle =
-        static_cast<double>(report.net.metrics.packets_lost) /
-        static_cast<double>(report.net.metrics.cycles);
-    const double stall_s =
-        loss_per_cycle * report.exec_s *
-        static_cast<double>(params.faults.loss_timeout_cycles) /
-        static_cast<double>(n);
+  double stall_s = 0.0;
+  std::uint64_t stall_losses = 0;
+  const double stall_factor =
+      static_cast<double>(params.faults.loss_timeout_cycles) /
+      static_cast<double>(n);
+  if (!report.phase_resolved) {
+    if (report.net.metrics.packets_lost > 0 && report.net.metrics.cycles > 0) {
+      const double loss_per_cycle =
+          static_cast<double>(report.net.metrics.packets_lost) /
+          static_cast<double>(report.net.metrics.cycles);
+      stall_s = loss_per_cycle * report.exec_s * stall_factor;
+      stall_losses = report.net.metrics.packets_lost;
+    }
+  } else {
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      const PhaseResult& pr = report.phase_results[p];
+      if (!pr.evaluated || pr.net.metrics.packets_lost == 0 ||
+          pr.net.metrics.cycles == 0) {
+        continue;
+      }
+      const double loss_per_cycle =
+          static_cast<double>(pr.net.metrics.packets_lost) /
+          static_cast<double>(pr.net.metrics.cycles);
+      stall_s += loss_per_cycle * pr.time_s * stall_factor;
+      stall_losses += pr.net.metrics.packets_lost;
+    }
+  }
+  if (stall_s > 0.0) {
     report.resilience.net_stall_seconds = stall_s;
     report.exec_s += stall_s;
     // Stalled cores sit idle at their operating point.
@@ -283,11 +496,9 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
       report.core_energy_j += models_.core.energy_j(0.0, vf[t], stall_s);
     }
     if (tele != nullptr) {
-      tele->tracer().complete(phases_track, "net stall", sim_us,
-                              stall_s * 1e6,
-                              {{"packets_lost",
-                                static_cast<double>(
-                                    report.net.metrics.packets_lost)}});
+      tele->tracer().complete(
+          phases_track, "net stall", sim_us, stall_s * 1e6,
+          {{"packets_lost", static_cast<double>(stall_losses)}});
       tele->metrics().gauge(label + ".sys.net_stall_s").add(stall_s);
     }
   }
@@ -296,18 +507,48 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   // links inside each island run at the island's voltage, so interconnect
   // dynamic energy scales with the traffic-weighted average V^2 — the
   // "energy reduction on both processing cores and interconnection network"
-  // the paper targets.
+  // the paper targets.  Phase-resolved runs attribute dynamic energy per
+  // phase: each phase's own rate, measured energy/flit, V^2 factor and wall
+  // time.
   double net_v2_factor = 1.0;
   if (built.has_vfi) {
     net_v2_factor =
         vfi_network_v2_factor(built.node_traffic, winoc::quadrant_clusters(),
                               built.vfi.vfi2, table_->max().voltage_v);
   }
-  const double packets_per_cycle = profile.traffic.sum();
-  const double flits = packets_per_cycle * params.network_clock_hz *
-                       traffic_exec_s *
-                       static_cast<double>(profile.packet_flits);
-  report.net_dynamic_j = report.net.energy_per_flit_j * flits * net_v2_factor;
+  if (!report.phase_resolved) {
+    const double packets_per_cycle = profile.traffic.sum();
+    const double flits = packets_per_cycle * params.network_clock_hz *
+                         traffic_exec_s *
+                         static_cast<double>(profile.packet_flits);
+    report.net_dynamic_j =
+        report.net.energy_per_flit_j * flits * net_v2_factor;
+    // Pro-rate into the mirrored phase slots for a uniform CSV view.
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      PhaseResult& pr = report.phase_results[p];
+      pr.net_dynamic_j = traffic_exec_s > 0.0
+                             ? report.net_dynamic_j * pr.time_s /
+                                   traffic_exec_s
+                             : 0.0;
+    }
+  } else {
+    for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+      PhaseResult& pr = report.phase_results[p];
+      if (!pr.evaluated) continue;
+      double v2_p = 1.0;
+      if (built.has_vfi) {
+        v2_p = vfi_network_v2_factor(plans[p].node_traffic,
+                                     winoc::quadrant_clusters(),
+                                     built.vfi.vfi2,
+                                     table_->max().voltage_v);
+      }
+      const double flits_p = pr.rate_packets_per_cycle *
+                             params.network_clock_hz * pr.time_s *
+                             static_cast<double>(profile.packet_flits);
+      pr.net_dynamic_j = pr.net.energy_per_flit_j * flits_p * v2_p;
+      report.net_dynamic_j += pr.net_dynamic_j;
+    }
+  }
   report.net_static_j = models_.noc.static_energy_j(n, built.wi_count,
                                                     report.exec_s) *
                         net_v2_factor;
@@ -337,6 +578,18 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     metrics.gauge(label + ".sys.mem_scale").set(report.mem_scale);
     metrics.gauge(label + ".sys.avg_noc_latency_cycles")
         .set(report.net.avg_latency_cycles);
+    if (report.phase_resolved) {
+      for (std::size_t p = 0; p < workload::kPhaseCount; ++p) {
+        const PhaseResult& pr = report.phase_results[p];
+        if (!pr.evaluated) continue;
+        const std::string prefix =
+            label + ".sys.phase." +
+            workload::phase_name(static_cast<workload::Phase>(p));
+        metrics.gauge(prefix + ".latency_cycles")
+            .set(pr.net.avg_latency_cycles);
+        metrics.gauge(prefix + ".mem_scale").set(pr.mem_scale);
+      }
+    }
   }
   return report;
 }
@@ -349,7 +602,9 @@ SystemComparison compare_systems(const workload::AppProfile& profile,
 
   params.kind = SystemKind::kNvfiMesh;
   cmp.nvfi_mesh = sim.run(profile, params);
-  const double baseline = cmp.nvfi_mesh.net.avg_latency_cycles;
+  // Per-phase NVFI latencies feed the VFI runs as their references; on a
+  // profile without phase traffic this degenerates to the whole-run scalar.
+  const PhaseBaselines baseline = phase_baselines(cmp.nvfi_mesh);
 
   params.kind = SystemKind::kVfiMesh;
   cmp.vfi_mesh = sim.run(profile, params, baseline);

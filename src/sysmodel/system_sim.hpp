@@ -7,7 +7,10 @@
 //  * The NoC is simulated cycle-accurately under the application's mapped
 //    traffic; its average packet latency, relative to the NVFI-mesh
 //    baseline, scales the network-sensitive share of every task's memory
-//    time (remote-L2 model).
+//    time (remote-L2 model).  Phase-resolved profiles (per-phase traffic
+//    matrices) get one evaluation, latency ratio and mem_scale per phase —
+//    the PhasePlan -> PhaseResult pipeline of DESIGN.md §11 — optionally
+//    memoized through a shared NetworkEvaluator.
 //  * Map/Reduce phases run through the deterministic work-stealing task
 //    simulator (Eq. 3 cap active on VFI systems); LibInit and Merge are
 //    serial master-thread stages.
@@ -16,6 +19,8 @@
 //    thread's busy-time dilation at its VFI frequency.
 //  * Network energy = (measured energy per flit) x (flits implied by the
 //    traffic rate over the run) + switch/WI leakage.
+
+#include <array>
 
 #include "power/core_power.hpp"
 #include "power/noc_power.hpp"
@@ -57,6 +62,37 @@ struct ResilienceStats {
   }
 };
 
+/// One step of the phase-resolved pipeline: the traffic a MapReduce phase
+/// offers to the NoC and its nominal share of the run.  Plans are built
+/// from AppProfile::phase_traffic at the start of FullSystemSim::run;
+/// zero-weight phases (e.g. LR's missing merge) are never simulated.
+struct PhasePlan {
+  workload::Phase phase = workload::Phase::kMap;
+  double weight = 0.0;               ///< nominal time share of the run
+  double rate_packets_per_cycle = 0.0;
+  Matrix node_traffic;               ///< phase traffic mapped onto NoC nodes
+};
+
+/// Measured outcome of one phase: its own network evaluation and the
+/// coupling quantities derived from it.
+struct PhaseResult {
+  workload::Phase phase = workload::Phase::kMap;
+  bool evaluated = false;  ///< false: zero-weight phase, never simulated
+  NetworkEval net;
+  double baseline_latency_cycles = 0.0;  ///< reference for this phase
+  double mem_scale = 1.0;                ///< memory-time multiplier applied
+  double time_s = 0.0;                   ///< wall time over all iterations
+  double net_dynamic_j = 0.0;            ///< dynamic NoC energy attributed
+  double rate_packets_per_cycle = 0.0;
+};
+
+/// Per-phase reference latencies (from an NVFI-mesh run of the same
+/// profile).  A zero entry makes that phase use this run's own latency as
+/// its baseline — correct for the NVFI baseline itself.
+struct PhaseBaselines {
+  std::array<double, workload::kPhaseCount> latency_cycles{};
+};
+
 struct SystemReport {
   SystemKind kind = SystemKind::kNvfiMesh;
   PhaseBreakdown phases;            ///< summed over MapReduce iterations
@@ -64,7 +100,14 @@ struct SystemReport {
   double core_energy_j = 0.0;
   double net_dynamic_j = 0.0;
   double net_static_j = 0.0;
+  /// Whole-run network figures.  Phase-resolved runs report the
+  /// packet-weighted combination of the per-phase evaluations (metrics
+  /// counters are summed over the phase simulations).
   NetworkEval net;
+  /// Per-phase evaluations, latencies and mem_scales.  On a run without
+  /// phase traffic every entry mirrors the single whole-run evaluation.
+  std::array<PhaseResult, workload::kPhaseCount> phase_results{};
+  bool phase_resolved = false;  ///< true when the 4-phase pipeline ran
   ResilienceStats resilience;
   double baseline_latency_cycles = 0.0;  ///< NVFI-mesh latency used as ref
   double mem_scale = 1.0;                ///< memory-time multiplier applied
@@ -75,7 +118,15 @@ struct SystemReport {
     return core_energy_j + net_dynamic_j + net_static_j;
   }
   double edp_js() const { return total_energy_j() * exec_s; }
+
+  const PhaseResult& phase_result(workload::Phase p) const {
+    return phase_results[static_cast<std::size_t>(p)];
+  }
 };
+
+/// The per-phase baselines a VFI run should compare against: the phase
+/// latencies measured by an NVFI-mesh report of the same profile.
+PhaseBaselines phase_baselines(const SystemReport& nvfi_report);
 
 class FullSystemSim {
  public:
@@ -92,10 +143,17 @@ class FullSystemSim {
   /// Simulate `profile` on the platform described by `params`.
   /// `baseline_latency_cycles`: the NVFI-mesh average packet latency for
   /// this application; pass 0 to use this run's own latency as the baseline
-  /// (correct when params.kind == kNvfiMesh).
+  /// (correct when params.kind == kNvfiMesh).  The scalar is applied to
+  /// every phase; prefer the PhaseBaselines overload for phase-resolved
+  /// profiles.
   SystemReport run(const workload::AppProfile& profile,
                    const PlatformParams& params,
                    double baseline_latency_cycles = 0.0) const;
+
+  /// Phase-resolved baselines (see phase_baselines()).
+  SystemReport run(const workload::AppProfile& profile,
+                   const PlatformParams& params,
+                   const PhaseBaselines& baselines) const;
 
   const power::VfTable& vf_table() const { return *table_; }
   const Models& models() const { return models_; }

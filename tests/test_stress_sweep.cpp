@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/parallel_for.hpp"
+#include "sysmodel/net_eval.hpp"
 #include "sysmodel/sweep.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/profile.hpp"
@@ -56,6 +57,55 @@ TEST(StressSweep, EightThreadSweepIsRaceFreeAndRepeatable) {
     EXPECT_EQ(first[i].vfi_winoc.edp_js(), second[i].vfi_winoc.edp_js());
     EXPECT_GT(first[i].nvfi_mesh.exec_s, 0.0);
   }
+}
+
+TEST(StressSweep, SharedNetworkEvaluatorUnderEightThreadSweep) {
+  // One memo cache shared by all sweep workers: concurrent misses on
+  // distinct keys simulate in parallel, a key being computed blocks its
+  // second requester (compute-once), and the whole construction must be
+  // invisible in the results — identical to an uncached sweep and to a
+  // 2-thread sweep with its own cache, with deterministic hit/miss totals.
+  const std::vector<workload::AppProfile> profiles = {
+      workload::make_profile(workload::App::kHist),
+      workload::make_profile(workload::App::kLR),
+      workload::make_profile(workload::App::kWC)};
+  const FullSystemSim sim;
+  PlatformParams params;
+  params.sim_cycles = 1'500;
+  params.drain_cycles = 15'000;
+
+  const auto fresh = sweep_comparisons(profiles, sim, params, 8);
+
+  NetworkEvaluator cache8;
+  params.net_eval = &cache8;
+  const auto cached8 = sweep_comparisons(profiles, sim, params, 8);
+
+  NetworkEvaluator cache2;
+  params.net_eval = &cache2;
+  const auto cached2 = sweep_comparisons(profiles, sim, params, 2);
+
+  ASSERT_EQ(cached8.size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (auto pick : {&SystemComparison::nvfi_mesh,
+                      &SystemComparison::vfi_mesh,
+                      &SystemComparison::vfi_winoc}) {
+      const SystemReport& a = fresh[i].*pick;
+      const SystemReport& b = cached8[i].*pick;
+      const SystemReport& c = cached2[i].*pick;
+      EXPECT_EQ(a.exec_s, b.exec_s);
+      EXPECT_EQ(a.exec_s, c.exec_s);
+      EXPECT_EQ(a.edp_js(), b.edp_js());
+      EXPECT_EQ(a.edp_js(), c.edp_js());
+      EXPECT_EQ(a.net.avg_latency_cycles, b.net.avg_latency_cycles);
+      EXPECT_EQ(a.net.avg_latency_cycles, c.net.avg_latency_cycles);
+    }
+  }
+  // Hit/miss totals are scheduling-independent: the registry admits exactly
+  // one inserter per distinct key regardless of thread interleaving.
+  EXPECT_GT(cache8.stats().hits, 0u);
+  EXPECT_EQ(cache8.stats().hits, cache2.stats().hits);
+  EXPECT_EQ(cache8.stats().misses, cache2.stats().misses);
+  EXPECT_EQ(cache8.size(), cache2.size());
 }
 
 TEST(StressSweep, SharedTelemetrySinkUnderEightThreadSweep) {
