@@ -29,10 +29,16 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-// Usage: bench_fig8_full_system_edp [--small] [--trace-out FILE]
-//                                   [--metrics-out FILE] [--bench-out FILE]
+// Usage: bench_fig8_full_system_edp [--small] [--fidelity=cycle|analytical|auto]
+//                                   [--trace-out FILE] [--metrics-out FILE]
+//                                   [--bench-out FILE]
 // --small shrinks the app set and simulated cycle window for CI smoke runs
 // (numbers drift from the paper's; the telemetry plumbing is identical).
+// --fidelity selects the network-evaluation band (DESIGN.md §12; default
+// cycle, the paper-faithful ground truth).  analytical/auto run the whole
+// figure through the M/D/1 band — orders of magnitude faster, EDP ratios
+// within the validated tolerance — handy for quick what-if passes over the
+// figure before a cycle-accurate rerun.
 // --bench-out additionally re-runs the sweep with phase traffic stripped
 // (the pre-phase-resolution single-evaluation path) and writes a JSON
 // comparing the two wall times plus the NetworkEvaluator cache counters —
@@ -40,11 +46,18 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 int main(int argc, char** argv) {
   bench::TelemetryScope telemetry{argc, argv};
   bool small = false;
+  sysmodel::Fidelity fidelity = sysmodel::Fidelity::kCycleAccurate;
   std::string bench_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--small") {
       small = true;
+    } else if (arg.rfind("--fidelity=", 0) == 0) {
+      if (!sysmodel::parse_fidelity(arg.substr(11), fidelity)) {
+        std::cerr << "unknown fidelity '" << arg.substr(11)
+                  << "' (expected cycle|analytical|auto)\n";
+        return 2;
+      }
     } else if (arg.rfind("--bench-out=", 0) == 0) {
       bench_out = arg.substr(12);
     } else if (arg == "--bench-out" && i + 1 < argc) {
@@ -62,6 +75,12 @@ int main(int argc, char** argv) {
   sysmodel::PlatformParams params;
   params.telemetry = telemetry.sink();
   params.net_eval = &net_eval;
+  params.fidelity = fidelity;
+  if (fidelity != sysmodel::Fidelity::kCycleAccurate) {
+    std::cout << "[network evaluations in the '"
+              << sysmodel::fidelity_name(fidelity)
+              << "' band — paper comparisons need the default cycle band]\n";
+  }
   if (small) {
     for (workload::App app : {workload::App::kHist, workload::App::kKmeans}) {
       profiles.push_back(workload::make_profile(app));

@@ -1,7 +1,9 @@
 // Resilience sweep: full-system EDP of the VFI WiNoC under injected faults,
 // as a function of fault rate and fault type, for the paper's applications.
 //
-//   ./build/bench/bench_resilience [--small | --preset small] [OUT.json]
+//   ./build/bench/bench_resilience [--small | --preset small]
+//                                  [--fidelity=cycle|analytical|auto]
+//                                  [OUT.json]
 //
 // For each application the NVFI-mesh baseline runs fault-free (the reference
 // EDP and packet latency); the VFI-WiNoC system then re-runs under a seeded
@@ -28,6 +30,10 @@
 //
 // --small / --preset small shrinks the app set, the cycle window and the
 // rate grid for CI; OUT.json defaults to BENCH_resilience.json.
+// --fidelity selects the network-evaluation band (DESIGN.md §12; default
+// cycle).  The analytical band's faulty-config error is validated to the
+// wider xval tolerance (tests/test_fidelity_xval.cpp) — use it for quick
+// trend scans, not for the committed resilience numbers.
 
 #include <iostream>
 #include <string>
@@ -90,11 +96,18 @@ bool reports_identical(const sysmodel::SystemReport& a,
 int main(int argc, char** argv) {
   bench::TelemetryScope telemetry{argc, argv};
   bool small = false;
+  sysmodel::Fidelity fidelity = sysmodel::Fidelity::kCycleAccurate;
   std::string out_path = "BENCH_resilience.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--small") {
       small = true;
+    } else if (arg.rfind("--fidelity=", 0) == 0) {
+      if (!sysmodel::parse_fidelity(arg.substr(11), fidelity)) {
+        std::cerr << "unknown fidelity '" << arg.substr(11)
+                  << "' (expected cycle|analytical|auto)\n";
+        return 2;
+      }
     } else if (arg == "--preset") {
       if (i + 1 < argc && std::string(argv[i + 1]) == "small") small = true;
       ++i;
@@ -106,6 +119,12 @@ int main(int argc, char** argv) {
   std::vector<workload::AppProfile> profiles;
   sysmodel::PlatformParams params;
   params.telemetry = telemetry.sink();
+  params.fidelity = fidelity;
+  if (fidelity != sysmodel::Fidelity::kCycleAccurate) {
+    std::cout << "[network evaluations in the '"
+              << sysmodel::fidelity_name(fidelity)
+              << "' band — committed numbers need the default cycle band]\n";
+  }
   std::vector<double> rates;
   double noc_scale = 1.0;
   if (small) {

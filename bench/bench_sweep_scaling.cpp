@@ -17,6 +17,7 @@
 // scaling, which on a single-core host is ~the same number.
 
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "bench/bench_util.hpp"
 #include "common/json_lite.hpp"
 #include "common/parallel_for.hpp"
+#include "sysmodel/net_eval.hpp"
 #include "sysmodel/sweep.hpp"
 #include "workload/profile.hpp"
 
@@ -127,6 +129,118 @@ int main(int argc, char** argv) {
   m["bench_sweep.check.bit_identical"] = identical ? 1.0 : 0.0;
   m["bench_sweep.speedup.fast_vs_reference_1t"] = ref_s / fast_1t;
   m["bench_sweep.speedup.total_best"] = ref_s / best;
+
+  // ---- Fidelity ladder: cycle-accurate design-space sweep vs Auto mode
+  // (analytical exploration + cycle-accurate frontier confirmation) over a
+  // Fig. 8-style fault-free design space: the three systems crossed with
+  // the VFI-border synchronizer depth, a knob both bands model explicitly.
+  // Platform construction (the VFI design flow, ~25x one network
+  // evaluation) is fidelity-invariant, so both sweeps share one warm
+  // PlatformCache and the timed difference is what the ladder actually
+  // changes: the network evaluations.  Faulty-config accuracy is covered by
+  // the xval suite's committed tolerance bands
+  // (tests/test_fidelity_xval.cpp), not re-measured here.  The speedup is
+  // what unlocks the ROADMAP's larger design spaces; the MAPE columns and
+  // the frontier check are the fidelity half of the bargain, gated by
+  // tools/check_fidelity.py.
+  std::cout << "\nFidelity ladder (design space, "
+            << "cycle-accurate vs Auto exploration)\n";
+  std::vector<sysmodel::SweepPoint> space;
+  for (sysmodel::SystemKind kind :
+       {sysmodel::SystemKind::kNvfiMesh, sysmodel::SystemKind::kVfiMesh,
+        sysmodel::SystemKind::kVfiWinoc}) {
+    for (std::uint32_t sync = 1; sync <= 8; ++sync) {
+      sysmodel::SweepPoint pt;
+      pt.label =
+          sysmodel::system_name(kind) + "/sync" + std::to_string(sync);
+      pt.params = params;
+      pt.params.kind = kind;
+      pt.params.noc_sim.sync_penalty_cycles = sync;
+      space.push_back(pt);
+    }
+  }
+  const workload::AppProfile& space_profile = profiles.front();
+
+  // Warm the shared platform cache (untimed): one VFI design flow per
+  // system kind, reused by every point of both sweeps.
+  sysmodel::PlatformCache platforms;
+  for (const auto& pt : space) {
+    platforms.get(space_profile, pt.params, sim.vf_table());
+  }
+
+  sysmodel::NetworkEvaluator cycle_evaluator;
+  std::vector<sysmodel::SweepPoint> cycle_space = space;
+  for (auto& pt : cycle_space) {
+    pt.params.fidelity = sysmodel::Fidelity::kCycleAccurate;
+    pt.params.net_eval = &cycle_evaluator;
+    pt.params.platform_cache = &platforms;
+  }
+  const auto c0 = std::chrono::steady_clock::now();
+  const auto cycle_run = sysmodel::sweep_design_space(
+      space_profile, sim, cycle_space, 0, default_parallelism());
+  const auto c1 = std::chrono::steady_clock::now();
+  const double cycle_s = std::chrono::duration<double>(c1 - c0).count();
+
+  sysmodel::NetworkEvaluator evaluator;
+  std::vector<sysmodel::SweepPoint> auto_space = space;
+  for (auto& pt : auto_space) {
+    pt.params.fidelity = sysmodel::Fidelity::kAuto;
+    pt.params.net_eval = &evaluator;
+    pt.params.platform_cache = &platforms;
+  }
+  const auto a0 = std::chrono::steady_clock::now();
+  const auto auto_run = sysmodel::sweep_design_space(
+      space_profile, sim, auto_space, 1, default_parallelism());
+  const auto a1 = std::chrono::steady_clock::now();
+  const double auto_s = std::chrono::duration<double>(a1 - a0).count();
+
+  double lat_mape = 0.0;
+  double edp_mape = 0.0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto& truth = cycle_run.points[i].explored;
+    const auto& est = auto_run.points[i].explored;
+    lat_mape += std::abs(est.net.avg_latency_cycles -
+                         truth.net.avg_latency_cycles) /
+                truth.net.avg_latency_cycles;
+    edp_mape += std::abs(est.edp_js() - truth.edp_js()) / truth.edp_js();
+  }
+  lat_mape /= static_cast<double>(space.size());
+  edp_mape /= static_cast<double>(space.size());
+
+  // The Auto frontier must be the cycle-accurate argmin, and its confirmed
+  // report must BE a cycle-accurate evaluation of that point.
+  const bool frontier_match =
+      auto_run.argmin_confirmed == cycle_run.argmin_explored &&
+      auto_run.points[auto_run.argmin_confirmed].promoted &&
+      auto_run.points[auto_run.argmin_confirmed].confirmed.edp_js() ==
+          cycle_run.points[cycle_run.argmin_explored].explored.edp_js();
+  const auto stats = evaluator.stats();
+  const bool counters_consistent =
+      stats.analytical_hits + stats.cycle_hits == stats.hits &&
+      stats.analytical_misses + stats.cycle_misses == stats.misses &&
+      stats.promotions == auto_run.promotions && stats.cycle_misses > 0 &&
+      stats.analytical_misses > 0;
+
+  m["bench_sweep.fidelity.points"] = static_cast<double>(space.size());
+  m["bench_sweep.fidelity.cycle_seconds"] = cycle_s;
+  m["bench_sweep.fidelity.auto_seconds"] = auto_s;
+  m["bench_sweep.fidelity.speedup_auto"] = cycle_s / auto_s;
+  m["bench_sweep.fidelity.latency_mape"] = lat_mape;
+  m["bench_sweep.fidelity.edp_mape"] = edp_mape;
+  m["bench_sweep.fidelity.frontier_match"] = frontier_match ? 1.0 : 0.0;
+  m["bench_sweep.fidelity.promotions"] =
+      static_cast<double>(auto_run.promotions);
+  m["bench_sweep.fidelity.counters_consistent"] =
+      counters_consistent ? 1.0 : 0.0;
+  std::cout << "cycle-accurate, " << space.size() << " points:  " << cycle_s
+            << " s\n"
+            << "Auto (analytical + confirm):  " << auto_s << " s  ("
+            << cycle_s / auto_s << "x)\n"
+            << "latency MAPE vs cycle band:   " << lat_mape * 100.0 << "%\n"
+            << "EDP MAPE vs cycle band:       " << edp_mape * 100.0 << "%\n"
+            << "frontier match:               "
+            << (frontier_match ? "yes" : "NO — BUG") << "\n";
+
   json::save_file(out_path, m);
 
   std::cout << "\nfast path vs reference (both 1 thread): "
@@ -136,5 +250,5 @@ int main(int argc, char** argv) {
             << "fast/reference results bit-identical:   "
             << (identical ? "yes" : "NO — BUG") << "\n"
             << "wrote " << out_path << " (" << m.size() << " metrics)\n";
-  return identical ? 0 : 1;
+  return (identical && frontier_match && counters_consistent) ? 0 : 1;
 }

@@ -121,9 +121,33 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
   auto edge_cost = [&](graph::EdgeId e) {
     return g.edge(e).kind == graph::EdgeKind::kWireless ? wireless_cost : 1.0;
   };
-  auto is_wireless = [&](graph::EdgeId e) {
-    return g.edge(e).kind == graph::EdgeKind::kWireless;
+
+  // Flat adjacency snapshot of the *live* subgraph: the table build below
+  // touches every incident edge of every node once per destination, and the
+  // graph's bounds-checked accessors dominate that cost.  Dead edges are
+  // filtered here so the passes never re-test liveness.  `down` records
+  // order.less(self, nbr), i.e. whether the move self -> nbr is a down move.
+  struct Adj {
+    graph::NodeId nbr;
+    graph::EdgeId edge;
+    double cost;
+    bool wireless;
+    bool down;
   };
+  std::vector<std::size_t> adj_start(n_ + 1, 0);
+  std::vector<Adj> adj;
+  adj.reserve(2 * g.edge_count());
+  for (graph::NodeId v = 0; v < n_; ++v) {
+    for (graph::EdgeId e : g.incident(v)) {
+      if (!alive(e)) continue;
+      const auto& ed = g.edge(e);
+      const graph::NodeId w = ed.a == v ? ed.b : ed.a;
+      adj.push_back(Adj{w, e, edge_cost(e),
+                        ed.kind == graph::EdgeKind::kWireless,
+                        order.less(v, w)});
+    }
+    adj_start[v + 1] = adj.size();
+  }
 
   for (auto& per_budget : layers_) {
     for (auto& layer : per_budget) {
@@ -147,6 +171,12 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
                                 std::vector<double>(n_)};
 
   using Item = std::pair<double, graph::NodeId>;
+  // Scratch buffers hoisted out of the destination loop: the ctor runs once
+  // per fault slice on the hot degraded-rebuild path, and per-destination
+  // reallocation of the queue and the candidate lists dominates its cost.
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::vector<std::pair<RouteDecision, graph::NodeId>> down_opts;
+  std::vector<std::pair<RouteDecision, graph::NodeId>> up_opts;
 
   for (graph::NodeId dest = 0; dest < n_; ++dest) {
     // ---- Pass 1a: wire-only all-down costs (reverse Dijkstra).  A move
@@ -154,20 +184,20 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
     std::fill(du[0].begin(), du[0].end(), kInfW);
     du[0][dest] = 0.0;
     {
-      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
       pq.emplace(0.0, dest);
       while (!pq.empty()) {
         const auto [dcur, u] = pq.top();
         pq.pop();
         if (dcur > du[0][u] + kEps) continue;
-        for (graph::EdgeId e : g.incident(u)) {
-          if (is_wireless(e) || !alive(e)) continue;
-          const graph::NodeId v = g.other_end(e, u);
-          if (!order.less(v, u)) continue;  // need v -> u to be a down move
-          const double nd = du[0][u] + edge_cost(e);
-          if (nd + kEps < du[0][v]) {
-            du[0][v] = nd;
-            pq.emplace(nd, v);
+        for (std::size_t k = adj_start[u]; k < adj_start[u + 1]; ++k) {
+          const Adj& a = adj[k];
+          if (a.wireless) continue;
+          // Need v -> u to be a down move, i.e. order.less(v, u).
+          if (a.down) continue;
+          const double nd = du[0][u] + a.cost;
+          if (nd + kEps < du[0][a.nbr]) {
+            du[0][a.nbr] = nd;
+            pq.emplace(nd, a.nbr);
           }
         }
       }
@@ -177,7 +207,6 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
     // the budget-0 costs; wire edges relax within budget 1.
     std::fill(du[1].begin(), du[1].end(), kInfW);
     {
-      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
       du[1][dest] = 0.0;
       pq.emplace(0.0, dest);
       for (graph::EdgeId we = 0; we < g.edge_count(); ++we) {
@@ -200,14 +229,13 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
         const auto [dcur, u] = pq.top();
         pq.pop();
         if (dcur > du[1][u] + kEps) continue;
-        for (graph::EdgeId e : g.incident(u)) {
-          if (is_wireless(e) || !alive(e)) continue;
-          const graph::NodeId v = g.other_end(e, u);
-          if (!order.less(v, u)) continue;
-          const double nd = du[1][u] + edge_cost(e);
-          if (nd + kEps < du[1][v]) {
-            du[1][v] = nd;
-            pq.emplace(nd, v);
+        for (std::size_t k = adj_start[u]; k < adj_start[u + 1]; ++k) {
+          const Adj& a = adj[k];
+          if (a.wireless || a.down) continue;
+          const double nd = du[1][u] + a.cost;
+          if (nd + kEps < du[1][a.nbr]) {
+            du[1][a.nbr] = nd;
+            pq.emplace(nd, a.nbr);
           }
         }
       }
@@ -217,16 +245,17 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
     for (int b = 0; b < 2; ++b) {
       for (graph::NodeId v : asc) {
         dup[b][v] = du[b][v];
-        for (graph::EdgeId e : g.incident(v)) {
-          if (!alive(e)) continue;
-          const graph::NodeId w = g.other_end(e, v);
-          if (!order.less(w, v)) continue;  // need v -> w to be an up move
-          if (is_wireless(e)) {
+        for (std::size_t k = adj_start[v]; k < adj_start[v + 1]; ++k) {
+          const Adj& a = adj[k];
+          // Need v -> w to be an up move, i.e. order.less(w, v).
+          if (a.down) continue;
+          const graph::NodeId w = a.nbr;
+          if (a.wireless) {
             if (b == 1 && dup[0][w] != kInfW) {
               dup[1][v] = std::min(dup[1][v], dup[0][w] + wireless_cost);
             }
           } else if (dup[b][w] != kInfW) {
-            dup[b][v] = std::min(dup[b][v], dup[b][w] + edge_cost(e));
+            dup[b][v] = std::min(dup[b][v], dup[b][w] + a.cost);
           }
         }
       }
@@ -245,22 +274,21 @@ UpDownRouting::UpDownRouting(const graph::Graph& g, const UpDownOptions& opts)
                             "up*/down* must reach all nodes");
           continue;
         }
-        std::vector<std::pair<RouteDecision, graph::NodeId>> down_opts;
-        std::vector<std::pair<RouteDecision, graph::NodeId>> up_opts;
-        for (graph::EdgeId e : g.incident(v)) {
-          if (!alive(e)) continue;
-          const graph::NodeId w = g.other_end(e, v);
-          const bool wless = is_wireless(e);
-          if (wless && b == 0) continue;  // budget exhausted
-          const int nb = wless ? 0 : b;   // budget after taking e
-          const bool is_down = order.less(v, w);
-          if (is_down && du[nb][w] != kInfW &&
-              du[nb][w] + edge_cost(e) <= du[b][v] + kEps) {
-            down_opts.emplace_back(RouteDecision{e, true}, w);
+        down_opts.clear();
+        up_opts.clear();
+        for (std::size_t k = adj_start[v]; k < adj_start[v + 1]; ++k) {
+          const Adj& a = adj[k];
+          if (a.wireless && b == 0) continue;  // budget exhausted
+          const int nb = a.wireless ? 0 : b;   // budget after taking e
+          const graph::NodeId w = a.nbr;
+          // is_down = order.less(v, w), precomputed as a.down.
+          if (a.down && du[nb][w] != kInfW &&
+              du[nb][w] + a.cost <= du[b][v] + kEps) {
+            down_opts.emplace_back(RouteDecision{a.edge, true}, w);
           }
-          if (!is_down && dup[nb][w] != kInfW &&
-              dup[nb][w] + edge_cost(e) <= dup[b][v] + kEps) {
-            up_opts.emplace_back(RouteDecision{e, false}, w);
+          if (!a.down && dup[nb][w] != kInfW &&
+              dup[nb][w] + a.cost <= dup[b][v] + kEps) {
+            up_opts.emplace_back(RouteDecision{a.edge, false}, w);
           }
         }
         const std::size_t mix =

@@ -1,20 +1,41 @@
 #include "sysmodel/net_eval.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 
 #include "common/require.hpp"
+#include "noc/analytical.hpp"
 #include "noc/traffic.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vfimr::sysmodel {
 
-NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
-                                     const Matrix& node_traffic,
-                                     std::uint32_t packet_flits,
-                                     const PlatformParams& params,
-                                     const power::NocPowerModel& noc_power,
-                                     const std::string& label) {
+namespace {
+
+// ---- Cache-key serialization (shared by the evaluation memo below and the
+// per-platform analytical-model memo).  A key is the raw bytes of every
+// input that can steer the computation; equal keys therefore denote the
+// exact same result.  Exactness over compactness: no hashing, so no
+// collision can ever alias two different computations.
+
+template <typename T>
+void put(std::string& key, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  key.append(p, sizeof(T));
+}
+
+void put_matrix(std::string& key, const Matrix& m) {
+  put(key, m.rows());
+  put(key, m.cols());
+  if (!m.data().empty()) {
+    key.append(reinterpret_cast<const char*>(m.data().data()),
+               m.data().size() * sizeof(double));
+  }
+}
+
+void require_valid(const PlatformParams& params) {
   VFIMR_REQUIRE_MSG(params.network_clock_hz > 0.0,
                     "network_clock_hz must be positive, got "
                         << params.network_clock_hz);
@@ -22,6 +43,14 @@ NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
                     "router_pipeline_cycles must be at least 1");
   VFIMR_REQUIRE_MSG(params.sim_cycles > 0,
                     "sim_cycles must be positive (no injection window)");
+}
+
+/// The effective SimConfig both fidelity bands evaluate under: the caller's
+/// noc_sim with the telemetry sink attached, the VFI clustering defaulted
+/// and the rate-based fault spec expanded into a concrete schedule.
+noc::SimConfig resolved_sim_config(const BuiltPlatform& platform,
+                                   const PlatformParams& params,
+                                   const std::string& label) {
   noc::SimConfig sim_cfg = params.noc_sim;
   if (params.telemetry != nullptr && sim_cfg.telemetry == nullptr) {
     sim_cfg.telemetry = params.telemetry;
@@ -51,14 +80,17 @@ NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
         params.faults, edge_ids, router_ids, wi_ids, params.sim_cycles,
         params.faults.seed ^ params.traffic_seed);
   }
-  noc::Network net{platform.topology, *platform.routing, sim_cfg,
-                   platform.wireless};
-  noc::MatrixTraffic gen{node_traffic, packet_flits, params.traffic_seed};
-  net.run(&gen, params.sim_cycles);
-  const bool drained = net.drain(params.drain_cycles);
+  return sim_cfg;
+}
 
+/// Shared post-processing: derive the NetworkEval figures from raw Metrics.
+/// The pipeline correction and the per-flit energy math are identical for
+/// both bands, so their results stay comparable term by term.
+NetworkEval finalize_eval(const noc::Metrics& metrics, bool drained,
+                          const PlatformParams& params,
+                          const power::NocPowerModel& noc_power) {
   NetworkEval eval;
-  eval.metrics = net.metrics();
+  eval.metrics = metrics;
   eval.drained = drained;
   eval.avg_latency_cycles = eval.metrics.avg_latency();
   eval.flits_delivered = eval.metrics.flits_ejected;
@@ -84,28 +116,93 @@ NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
   return eval;
 }
 
-namespace {
+}  // namespace
 
-// ---- Cache-key serialization.  The key is the raw bytes of every input
-// that can steer the simulation; equal keys therefore denote the exact same
-// run.  Exactness over compactness: no hashing, so no collision can ever
-// alias two different evaluations.
-
-template <typename T>
-void put(std::string& key, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const char* p = reinterpret_cast<const char*>(&v);
-  key.append(p, sizeof(T));
+NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
+                                     const Matrix& node_traffic,
+                                     std::uint32_t packet_flits,
+                                     const PlatformParams& params,
+                                     const power::NocPowerModel& noc_power,
+                                     const std::string& label) {
+  require_valid(params);
+  const noc::SimConfig sim_cfg = resolved_sim_config(platform, params, label);
+  noc::Network net{platform.topology, *platform.routing, sim_cfg,
+                   platform.wireless};
+  noc::MatrixTraffic gen{node_traffic, packet_flits, params.traffic_seed};
+  net.run(&gen, params.sim_cycles);
+  const bool drained = net.drain(params.drain_cycles);
+  return finalize_eval(net.metrics(), drained, params, noc_power);
 }
 
-void put_matrix(std::string& key, const Matrix& m) {
-  put(key, m.rows());
-  put(key, m.cols());
-  if (!m.data().empty()) {
-    key.append(reinterpret_cast<const char*>(m.data().data()),
-               m.data().size() * sizeof(double));
+NetworkEval evaluate_network_analytical(const BuiltPlatform& platform,
+                                        const Matrix& node_traffic,
+                                        std::uint32_t packet_flits,
+                                        const PlatformParams& params,
+                                        const power::NocPowerModel& noc_power,
+                                        const std::string& label) {
+  require_valid(params);
+  const noc::SimConfig sim_cfg = resolved_sim_config(platform, params, label);
+
+  noc::AnalyticalConfig cfg;
+  cfg.sim_cycles = params.sim_cycles;
+  cfg.node_cluster = sim_cfg.node_cluster;
+  cfg.sync_penalty_cycles = sim_cfg.sync_penalty_cycles;
+  cfg.faults = sim_cfg.faults;
+  cfg.fault_reroute_wireless_cost = sim_cfg.fault_reroute_wireless_cost;
+
+  // The model is traffic-independent (routes + fault slices only), so it is
+  // memoized on the platform, keyed on the analytical-relevant config.  The
+  // phase evaluations of a run — and, with a shared PlatformCache, every
+  // sweep point over the same platform — reuse one construction, which is
+  // what keeps the analytical band's per-evaluation cost flat while the
+  // cycle-accurate band's grows with the injection window.
+  std::string model_key;
+  put(model_key, cfg.sim_cycles);
+  put(model_key, cfg.node_cluster.size());
+  for (const std::size_t c : cfg.node_cluster) put(model_key, c);
+  put(model_key, cfg.sync_penalty_cycles);
+  put(model_key, cfg.fault_reroute_wireless_cost);
+  put(model_key, cfg.faults.size());
+  for (const auto& f : cfg.faults.events()) {
+    put(model_key, static_cast<std::uint32_t>(f.kind));
+    put(model_key, f.id);
+    put(model_key, f.at_cycle);
+    put(model_key, f.until_cycle);
   }
+  std::shared_ptr<const noc::AnalyticalNocModel> model =
+      platform.analytical_models->find(model_key);
+  if (model == nullptr) {
+    model = platform.analytical_models->insert(
+        std::move(model_key),
+        std::make_shared<const noc::AnalyticalNocModel>(
+            platform.topology, *platform.routing, platform.wireless, cfg));
+  }
+  noc::AnalyticalDetail detail;
+  const noc::Metrics metrics =
+      model->evaluate(node_traffic, packet_flits, &detail);
+  // The analytical twin of "did the network drain": no link or channel past
+  // the utilization clamp, i.e. the offered load has a steady state.
+  const bool drained =
+      std::max(detail.max_link_utilization, detail.max_channel_utilization) <=
+      cfg.max_utilization;
+  return finalize_eval(metrics, drained, params, noc_power);
 }
+
+NetworkEval evaluate_network_banded(const BuiltPlatform& platform,
+                                    const Matrix& node_traffic,
+                                    std::uint32_t packet_flits,
+                                    const PlatformParams& params,
+                                    const power::NocPowerModel& noc_power,
+                                    const std::string& label) {
+  if (analytical_band(params.fidelity)) {
+    return evaluate_network_analytical(platform, node_traffic, packet_flits,
+                                       params, noc_power, label);
+  }
+  return evaluate_network_traffic(platform, node_traffic, packet_flits,
+                                  params, noc_power, label);
+}
+
+namespace {
 
 std::string cache_key(const BuiltPlatform& platform,
                       const Matrix& node_traffic, std::uint32_t packet_flits,
@@ -113,6 +210,13 @@ std::string cache_key(const BuiltPlatform& platform,
                       const power::NocPowerModel& noc_power) {
   std::string key;
   key.reserve(512 + node_traffic.data().size() * sizeof(double));
+
+  // Fidelity band first: an analytical and a cycle-accurate evaluation of
+  // identical inputs are different computations and must never alias to one
+  // memo entry.  kAuto and kAnalytical share the byte deliberately — they
+  // are the same band (kAuto's cycle-accurate confirmations arrive as
+  // separate kCycleAccurate requests).
+  put(key, static_cast<std::uint8_t>(analytical_band(params.fidelity)));
 
   // System kind selects the routing algorithm (XY vs. up*/down*).
   put(key, static_cast<std::uint32_t>(params.kind));
@@ -198,6 +302,7 @@ NetworkEval NetworkEvaluator::evaluate(const BuiltPlatform& platform,
                                        const std::string& label) {
   const std::string key =
       cache_key(platform, node_traffic, packet_flits, params, noc_power);
+  const bool analytical = analytical_band(params.fidelity);
 
   std::shared_ptr<Entry> entry;
   bool inserted = false;
@@ -208,22 +313,37 @@ NetworkEval NetworkEvaluator::evaluate(const BuiltPlatform& platform,
     entry = it->second;
     inserted = fresh;
   }
-  auto& counter = inserted ? misses_ : hits_;
+  auto& counter = analytical ? (inserted ? analytical_misses_
+                                         : analytical_hits_)
+                             : (inserted ? cycle_misses_ : cycle_hits_);
   counter.fetch_add(1, std::memory_order_relaxed);
   if (params.telemetry != nullptr) {
-    params.telemetry->metrics()
+    auto& metrics = params.telemetry->metrics();
+    metrics
         .counter(inserted ? "net_eval.cache_misses" : "net_eval.cache_hits")
+        .add(1);
+    const std::string band = analytical ? "analytical" : "cycle";
+    metrics
+        .counter("net_eval." + band +
+                 (inserted ? ".cache_misses" : ".cache_hits"))
         .add(1);
   }
 
   std::lock_guard<std::mutex> lock{entry->mutex};
   if (!entry->ready) {
-    entry->value = evaluate_network_traffic(platform, node_traffic,
-                                            packet_flits, params, noc_power,
-                                            label);
+    entry->value = evaluate_network_banded(platform, node_traffic,
+                                           packet_flits, params, noc_power,
+                                           label);
     entry->ready = true;
   }
   return entry->value;
+}
+
+void NetworkEvaluator::note_promotion(telemetry::TelemetrySink* sink) {
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  if (sink != nullptr) {
+    sink->metrics().counter("net_eval.promotions").add(1);
+  }
 }
 
 std::size_t NetworkEvaluator::size() const {

@@ -1,6 +1,6 @@
 #pragma once
-// NetworkEvaluator: the cycle-accurate NoC evaluation as a memoizable
-// service (DESIGN.md §11).
+// NetworkEvaluator: NoC evaluation as a memoizable, multi-fidelity service
+// (DESIGN.md §11 and §12).
 //
 // The phase-resolved pipeline evaluates up to four traffic matrices per
 // (application, system) pair, and sweeps evaluate many such pairs in
@@ -9,9 +9,16 @@
 // baseline — so the evaluator memoizes results behind a content-addressed
 // key: every input that can change the simulation outcome (topology,
 // wireless layout, traffic matrix, sim window, fault spec/schedule, power
-// constants, seeds) is serialized byte-for-byte into the key.  Two calls
-// with equal keys are the *same* simulation, and the cached result is
-// bit-identical to a fresh run by definition.
+// constants, seeds, and the fidelity band) is serialized byte-for-byte into
+// the key.  Two calls with equal keys are the *same* evaluation, and the
+// cached result is bit-identical to a fresh run by definition.
+//
+// Fidelity bands: PlatformParams::fidelity selects between the
+// cycle-accurate wormhole simulator and the analytical hop-by-hop model
+// (noc/analytical.hpp).  kAuto evaluates in the analytical band — sweep
+// drivers explore with it and then re-confirm ("promote") the surviving
+// frontier cycle-accurately.  Because the band is part of the cache key,
+// analytical and cycle-accurate results can never alias to one entry.
 //
 // Thread safety: the cache composes with common/parallel_for.  Lookups take
 // a registry mutex only to find-or-create the entry; the (expensive)
@@ -20,9 +27,12 @@
 // key being computed blocks until the result is ready (compute-once).
 //
 // Telemetry: hit/miss totals are exposed via stats() and, when the request
-// carries a sink, mirrored into the `net_eval.cache_hits` /
-// `net_eval.cache_misses` counters.  Cache hits do not re-emit the NoC
-// trace events of the original run.
+// carries a sink, mirrored into `net_eval.cache_hits` /
+// `net_eval.cache_misses` plus the per-band
+// `net_eval.{analytical,cycle}.cache_{hits,misses}` counters; frontier
+// promotions recorded via note_promotion() appear as
+// `net_eval.promotions`.  Cache hits do not re-emit the NoC trace events of
+// the original run.
 
 #include <atomic>
 #include <cstdint>
@@ -37,10 +47,10 @@
 
 namespace vfimr::sysmodel {
 
-/// Drive `platform`'s NoC with an explicit node x node traffic matrix and
-/// measure latency and per-flit energy.  This is the uncached core of
-/// `evaluate_network` (which passes the platform's whole-run traffic); the
-/// phase-resolved pipeline calls it once per phase matrix.
+/// Drive `platform`'s NoC cycle-accurately with an explicit node x node
+/// traffic matrix and measure latency and per-flit energy.  This is the
+/// uncached cycle-accurate core; the phase-resolved pipeline calls it once
+/// per phase matrix.  Ignores `params.fidelity`.
 NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
                                      const Matrix& node_traffic,
                                      std::uint32_t packet_flits,
@@ -48,11 +58,40 @@ NetworkEval evaluate_network_traffic(const BuiltPlatform& platform,
                                      const power::NocPowerModel& noc_power,
                                      const std::string& label = "noc");
 
+/// Analytical-band twin of evaluate_network_traffic: same inputs, same
+/// fault expansion and VFI clustering, same post-processing (pipeline
+/// correction, energy per flit) — but the Metrics come from the hop-by-hop
+/// M/D/1 model instead of the wormhole simulator.  Ignores
+/// `params.fidelity`.
+NetworkEval evaluate_network_analytical(const BuiltPlatform& platform,
+                                        const Matrix& node_traffic,
+                                        std::uint32_t packet_flits,
+                                        const PlatformParams& params,
+                                        const power::NocPowerModel& noc_power,
+                                        const std::string& label = "noc");
+
+/// Dispatch on `params.fidelity`: kCycleAccurate runs the simulator,
+/// kAnalytical / kAuto run the analytical model.
+NetworkEval evaluate_network_banded(const BuiltPlatform& platform,
+                                    const Matrix& node_traffic,
+                                    std::uint32_t packet_flits,
+                                    const PlatformParams& params,
+                                    const power::NocPowerModel& noc_power,
+                                    const std::string& label = "noc");
+
 class NetworkEvaluator {
  public:
   struct Stats {
+    /// Totals across both bands (back-compat with pre-ladder callers).
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Per-band split: analytical covers kAnalytical and kAuto requests.
+    std::uint64_t analytical_hits = 0;
+    std::uint64_t analytical_misses = 0;
+    std::uint64_t cycle_hits = 0;
+    std::uint64_t cycle_misses = 0;
+    /// Frontier promotions recorded by sweep drivers (note_promotion).
+    std::uint64_t promotions = 0;
 
     std::uint64_t total() const { return hits + misses; }
     double hit_rate() const {
@@ -62,17 +101,32 @@ class NetworkEvaluator {
     }
   };
 
-  /// Memoized evaluate_network_traffic.  The first call for a key runs the
-  /// simulation; later calls (from any thread) return the stored result.
+  /// Memoized evaluate_network_banded.  The first call for a key runs the
+  /// evaluation in the band `params.fidelity` selects; later calls (from
+  /// any thread) return the stored result.  The band is part of the key,
+  /// so analytical and cycle-accurate evaluations of otherwise identical
+  /// inputs occupy distinct entries.
   NetworkEval evaluate(const BuiltPlatform& platform,
                        const Matrix& node_traffic, std::uint32_t packet_flits,
                        const PlatformParams& params,
                        const power::NocPowerModel& noc_power,
                        const std::string& label = "noc");
 
+  /// Record that a sweep driver promoted an analytically-explored point to
+  /// a cycle-accurate confirmation run (mirrored into the
+  /// `net_eval.promotions` telemetry counter when `sink` is non-null).
+  void note_promotion(telemetry::TelemetrySink* sink = nullptr);
+
   Stats stats() const {
-    return Stats{hits_.load(std::memory_order_relaxed),
-                 misses_.load(std::memory_order_relaxed)};
+    Stats s;
+    s.analytical_hits = analytical_hits_.load(std::memory_order_relaxed);
+    s.analytical_misses = analytical_misses_.load(std::memory_order_relaxed);
+    s.cycle_hits = cycle_hits_.load(std::memory_order_relaxed);
+    s.cycle_misses = cycle_misses_.load(std::memory_order_relaxed);
+    s.hits = s.analytical_hits + s.cycle_hits;
+    s.misses = s.analytical_misses + s.cycle_misses;
+    s.promotions = promotions_.load(std::memory_order_relaxed);
+    return s;
   }
 
   /// Number of distinct evaluations stored.
@@ -90,8 +144,11 @@ class NetworkEvaluator {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> analytical_hits_{0};
+  std::atomic<std::uint64_t> analytical_misses_{0};
+  std::atomic<std::uint64_t> cycle_hits_{0};
+  std::atomic<std::uint64_t> cycle_misses_{0};
+  std::atomic<std::uint64_t> promotions_{0};
 };
 
 }  // namespace vfimr::sysmodel

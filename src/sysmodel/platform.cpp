@@ -25,6 +25,32 @@ std::string system_name(SystemKind kind) {
   return {};
 }
 
+std::string fidelity_name(Fidelity fidelity) {
+  switch (fidelity) {
+    case Fidelity::kCycleAccurate:
+      return "cycle";
+    case Fidelity::kAnalytical:
+      return "analytical";
+    case Fidelity::kAuto:
+      return "auto";
+  }
+  VFIMR_REQUIRE(false);
+  return {};
+}
+
+bool parse_fidelity(const std::string& name, Fidelity& out) {
+  if (name == "cycle") {
+    out = Fidelity::kCycleAccurate;
+  } else if (name == "analytical") {
+    out = Fidelity::kAnalytical;
+  } else if (name == "auto") {
+    out = Fidelity::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 BuiltPlatform build_platform(const workload::AppProfile& profile,
                              const PlatformParams& params,
                              const power::VfTable& table) {
@@ -78,6 +104,89 @@ BuiltPlatform build_platform(const workload::AppProfile& profile,
   return built;
 }
 
+namespace {
+
+/// Raw-byte key serialization, mirroring net_eval's cache-key idiom:
+/// exactness over compactness, so no two different platform constructions
+/// can ever alias one entry.
+template <typename T>
+void put(std::string& key, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  key.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+std::string platform_key(const workload::AppProfile& profile,
+                         const PlatformParams& params,
+                         const power::VfTable& table) {
+  std::string key;
+  key.reserve(256 + profile.traffic.data().size() * sizeof(double));
+
+  // Workload content consumed by the design flow: traffic drives thread
+  // mapping and WiNoC layout, utilization and masters drive the VFI design.
+  put(key, static_cast<std::uint32_t>(profile.app));
+  put(key, profile.threads);
+  put(key, profile.traffic.rows());
+  put(key, profile.traffic.cols());
+  key.append(reinterpret_cast<const char*>(profile.traffic.data().data()),
+             profile.traffic.data().size() * sizeof(double));
+  put(key, profile.utilization.size());
+  for (const double u : profile.utilization) put(key, u);
+  put(key, profile.master_threads.size());
+  for (const std::size_t m : profile.master_threads) put(key, m);
+
+  // Design knobs.  Field-by-field: struct padding must not leak into keys.
+  put(key, static_cast<std::uint32_t>(params.kind));
+  put(key, static_cast<std::uint32_t>(params.placement));
+  put(key, params.smallworld.k_intra);
+  put(key, params.smallworld.k_inter);
+  put(key, params.smallworld.k_max);
+  put(key, params.smallworld.alpha);
+  put(key, params.smallworld.channels);
+  put(key, params.smallworld.wis_per_cluster);
+  put(key, params.smallworld.seed);
+  put(key, params.vfi.clusters);
+  put(key, params.vfi.select.util_target);
+  put(key, params.vfi.anneal.iterations);
+  put(key, params.vfi.anneal.t_initial);
+  put(key, params.vfi.anneal.t_final);
+  put(key, params.vfi.anneal.seed);
+  put(key, params.vfi.anneal.restarts);
+
+  // V/F ladder (feeds the VFI point selection).
+  put(key, table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) put(key, table[i]);
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<const BuiltPlatform> PlatformCache::get(
+    const workload::AppProfile& profile, const PlatformParams& params,
+    const power::VfTable& table) {
+  const std::string key = platform_key(profile, params, table);
+  std::shared_ptr<Entry> entry;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    auto [it, fresh] = cache_.try_emplace(key);
+    if (fresh) it->second = std::make_shared<Entry>();
+    entry = it->second;
+    inserted = fresh;
+  }
+  (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock{entry->mutex};
+  if (entry->value == nullptr) {
+    entry->value = std::make_shared<const BuiltPlatform>(
+        build_platform(profile, params, table));
+  }
+  return entry->value;
+}
+
+std::size_t PlatformCache::size() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return cache_.size();
+}
+
 NetworkEval evaluate_network(const BuiltPlatform& platform,
                              const workload::AppProfile& profile,
                              const PlatformParams& params,
@@ -85,9 +194,9 @@ NetworkEval evaluate_network(const BuiltPlatform& platform,
   // The uncached core lives in net_eval.cpp so the memoizing
   // NetworkEvaluator and this whole-run convenience wrapper share one
   // implementation.
-  return evaluate_network_traffic(platform, platform.node_traffic,
-                                  profile.packet_flits, params, noc_power,
-                                  telemetry_label(profile, params));
+  return evaluate_network_banded(platform, platform.node_traffic,
+                                 profile.packet_flits, params, noc_power,
+                                 telemetry_label(profile, params));
 }
 
 }  // namespace vfimr::sysmodel

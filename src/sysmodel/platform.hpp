@@ -5,12 +5,16 @@
 //   * VFI Mesh   — Eq. 1 clustering + V/F assignment, mesh NoC;
 //   * VFI WiNoC  — same VFIs over the small-world wireless NoC.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "noc/analytical.hpp"
 #include "noc/network.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
@@ -24,10 +28,36 @@
 namespace vfimr::sysmodel {
 
 class NetworkEvaluator;
+class PlatformCache;
 
 enum class SystemKind { kNvfiMesh, kVfiMesh, kVfiWinoc };
 
 std::string system_name(SystemKind kind);
+
+/// Fidelity band of a network evaluation (the multi-fidelity ladder,
+/// DESIGN.md §12):
+///  * kCycleAccurate — the wormhole simulator; the ground truth.
+///  * kAnalytical    — the hop-by-hop M/D/1 model (noc/analytical.hpp),
+///    orders of magnitude faster, validated against the simulator.
+///  * kAuto          — evaluate in the analytical band; sweep drivers use it
+///    for coarse exploration and re-confirm (promote) the surviving frontier
+///    cycle-accurately.  At the single-evaluation level kAuto and
+///    kAnalytical are the same band — sharing cache entries between them is
+///    deliberate.
+enum class Fidelity : std::uint8_t { kCycleAccurate, kAnalytical, kAuto };
+
+std::string fidelity_name(Fidelity fidelity);
+
+/// Inverse of fidelity_name, for CLI flags: parses "cycle" | "analytical" |
+/// "auto" into `out`.  Returns false (leaving `out` untouched) on any other
+/// spelling.
+bool parse_fidelity(const std::string& name, Fidelity& out);
+
+/// True when `fidelity` evaluates in the analytical band (kAnalytical or
+/// kAuto).
+inline bool analytical_band(Fidelity fidelity) {
+  return fidelity != Fidelity::kCycleAccurate;
+}
 
 struct PlatformParams {
   SystemKind kind = SystemKind::kNvfiMesh;
@@ -49,6 +79,10 @@ struct PlatformParams {
   /// See sysmodel/task_sim.hpp for the two Eq. 3 readings.
   StealingPolicy vfi_stealing = StealingPolicy::kVfiAssignment;
   noc::SimConfig noc_sim{};
+  /// Fidelity band for network evaluations (see Fidelity above).  The
+  /// default keeps every existing caller bit-identical: only code that opts
+  /// into the analytical band ever leaves the cycle-accurate path.
+  Fidelity fidelity = Fidelity::kCycleAccurate;
   noc::Cycle sim_cycles = 60'000;    ///< measured injection window
   noc::Cycle drain_cycles = 60'000;  ///< post-injection drain budget
   std::uint64_t traffic_seed = 99;
@@ -74,6 +108,13 @@ struct PlatformParams {
   /// once.  Null evaluates fresh each time — bit-identical results either
   /// way.
   NetworkEvaluator* net_eval = nullptr;
+  /// Memoizing platform-construction service (nullable, caller-owned,
+  /// thread-safe; see PlatformCache below).  When set, FullSystemSim::run
+  /// reuses one BuiltPlatform per distinct (profile, design knobs) instead
+  /// of re-running the VFI design flow — by far the most expensive
+  /// fidelity-invariant part of a sweep point — for every evaluation.
+  /// Null builds fresh each time; results are bit-identical either way.
+  PlatformCache* platform_cache = nullptr;
   /// Per-phase injection-window length as a fraction of `sim_cycles`, used
   /// by the phase-resolved pipeline (profiles with per-phase traffic).  The
   /// default halves the window: four phase evaluations at half the window
@@ -98,6 +139,15 @@ struct BuiltPlatform {
   vfi::VfiDesign vfi;   ///< meaningful only when has_vfi
   bool has_vfi = false;
   std::size_t wi_count = 0;
+  /// Lazily-populated memo of analytical NoC models over this platform
+  /// (see noc/analytical.hpp).  A model depends on the platform plus the
+  /// evaluation window / fault schedule — not on the traffic matrix — so
+  /// the phase evaluations of a run (and every sweep point sharing this
+  /// platform through a PlatformCache) reuse one construction.  Held by
+  /// shared_ptr so BuiltPlatform stays movable and the memo follows the
+  /// platform it indexes.
+  std::shared_ptr<noc::AnalyticalNocModel::Cache> analytical_models =
+      std::make_shared<noc::AnalyticalNocModel::Cache>();
 };
 
 /// Run the VFI design flow (if applicable), map threads and build the
@@ -105,6 +155,42 @@ struct BuiltPlatform {
 BuiltPlatform build_platform(const workload::AppProfile& profile,
                              const PlatformParams& params,
                              const power::VfTable& table);
+
+/// Memoizing, thread-safe platform-construction service for design-space
+/// sweeps.  Keys are the raw bytes of every input that steers
+/// build_platform: the profile's workload content plus the design knobs
+/// (system kind, placement, small-world and VFI parameters, V/F table).
+/// Fidelity, injection windows, traffic seeds and fault specs deliberately
+/// do NOT enter the key — platform design is invariant under them, which is
+/// what makes one cached platform safe to share across every point of a
+/// sweep axis.  Compute-once under contention: concurrent requests for the
+/// same key block on the first builder (the VFI design flow is ~25x the
+/// cost of a network evaluation, so duplicate builds would dwarf the win).
+class PlatformCache {
+ public:
+  /// Returns the platform for (profile, params, table), building it on the
+  /// first request.  The returned platform is immutable and outlives the
+  /// cache entry via shared ownership.
+  std::shared_ptr<const BuiltPlatform> get(
+      const workload::AppProfile& profile, const PlatformParams& params,
+      const power::VfTable& table);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    std::shared_ptr<const BuiltPlatform> value;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
 
 /// Aggregate network figures extracted from a cycle-accurate run.
 struct NetworkEval {

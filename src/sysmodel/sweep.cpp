@@ -1,6 +1,10 @@
 #include "sysmodel/sweep.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/parallel_for.hpp"
+#include "sysmodel/net_eval.hpp"
 
 namespace vfimr::sysmodel {
 
@@ -13,6 +17,149 @@ std::vector<SystemComparison> sweep_comparisons(
   parallel_for(profiles.size(), threads, [&](std::size_t i) {
     out[i] = compare_systems(profiles[i], sim, base_params);
   });
+  return out;
+}
+
+AutoComparison compare_systems_auto(const workload::AppProfile& profile,
+                                    const FullSystemSim& sim,
+                                    const PlatformParams& base_params) {
+  AutoComparison out;
+
+  // Explore all three systems in the analytical band.
+  PlatformParams explore = base_params;
+  explore.fidelity = Fidelity::kAuto;
+  out.explored = compare_systems(profile, sim, explore);
+
+  const SystemReport* reports[] = {&out.explored.nvfi_mesh,
+                                   &out.explored.vfi_mesh,
+                                   &out.explored.vfi_winoc};
+  const SystemKind kinds[] = {SystemKind::kNvfiMesh, SystemKind::kVfiMesh,
+                              SystemKind::kVfiWinoc};
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (reports[i]->edp_js() < reports[best]->edp_js()) best = i;
+  }
+  out.frontier = kinds[best];
+
+  // Confirm cycle-accurately.  The frontier EDP is only meaningful relative
+  // to a baseline of the same band, so the NVFI reference is re-run
+  // cycle-accurately too (one promotion each).
+  PlatformParams confirm = base_params;
+  confirm.fidelity = Fidelity::kCycleAccurate;
+  confirm.kind = SystemKind::kNvfiMesh;
+  out.confirmed_baseline = sim.run(profile, confirm);
+  if (base_params.net_eval != nullptr) {
+    base_params.net_eval->note_promotion(base_params.telemetry);
+  }
+  if (out.frontier == SystemKind::kNvfiMesh) {
+    out.confirmed = out.confirmed_baseline;
+    return out;
+  }
+  const PhaseBaselines baseline = phase_baselines(out.confirmed_baseline);
+  confirm.kind = out.frontier;
+  out.confirmed = sim.run(profile, confirm, baseline);
+  if (base_params.net_eval != nullptr) {
+    base_params.net_eval->note_promotion(base_params.telemetry);
+  }
+  return out;
+}
+
+DesignSpaceResult sweep_design_space(const workload::AppProfile& profile,
+                                     const FullSystemSim& sim,
+                                     const std::vector<SweepPoint>& points,
+                                     std::size_t promote_top,
+                                     std::size_t threads) {
+  if (threads == 0) threads = default_parallelism();
+  DesignSpaceResult out;
+  out.points.resize(points.size());
+  if (points.empty()) return out;
+
+  // One NVFI-mesh reference per band, derived from the first point's
+  // params: exploration compares analytical latencies against an analytical
+  // baseline (errors largely cancel in the ratio), confirmations against a
+  // cycle-accurate one.
+  bool need_analytical = false;
+  bool need_cycle = false;
+  bool any_auto = false;
+  for (const SweepPoint& p : points) {
+    if (analytical_band(p.params.fidelity)) {
+      need_analytical = true;
+      any_auto = any_auto || p.params.fidelity == Fidelity::kAuto;
+    } else {
+      need_cycle = true;
+    }
+  }
+  need_cycle = need_cycle || (any_auto && promote_top > 0);
+
+  PhaseBaselines analytical_baseline;
+  PhaseBaselines cycle_baseline;
+  if (need_analytical) {
+    PlatformParams p = points.front().params;
+    p.kind = SystemKind::kNvfiMesh;
+    p.fidelity = Fidelity::kAnalytical;
+    analytical_baseline = phase_baselines(sim.run(profile, p));
+  }
+  if (need_cycle) {
+    PlatformParams p = points.front().params;
+    p.kind = SystemKind::kNvfiMesh;
+    p.fidelity = Fidelity::kCycleAccurate;
+    cycle_baseline = phase_baselines(sim.run(profile, p));
+  }
+
+  parallel_for(points.size(), threads, [&](std::size_t i) {
+    DesignPointResult& r = out.points[i];
+    r.label = points[i].label;
+    const PlatformParams& params = points[i].params;
+    r.explored = sim.run(profile, params,
+                         analytical_band(params.fidelity)
+                             ? analytical_baseline
+                             : cycle_baseline);
+  });
+
+  for (std::size_t i = 1; i < out.points.size(); ++i) {
+    if (out.points[i].explored.edp_js() <
+        out.points[out.argmin_explored].explored.edp_js()) {
+      out.argmin_explored = i;
+    }
+  }
+
+  // Promote the best kAuto points to cycle-accurate confirmation runs.
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].params.fidelity == Fidelity::kAuto) eligible.push_back(i);
+  }
+  std::stable_sort(eligible.begin(), eligible.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return out.points[a].explored.edp_js() <
+                            out.points[b].explored.edp_js();
+                   });
+  if (eligible.size() > promote_top) eligible.resize(promote_top);
+
+  parallel_for(eligible.size(), threads, [&](std::size_t k) {
+    const std::size_t i = eligible[k];
+    PlatformParams confirm = points[i].params;
+    confirm.fidelity = Fidelity::kCycleAccurate;
+    out.points[i].confirmed = sim.run(profile, confirm, cycle_baseline);
+    out.points[i].promoted = true;
+  });
+  out.promotions = eligible.size();
+  if (!eligible.empty()) {
+    NetworkEvaluator* evaluator = points.front().params.net_eval;
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      if (evaluator != nullptr) {
+        evaluator->note_promotion(points.front().params.telemetry);
+      }
+    }
+    out.argmin_confirmed = eligible.front();
+    for (std::size_t i : eligible) {
+      if (out.points[i].confirmed.edp_js() <
+          out.points[out.argmin_confirmed].confirmed.edp_js()) {
+        out.argmin_confirmed = i;
+      }
+    }
+  } else {
+    out.argmin_confirmed = out.argmin_explored;
+  }
   return out;
 }
 

@@ -1,17 +1,18 @@
 #pragma once
-// Parallel experiment runner for the three-system comparison sweeps that
-// back every figure and table: one compare_systems() call per application
-// profile, fanned out over a bounded thread pool.
+// Parallel experiment runners for the comparison sweeps that back every
+// figure and table — and, since the multi-fidelity ladder (DESIGN.md §12),
+// the analytical-first design-space drivers.
 //
 // FullSystemSim::run is const and side-effect-free (each run owns its
 // platform, network and task-simulator state; the only shared static is the
 // VfTable::standard() singleton, whose initialization is thread-safe), so
-// the sweep is safe to parallelize at profile granularity.  Results are
-// returned in profile order regardless of scheduling, and every run's
-// randomness is seeded from its own PlatformParams (per-run seed
+// the sweeps are safe to parallelize at profile / design-point granularity.
+// Results are returned in input order regardless of scheduling, and every
+// run's randomness is seeded from its own PlatformParams (per-run seed
 // isolation), so the output is bit-identical for any thread count.
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "sysmodel/system_sim.hpp"
@@ -26,5 +27,61 @@ std::vector<SystemComparison> sweep_comparisons(
     const std::vector<workload::AppProfile>& profiles,
     const FullSystemSim& sim, const PlatformParams& base_params = {},
     std::size_t threads = 0);
+
+/// The Auto-mode three-system comparison: explore every system in the
+/// analytical band, pick the EDP frontier, then confirm it (and the NVFI
+/// baseline it is judged against) cycle-accurately.  Each confirmation is
+/// recorded as a promotion on base_params.net_eval when one is attached.
+struct AutoComparison {
+  /// Analytical-band exploration of all three systems (fidelity kAuto).
+  SystemComparison explored;
+  /// argmin of the explored EDPs — the system the Auto policy promotes.
+  SystemKind frontier = SystemKind::kNvfiMesh;
+  /// Cycle-accurate re-run of the frontier system (== confirmed_baseline
+  /// when the frontier is the NVFI mesh itself).
+  SystemReport confirmed;
+  /// Cycle-accurate NVFI-mesh run that supplied the confirmation baselines.
+  SystemReport confirmed_baseline;
+};
+
+AutoComparison compare_systems_auto(const workload::AppProfile& profile,
+                                    const FullSystemSim& sim,
+                                    const PlatformParams& base_params = {});
+
+/// One candidate platform configuration in a design-space sweep.  The
+/// params carry everything, including the fidelity band the point is
+/// explored in (kAuto points are eligible for cycle-accurate promotion).
+struct SweepPoint {
+  std::string label;
+  PlatformParams params;
+};
+
+struct DesignPointResult {
+  std::string label;
+  SystemReport explored;
+  bool promoted = false;
+  SystemReport confirmed;  ///< valid only when promoted
+};
+
+struct DesignSpaceResult {
+  std::vector<DesignPointResult> points;  ///< in input order
+  std::size_t argmin_explored = 0;   ///< lowest explored EDP
+  std::size_t argmin_confirmed = 0;  ///< lowest confirmed EDP among promoted
+                                     ///< points; == argmin_explored when
+                                     ///< nothing was promoted
+  std::size_t promotions = 0;
+};
+
+/// Explore every point in its own fidelity band in parallel, then promote
+/// the `promote_top` kAuto points with the lowest explored EDP to
+/// cycle-accurate confirmation runs.  Baselines (the NVFI-mesh reference
+/// latencies) are computed once per band from points[0]'s params.
+/// Promotions are recorded on the points' shared net_eval (when attached).
+/// Deterministic for any `threads` (0 = default_parallelism()).
+DesignSpaceResult sweep_design_space(const workload::AppProfile& profile,
+                                     const FullSystemSim& sim,
+                                     const std::vector<SweepPoint>& points,
+                                     std::size_t promote_top = 1,
+                                     std::size_t threads = 0);
 
 }  // namespace vfimr::sysmodel

@@ -127,7 +127,15 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
   // under the whole-run matrix (legacy profiles), or once per phase matrix
   // (the PhasePlan -> PhaseResult pipeline).  Evaluations route through the
   // shared memo cache when params.net_eval is set.
-  BuiltPlatform built = build_platform(profile, params, *table_);
+  std::shared_ptr<const BuiltPlatform> cached_platform;
+  BuiltPlatform local_platform;
+  if (params.platform_cache != nullptr) {
+    cached_platform = params.platform_cache->get(profile, params, *table_);
+  } else {
+    local_platform = build_platform(profile, params, *table_);
+  }
+  const BuiltPlatform& built =
+      cached_platform != nullptr ? *cached_platform : local_platform;
   report.has_vfi = built.has_vfi;
   if (built.has_vfi) report.vfi = built.vfi;
   report.phase_resolved = profile.phase_resolved();
@@ -141,8 +149,8 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
                                        profile.packet_flits, eval_params,
                                        models_.noc, eval_label);
     }
-    return evaluate_network_traffic(built, node_traffic, profile.packet_flits,
-                                    eval_params, models_.noc, eval_label);
+    return evaluate_network_banded(built, node_traffic, profile.packet_flits,
+                                   eval_params, models_.noc, eval_label);
   };
 
   std::array<PhasePlan, workload::kPhaseCount> plans;

@@ -229,5 +229,59 @@ TEST(NetEval, DegenerateProfileIsOneSimulationPlusThreeHits) {
   EXPECT_EQ(evaluator.stats().hits, 3u);
 }
 
+TEST(NetEval, FidelityBandIsPartOfTheCacheKey) {
+  // Regression: the memo key must include the fidelity band.  Before the
+  // fix, an analytical evaluation and a cycle-accurate evaluation of the
+  // same (platform, traffic, params) serialized to the same key, so
+  // whichever band ran first poisoned the cache for the other.
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  PlatformParams params = small_params(SystemKind::kVfiWinoc);
+  const BuiltPlatform built = build_platform(profile, params, sim.vf_table());
+
+  NetworkEvaluator evaluator;
+  params.fidelity = Fidelity::kCycleAccurate;
+  const NetworkEval cycle = evaluator.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  params.fidelity = Fidelity::kAnalytical;
+  const NetworkEval analytical = evaluator.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+
+  // Both bands missed (distinct entries), nothing aliased.
+  EXPECT_EQ(evaluator.size(), 2u);
+  EXPECT_EQ(evaluator.stats().misses, 2u);
+  EXPECT_EQ(evaluator.stats().hits, 0u);
+  EXPECT_EQ(evaluator.stats().cycle_misses, 1u);
+  EXPECT_EQ(evaluator.stats().analytical_misses, 1u);
+  // The two results really are different simulations, not a relabeled copy.
+  EXPECT_NE(cycle.avg_latency_cycles, analytical.avg_latency_cycles);
+
+  // Replays hit their own band's entry and return it bit-identically.
+  params.fidelity = Fidelity::kCycleAccurate;
+  const NetworkEval cycle_hit = evaluator.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  params.fidelity = Fidelity::kAnalytical;
+  const NetworkEval ana_hit = evaluator.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  expect_identical(cycle_hit, cycle);
+  expect_identical(ana_hit, analytical);
+  EXPECT_EQ(evaluator.stats().cycle_hits, 1u);
+  EXPECT_EQ(evaluator.stats().analytical_hits, 1u);
+  EXPECT_EQ(evaluator.size(), 2u);
+
+  // kAuto explores analytically: it must land on the analytical entry.
+  params.fidelity = Fidelity::kAuto;
+  const NetworkEval auto_hit = evaluator.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  expect_identical(auto_hit, analytical);
+  EXPECT_EQ(evaluator.stats().analytical_hits, 2u);
+  EXPECT_EQ(evaluator.size(), 2u);
+}
+
 }  // namespace
 }  // namespace vfimr::sysmodel

@@ -108,6 +108,119 @@ TEST(StressSweep, SharedNetworkEvaluatorUnderEightThreadSweep) {
   EXPECT_EQ(cache8.size(), cache2.size());
 }
 
+TEST(StressSweep, SharedPlatformCacheUnderEightThreadSweep) {
+  // One PlatformCache shared by all sweep workers: the platform key covers
+  // workload content + design knobs only, so three profiles x three system
+  // kinds populate exactly nine entries, a second sweep over the same space
+  // is pure hits, and every cached run must be bit-identical to building
+  // platforms fresh.  Compute-once is the TSan target: concurrent requests
+  // for one key must block on the first builder, not duplicate the VFI
+  // design flow.
+  const std::vector<workload::AppProfile> profiles = {
+      workload::make_profile(workload::App::kHist),
+      workload::make_profile(workload::App::kLR),
+      workload::make_profile(workload::App::kWC)};
+  const FullSystemSim sim;
+  PlatformParams params;
+  params.sim_cycles = 1'500;
+  params.drain_cycles = 15'000;
+
+  const auto fresh = sweep_comparisons(profiles, sim, params, 8);
+
+  PlatformCache cache;
+  params.platform_cache = &cache;
+  const auto cached = sweep_comparisons(profiles, sim, params, 8);
+  const std::uint64_t first_pass_misses = cache.misses();
+  const auto warm = sweep_comparisons(profiles, sim, params, 8);
+
+  ASSERT_EQ(cached.size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (auto pick : {&SystemComparison::nvfi_mesh,
+                      &SystemComparison::vfi_mesh,
+                      &SystemComparison::vfi_winoc}) {
+      const SystemReport& a = fresh[i].*pick;
+      const SystemReport& b = cached[i].*pick;
+      const SystemReport& c = warm[i].*pick;
+      EXPECT_EQ(a.exec_s, b.exec_s);
+      EXPECT_EQ(a.exec_s, c.exec_s);
+      EXPECT_EQ(a.edp_js(), b.edp_js());
+      EXPECT_EQ(a.edp_js(), c.edp_js());
+      EXPECT_EQ(a.net.avg_latency_cycles, b.net.avg_latency_cycles);
+      EXPECT_EQ(a.net.avg_latency_cycles, c.net.avg_latency_cycles);
+    }
+  }
+  // 3 profiles x 3 kinds = 9 distinct platforms; the first sweep misses
+  // each exactly once (compute-once under contention), the second sweep is
+  // pure hits.  Counters are scheduling-independent.
+  EXPECT_EQ(cache.size(), 9u);
+  EXPECT_EQ(first_pass_misses, 9u);
+  EXPECT_EQ(cache.misses(), 9u);
+  EXPECT_EQ(cache.hits(), 9u);  // warm pass: every run hits its platform
+}
+
+TEST(StressSweep, AutoFidelitySweepPromotionIsRaceFree) {
+  // The multi-fidelity design-space driver under contention: 8 workers
+  // explore kAuto points through ONE shared evaluator, then the driver
+  // promotes the frontier to cycle-accurate confirmation.  Promotion
+  // bookkeeping (note_promotion) and the band-tagged memo cache are the
+  // shared state under test (TSan target); the observable contract is that
+  // results, argmins and every per-band counter are independent of the
+  // thread count, and that the band counters are internally consistent.
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  std::vector<SweepPoint> points;
+  for (SystemKind kind : {SystemKind::kNvfiMesh, SystemKind::kVfiMesh,
+                          SystemKind::kVfiWinoc}) {
+    for (noc::Cycle cycles : {1'000, 1'500}) {
+      SweepPoint pt;
+      pt.label = system_name(kind) + "/" + std::to_string(cycles);
+      pt.params.kind = kind;
+      pt.params.sim_cycles = cycles;
+      pt.params.drain_cycles = 15'000;
+      pt.params.fidelity = Fidelity::kAuto;
+      points.push_back(pt);
+    }
+  }
+
+  NetworkEvaluator cache8;
+  for (auto& pt : points) pt.params.net_eval = &cache8;
+  const auto run8 = sweep_design_space(profile, sim, points, 2, 8);
+  const auto stats8 = cache8.stats();
+
+  NetworkEvaluator cache2;
+  for (auto& pt : points) pt.params.net_eval = &cache2;
+  const auto run2 = sweep_design_space(profile, sim, points, 2, 2);
+  const auto stats2 = cache2.stats();
+
+  ASSERT_EQ(run8.points.size(), points.size());
+  EXPECT_EQ(run8.argmin_explored, run2.argmin_explored);
+  EXPECT_EQ(run8.argmin_confirmed, run2.argmin_confirmed);
+  EXPECT_EQ(run8.promotions, 2u);
+  EXPECT_EQ(run2.promotions, 2u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(run8.points[i].explored.edp_js(), run2.points[i].explored.edp_js());
+    EXPECT_EQ(run8.points[i].promoted, run2.points[i].promoted);
+    if (run8.points[i].promoted) {
+      EXPECT_EQ(run8.points[i].confirmed.edp_js(),
+                run2.points[i].confirmed.edp_js());
+    }
+  }
+  // Per-band counters sum to the totals (no evaluation escapes its band's
+  // tally) and are scheduling-independent.
+  EXPECT_EQ(stats8.analytical_hits + stats8.cycle_hits, stats8.hits);
+  EXPECT_EQ(stats8.analytical_misses + stats8.cycle_misses, stats8.misses);
+  EXPECT_EQ(stats8.analytical_misses, stats2.analytical_misses);
+  EXPECT_EQ(stats8.analytical_hits, stats2.analytical_hits);
+  EXPECT_EQ(stats8.cycle_misses, stats2.cycle_misses);
+  EXPECT_EQ(stats8.cycle_hits, stats2.cycle_hits);
+  EXPECT_EQ(stats8.promotions, stats2.promotions);
+  EXPECT_EQ(stats8.promotions, 2u);
+  // Both bands saw traffic: exploration analytically, confirmation
+  // cycle-accurately.
+  EXPECT_GT(stats8.analytical_misses, 0u);
+  EXPECT_GT(stats8.cycle_misses, 0u);
+}
+
 TEST(StressSweep, SharedTelemetrySinkUnderEightThreadSweep) {
   // One TelemetrySink shared by every concurrent run: counters, histogram
   // buckets and per-thread trace buffers all take concurrent traffic here.
