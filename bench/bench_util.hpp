@@ -5,6 +5,7 @@
 // committed results/ set in place instead of littering the working
 // directory.
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -94,15 +95,28 @@ class TelemetryScope {
   std::unique_ptr<telemetry::TelemetrySink> sink_;
 };
 
-/// Bench output path: `results/<name>`, creating `results/` on demand.
-/// Falls back to `<name>` in the working directory when the directory
-/// cannot be created (read-only checkouts) so the caller's own error
-/// handling sees the write failure, not a bogus path.
+/// Bench output directory: the VFIMR_RESULTS_DIR environment variable when
+/// set and non-empty, else `results` relative to the CWD.  The override
+/// keeps every bench writing into ONE results tree no matter which
+/// directory it is launched from (CI steps, `ctest`-driven smoke runs and
+/// repo-root refreshes used to each grow their own `results/`).
+inline std::string results_dir() {
+  if (const char* env = std::getenv("VFIMR_RESULTS_DIR")) {
+    if (*env != '\0') return env;
+  }
+  return "results";
+}
+
+/// Bench output path: `<results_dir()>/<name>`, creating the directory on
+/// demand.  Falls back to `<name>` in the working directory when the
+/// directory cannot be created (read-only checkouts) so the caller's own
+/// error handling sees the write failure, not a bogus path.
 inline std::string results_path(const std::string& name) {
+  const std::string dir = results_dir();
   std::error_code ec;
-  std::filesystem::create_directories("results", ec);
+  std::filesystem::create_directories(dir, ec);
   if (ec) return name;
-  return "results/" + name;
+  return dir + "/" + name;
 }
 
 /// Print the table and write `results/<csv_name>.csv`; CSV failures are

@@ -1,0 +1,85 @@
+#include "cluster/arrivals.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vfimr::cluster {
+
+namespace {
+
+std::size_t app_index(workload::App app) {
+  for (std::size_t i = 0; i < workload::kAllApps.size(); ++i) {
+    if (workload::kAllApps[i] == app) return i;
+  }
+  requirement_failed("app in kAllApps", __FILE__, __LINE__,
+                     "unknown workload::App value");
+}
+
+std::vector<JobArrival> poisson_arrivals(const ArrivalConfig& cfg) {
+  VFIMR_REQUIRE_MSG(cfg.rate_jobs_per_s > 0.0,
+                    "Poisson arrivals need rate > 0, got "
+                        << cfg.rate_jobs_per_s);
+  std::vector<double> mix = cfg.app_mix;
+  if (mix.empty()) mix.assign(workload::kAllApps.size(), 1.0);
+  VFIMR_REQUIRE_MSG(mix.size() == workload::kAllApps.size(),
+                    "app_mix needs one weight per app ("
+                        << workload::kAllApps.size() << "), got "
+                        << mix.size());
+  double total = 0.0;
+  for (double w : mix) {
+    VFIMR_REQUIRE_MSG(w >= 0.0, "app_mix weights must be >= 0, got " << w);
+    total += w;
+  }
+  VFIMR_REQUIRE_MSG(total > 0.0, "app_mix weights must not all be zero");
+  if (cfg.deadline_factor > 0.0) {
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      VFIMR_REQUIRE_MSG(
+          mix[i] == 0.0 || cfg.service_hint_s[i] > 0.0,
+          "deadline_factor > 0 needs a positive service_hint_s for "
+              << workload::app_name(workload::kAllApps[i]));
+    }
+  }
+
+  Rng rng{cfg.seed};
+  std::vector<JobArrival> out;
+  out.reserve(cfg.job_count);
+  double t = 0.0;
+  for (std::size_t j = 0; j < cfg.job_count; ++j) {
+    t += rng.exponential(cfg.rate_jobs_per_s);
+    JobArrival a;
+    a.time_s = t;
+    const std::size_t pick = rng.weighted_index(mix);
+    a.app = workload::kAllApps[pick];
+    if (cfg.deadline_factor > 0.0) {
+      a.deadline_s = cfg.deadline_factor * cfg.service_hint_s[pick];
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<JobArrival> trace_arrivals(const ArrivalConfig& cfg) {
+  double prev = 0.0;
+  for (const JobArrival& a : cfg.trace) {
+    VFIMR_REQUIRE_MSG(a.time_s >= prev,
+                      "trace arrival times must be non-decreasing ("
+                          << a.time_s << " after " << prev << ")");
+    VFIMR_REQUIRE_MSG(a.deadline_s >= 0.0,
+                      "trace deadlines must be >= 0, got " << a.deadline_s);
+    app_index(a.app);  // rejects out-of-range App values
+    prev = a.time_s;
+  }
+  return cfg.trace;
+}
+
+}  // namespace
+
+std::vector<JobArrival> make_arrivals(const ArrivalConfig& cfg) {
+  switch (cfg.model) {
+    case ArrivalModel::kPoisson: return poisson_arrivals(cfg);
+    case ArrivalModel::kTrace: return trace_arrivals(cfg);
+  }
+  requirement_failed("known ArrivalModel", __FILE__, __LINE__, "");
+}
+
+}  // namespace vfimr::cluster

@@ -1,0 +1,58 @@
+#pragma once
+// Open-arrival job streams for the cluster serving tier (DESIGN.md §13).
+//
+// The paper evaluates one MapReduce job at a time; the serving tier feeds a
+// fleet of simulated VFI platforms from a continuous stream of jobs drawn
+// from the six-app catalog.  Streams are either synthetic (Poisson process
+// with a seeded deterministic RNG and a per-app mixture) or trace-driven
+// (caller-supplied arrival records, validated and replayed verbatim).
+// Either way the generated vector is a pure function of the config, so a
+// serving simulation is reproducible bit-for-bit from (config, fleet).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/app.hpp"
+
+namespace vfimr::cluster {
+
+enum class ArrivalModel : std::uint8_t { kPoisson, kTrace };
+
+/// One job entering the serving tier.
+struct JobArrival {
+  double time_s = 0.0;  ///< absolute arrival time (non-decreasing)
+  workload::App app = workload::App::kWC;
+  /// Relative completion deadline (seconds after arrival); 0 = none.
+  double deadline_s = 0.0;
+};
+
+struct ArrivalConfig {
+  ArrivalModel model = ArrivalModel::kPoisson;
+  /// Poisson arrival rate (jobs per simulated second).
+  double rate_jobs_per_s = 100.0;
+  std::size_t job_count = 10'000;
+  std::uint64_t seed = 2015;
+  /// Mixture weights over workload::kAllApps (same order); empty = uniform.
+  /// Entries must be >= 0 with a positive total.
+  std::vector<double> app_mix;
+  /// Relative deadline as a multiple of the app's nominal service time
+  /// (`service_hint_s`); 0 disables deadlines.
+  double deadline_factor = 0.0;
+  /// Per-app nominal service time (seconds, workload::kAllApps order) used
+  /// to stamp deadlines; typically ServiceMatrix::mean_service_s.  Required
+  /// (> 0 for every app with nonzero mix weight) when deadline_factor > 0.
+  std::array<double, workload::kAllApps.size()> service_hint_s{};
+  /// Trace-driven arrivals (model == kTrace): replayed verbatim after
+  /// validation (non-decreasing times, non-negative deadlines).
+  std::vector<JobArrival> trace;
+};
+
+/// Materialize the stream described by `cfg`.  Deterministic: equal configs
+/// produce byte-identical streams.  Throws RequirementError on invalid
+/// configs (non-positive rate, bad mixture, unsorted trace, missing
+/// service hints under deadline_factor > 0).
+std::vector<JobArrival> make_arrivals(const ArrivalConfig& cfg);
+
+}  // namespace vfimr::cluster

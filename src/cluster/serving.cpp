@@ -1,0 +1,410 @@
+#include "cluster/serving.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace vfimr::cluster {
+
+std::string policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kLeastLoaded: return "least-loaded";
+    case SchedulerPolicy::kEdpGreedy: return "edp";
+  }
+  return "?";
+}
+
+bool parse_policy(const std::string& name, SchedulerPolicy& out) {
+  if (name == "least-loaded") {
+    out = SchedulerPolicy::kLeastLoaded;
+    return true;
+  }
+  if (name == "edp") {
+    out = SchedulerPolicy::kEdpGreedy;
+    return true;
+  }
+  return false;
+}
+
+std::string discipline_name(QueueDiscipline queue) {
+  switch (queue) {
+    case QueueDiscipline::kFifo: return "fifo";
+    case QueueDiscipline::kEarliestDeadline: return "edf";
+  }
+  return "?";
+}
+
+std::string power_cap_name(PowerCapMode mode) {
+  switch (mode) {
+    case PowerCapMode::kNone: return "none";
+    case PowerCapMode::kShed: return "shed";
+    case PowerCapMode::kDelay: return "delay";
+  }
+  return "?";
+}
+
+std::string format_quantile(const P2Quantile& q, int digits) {
+  if (q.count() == 0 || std::isnan(q.value())) return "n/a";
+  return fmt(q.value(), digits);
+}
+
+double ClusterReport::utilization() const {
+  const double denom = static_cast<double>(instances) * horizon_s;
+  return denom > 0.0 ? busy_seconds / denom : 0.0;
+}
+
+TextTable ClusterReport::sla_table() const {
+  TextTable t{{"scope", "arrived", "admitted", "completed", "rej_deadline",
+               "rej_power", "miss", "mean_s", "p50_s", "p99_s", "p999_s",
+               "energy_j"}};
+  auto row = [&t](const std::string& scope, const SlaStats& s) {
+    t.add_row({scope, std::to_string(s.arrived), std::to_string(s.admitted),
+               std::to_string(s.completed),
+               std::to_string(s.rejected_deadline),
+               std::to_string(s.rejected_power),
+               std::to_string(s.deadline_misses), fmt(s.latency_s.mean(), 4),
+               format_quantile(s.p50), format_quantile(s.p99),
+               format_quantile(s.p999), fmt(s.energy_j.mean(), 3)});
+  };
+  for (std::size_t a = 0; a < per_app.size(); ++a) {
+    row(workload::app_name(app_order[a]), per_app[a]);
+  }
+  row("fleet", fleet);
+  return t;
+}
+
+namespace {
+
+struct Job {
+  std::size_t app_row = 0;
+  double arrival_s = 0.0;
+  double exec_s = 0.0;    ///< service time on the chosen instance's type
+  double energy_j = 0.0;  ///< energy on the chosen instance's type
+  double power_w = 0.0;   ///< draw on the chosen instance's type
+  double deadline_abs_s = 0.0;  ///< absolute deadline; 0 = none
+};
+
+/// Queue entry: min-heap on (key, seq).  FIFO uses key 0 (ordering falls
+/// to the admission sequence); EDF uses the absolute deadline (deadline-
+/// free jobs sort last via +inf).
+struct QueueEntry {
+  double key = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t job = 0;
+};
+struct QueueLater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.seq > b.seq;
+  }
+};
+
+struct Instance {
+  std::size_t type = 0;
+  bool busy = false;
+  double running_until = 0.0;     ///< completion time of the running job
+  double queued_service_s = 0.0;  ///< service backlog waiting in the queue
+  double blocked_since = -1.0;    ///< power-cap block start; < 0 = not blocked
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueLater> queue;
+};
+
+struct Completion {
+  double time_s = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t instance = 0;
+  std::uint32_t job = 0;
+};
+struct CompletionLater {
+  bool operator()(const Completion& a, const Completion& b) const {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.seq > b.seq;
+  }
+};
+
+std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+void record_completion(SlaStats& s, double latency_s, double energy_j) {
+  ++s.completed;
+  s.latency_s.add(latency_s);
+  s.energy_j.add(energy_j);
+  s.p50.add(latency_s);
+  s.p99.add(latency_s);
+  s.p999.add(latency_s);
+}
+
+}  // namespace
+
+ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
+                              const FleetConfig& fleet,
+                              const ServiceMatrix& matrix) {
+  VFIMR_REQUIRE_MSG(!fleet.types.empty(), "fleet needs >= 1 platform type");
+  VFIMR_REQUIRE_MSG(fleet.types.size() == matrix.types(),
+                    "fleet has " << fleet.types.size()
+                                 << " platform types but the ServiceMatrix "
+                                    "was evaluated for "
+                                 << matrix.types());
+  if (fleet.power_cap != PowerCapMode::kNone) {
+    VFIMR_REQUIRE_MSG(fleet.power_cap_w > 0.0,
+                      "power cap mode " << power_cap_name(fleet.power_cap)
+                                        << " needs power_cap_w > 0");
+  }
+
+  // Expand types into instances.
+  std::vector<Instance> insts;
+  for (std::size_t t = 0; t < fleet.types.size(); ++t) {
+    VFIMR_REQUIRE_MSG(fleet.types[t].count >= 1,
+                      "platform type '" << fleet.types[t].label
+                                        << "' has count 0");
+    for (std::size_t c = 0; c < fleet.types[t].count; ++c) {
+      Instance inst;
+      inst.type = t;
+      insts.push_back(std::move(inst));
+    }
+  }
+
+  double max_exec = 0.0;
+  for (std::size_t a = 0; a < matrix.apps(); ++a) {
+    for (std::size_t t = 0; t < matrix.types(); ++t) {
+      const ServicePoint& pt = matrix.at(a, t);
+      max_exec = std::max(max_exec, pt.exec_s);
+      if (fleet.power_cap == PowerCapMode::kDelay) {
+        // A job drawing more than the whole budget would block its
+        // instance forever: a config error, not a simulation outcome.
+        VFIMR_REQUIRE_MSG(pt.power_w <= fleet.power_cap_w,
+                          "power cap " << fleet.power_cap_w
+                                       << " W is below the draw of a single "
+                                          "job ("
+                                       << pt.power_w << " W)");
+      }
+    }
+  }
+
+  ClusterReport report;
+  report.app_order = matrix.app_order();
+  report.per_app.assign(matrix.apps(), SlaStats{});
+  report.instances = insts.size();
+  const double hist_max = fleet.latency_hist_max_s > 0.0
+                              ? fleet.latency_hist_max_s
+                              : std::max(50.0 * max_exec, 1e-9);
+  report.latency_hist =
+      Histogram{0.0, hist_max, std::max<std::size_t>(fleet.latency_hist_bins, 1)};
+
+  std::vector<Job> jobs;
+  jobs.reserve(arrivals.size());
+
+  std::priority_queue<Completion, std::vector<Completion>, CompletionLater>
+      completions;
+  std::vector<std::uint32_t> power_blocked;  // instance ids, block order
+  double running_power = 0.0;
+  std::uint64_t queue_seq = 0;
+  std::uint64_t completion_seq = 0;
+
+  // Streaming telemetry instruments (cached once; null sink = no-ops).
+  telemetry::MetricsRegistry* metrics =
+      fleet.telemetry != nullptr ? &fleet.telemetry->metrics() : nullptr;
+  telemetry::QuantileMetric* tele_p50 =
+      metrics ? &metrics->quantile("cluster.latency_s.p50", 0.50) : nullptr;
+  telemetry::QuantileMetric* tele_p99 =
+      metrics ? &metrics->quantile("cluster.latency_s.p99", 0.99) : nullptr;
+  telemetry::QuantileMetric* tele_p999 =
+      metrics ? &metrics->quantile("cluster.latency_s.p999", 0.999) : nullptr;
+
+  // Try to start the head-of-queue job on an idle instance; returns without
+  // starting when the queue is empty or the power cap has no headroom (the
+  // instance then waits on `power_blocked` until a completion frees draw).
+  auto try_start = [&](std::uint32_t i, double now) {
+    Instance& inst = insts[i];
+    if (inst.busy || inst.queue.empty()) return;
+    const QueueEntry head = inst.queue.top();
+    Job& job = jobs[head.job];
+    if (fleet.power_cap == PowerCapMode::kDelay &&
+        running_power + job.power_w > fleet.power_cap_w) {
+      if (inst.blocked_since < 0.0) {
+        inst.blocked_since = now;
+        power_blocked.push_back(i);
+      }
+      return;
+    }
+    inst.queue.pop();
+    inst.queued_service_s -= job.exec_s;
+    if (inst.blocked_since >= 0.0) {
+      report.power_wait_seconds += now - inst.blocked_since;
+      inst.blocked_since = -1.0;
+    }
+    inst.busy = true;
+    inst.running_until = now + job.exec_s;
+    running_power += job.power_w;
+    report.peak_power_w = std::max(report.peak_power_w, running_power);
+    report.busy_seconds += job.exec_s;
+    const double queue_delay = now - job.arrival_s;
+    report.fleet.queue_s.add(queue_delay);
+    report.per_app[job.app_row].queue_s.add(queue_delay);
+    completions.push(
+        Completion{inst.running_until, completion_seq++, i, head.job});
+  };
+
+  std::size_t ai = 0;
+  while (ai < arrivals.size() || !completions.empty()) {
+    // Completions first at equal times: freed instances and power headroom
+    // must be visible to an arrival at the same instant.
+    const bool take_completion =
+        !completions.empty() &&
+        (ai >= arrivals.size() ||
+         completions.top().time_s <= arrivals[ai].time_s);
+
+    if (take_completion) {
+      const Completion done = completions.top();
+      completions.pop();
+      const double now = done.time_s;
+      Instance& inst = insts[done.instance];
+      Job& job = jobs[done.job];
+      inst.busy = false;
+      running_power -= job.power_w;
+
+      const double latency = now - job.arrival_s;
+      record_completion(report.fleet, latency, job.energy_j);
+      record_completion(report.per_app[job.app_row], latency, job.energy_j);
+      report.latency_hist.add(latency);
+      if (job.deadline_abs_s > 0.0 && now > job.deadline_abs_s) {
+        ++report.fleet.deadline_misses;
+        ++report.per_app[job.app_row].deadline_misses;
+      }
+      report.completion_digest = digest_mix(report.completion_digest, done.job);
+      report.completion_digest =
+          digest_mix(report.completion_digest, std::bit_cast<std::uint64_t>(now));
+      report.horizon_s = std::max(report.horizon_s, now);
+      if (tele_p50 != nullptr) {
+        tele_p50->add(latency);
+        tele_p99->add(latency);
+        tele_p999->add(latency);
+      }
+
+      // The freed instance serves its own queue first, then freed power
+      // headroom goes to power-blocked instances in block order.  try_start
+      // never appends an already-blocked instance twice (blocked_since
+      // guard), so rebuilding the list below keeps it duplicate-free.
+      try_start(done.instance, now);
+      if (!power_blocked.empty()) {
+        std::vector<std::uint32_t> waiting;
+        waiting.swap(power_blocked);
+        for (const std::uint32_t b : waiting) {
+          try_start(b, now);
+          if (insts[b].blocked_since >= 0.0) power_blocked.push_back(b);
+        }
+      }
+      continue;
+    }
+
+    // Arrival.
+    const JobArrival& a = arrivals[ai];
+    ++ai;
+    const double now = a.time_s;
+    report.horizon_s = std::max(report.horizon_s, now);
+    const std::size_t row = matrix.app_row(a.app);
+    ++report.fleet.arrived;
+    ++report.per_app[row].arrived;
+
+    // Placement: score every instance, keep the policy's argmin.
+    std::size_t best = insts.size();
+    double best_finish = 0.0;
+    double best_edp = 0.0;
+    bool best_feasible = false;
+    const double deadline_abs =
+        a.deadline_s > 0.0 ? now + a.deadline_s : 0.0;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const Instance& inst = insts[i];
+      const ServicePoint& pt = matrix.at(row, inst.type);
+      const double start =
+          std::max(now, inst.busy ? inst.running_until : now) +
+          inst.queued_service_s;
+      const double finish = start + pt.exec_s;
+      const bool feasible = deadline_abs == 0.0 || finish <= deadline_abs;
+      bool better = false;
+      if (best == insts.size()) {
+        better = true;
+      } else if (fleet.policy == SchedulerPolicy::kLeastLoaded) {
+        better = finish < best_finish;
+      } else {  // kEdpGreedy
+        if (feasible != best_feasible) {
+          better = feasible;
+        } else if (feasible) {
+          better = pt.edp_js < best_edp ||
+                   (pt.edp_js == best_edp && finish < best_finish);
+        } else {
+          better = finish < best_finish;
+        }
+      }
+      if (better) {
+        best = i;
+        best_finish = finish;
+        best_edp = pt.edp_js;
+        best_feasible = feasible;
+      }
+    }
+    const ServicePoint& svc = matrix.at(row, insts[best].type);
+
+    // Admission.
+    if (fleet.admit_by_deadline && deadline_abs > 0.0 &&
+        best_finish > deadline_abs) {
+      ++report.fleet.rejected_deadline;
+      ++report.per_app[row].rejected_deadline;
+      continue;
+    }
+    if (fleet.power_cap == PowerCapMode::kShed &&
+        running_power + svc.power_w > fleet.power_cap_w) {
+      ++report.fleet.rejected_power;
+      ++report.per_app[row].rejected_power;
+      continue;
+    }
+
+    ++report.fleet.admitted;
+    ++report.per_app[row].admitted;
+    Job job;
+    job.app_row = row;
+    job.arrival_s = now;
+    job.exec_s = svc.exec_s;
+    job.energy_j = svc.energy_j;
+    job.power_w = svc.power_w;
+    job.deadline_abs_s = deadline_abs;
+    jobs.push_back(job);
+
+    Instance& inst = insts[best];
+    QueueEntry entry;
+    entry.key = fleet.queue == QueueDiscipline::kEarliestDeadline
+                    ? (deadline_abs > 0.0
+                           ? deadline_abs
+                           : std::numeric_limits<double>::infinity())
+                    : 0.0;
+    entry.seq = queue_seq++;
+    entry.job = static_cast<std::uint32_t>(jobs.size() - 1);
+    inst.queue.push(entry);
+    inst.queued_service_s += svc.exec_s;
+    try_start(static_cast<std::uint32_t>(best), now);
+  }
+
+  // Mirror the final aggregates into the sink.
+  if (metrics != nullptr) {
+    metrics->counter("cluster.jobs_arrived").add(report.fleet.arrived);
+    metrics->counter("cluster.jobs_admitted").add(report.fleet.admitted);
+    metrics->counter("cluster.jobs_completed").add(report.fleet.completed);
+    metrics->counter("cluster.jobs_rejected_deadline")
+        .add(report.fleet.rejected_deadline);
+    metrics->counter("cluster.jobs_rejected_power")
+        .add(report.fleet.rejected_power);
+    metrics->counter("cluster.deadline_misses")
+        .add(report.fleet.deadline_misses);
+    metrics->gauge("cluster.peak_power_w").set(report.peak_power_w);
+    metrics->gauge("cluster.utilization").set(report.utilization());
+    metrics->gauge("cluster.horizon_s").set(report.horizon_s);
+  }
+  return report;
+}
+
+}  // namespace vfimr::cluster

@@ -1,0 +1,137 @@
+#pragma once
+// ClusterSim: the open-arrival serving tier over a fleet of simulated VFI
+// platforms (DESIGN.md §13).
+//
+// A deterministic discrete-event simulation in virtual time: jobs arrive
+// (cluster/arrivals.hpp), an admission/placement scheduler assigns each to
+// one platform instance, instances serve one job at a time from a FIFO or
+// earliest-deadline queue, and an optional fleet power cap sheds or delays
+// work.  Service times and energy come from the pre-evaluated ServiceMatrix
+// (cluster/service.hpp) — the serving loop itself touches no simulator and
+// costs O(log fleet) per job, which is what makes "millions of arrivals"
+// a throughput target rather than a wall-clock problem.
+//
+// Determinism: the event loop is strictly ordered (time, then completions
+// before arrivals, then sequence number) and consumes no RNG, so a report
+// is a pure function of (arrivals, fleet, matrix).  Worker threads only
+// ever parallelize the batched ServiceMatrix evaluation, never this loop;
+// the 1-vs-N-worker bit-identity is regression-tested in
+// tests/test_cluster.cpp and gated in CI via tools/check_cluster.py.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/arrivals.hpp"
+#include "cluster/service.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vfimr::cluster {
+
+enum class SchedulerPolicy : std::uint8_t {
+  /// Earliest predicted completion across all instances (classic join-the-
+  /// shortest-queue on heterogeneous service times).
+  kLeastLoaded,
+  /// Lowest-EDP service point among instances whose predicted completion
+  /// meets the job's deadline; falls back to earliest completion when no
+  /// instance is feasible (or the job has no deadline and several types tie).
+  kEdpGreedy,
+};
+
+std::string policy_name(SchedulerPolicy policy);
+/// Parses "least-loaded" | "edp" into `out`; false on other spellings.
+bool parse_policy(const std::string& name, SchedulerPolicy& out);
+
+enum class QueueDiscipline : std::uint8_t {
+  kFifo,              ///< serve in arrival order
+  kEarliestDeadline,  ///< serve by absolute deadline (ties: arrival order)
+};
+
+std::string discipline_name(QueueDiscipline queue);
+
+enum class PowerCapMode : std::uint8_t {
+  kNone,
+  kShed,   ///< reject at admission when the fleet draw leaves no headroom
+  kDelay,  ///< hold the job at its instance until headroom frees up
+};
+
+std::string power_cap_name(PowerCapMode mode);
+
+struct FleetConfig {
+  /// Platform types (each expanded into `count` independent instances).
+  /// Must match the ServiceMatrix the simulation runs against.
+  std::vector<PlatformTypeSpec> types;
+  SchedulerPolicy policy = SchedulerPolicy::kLeastLoaded;
+  QueueDiscipline queue = QueueDiscipline::kFifo;
+  /// Reject a job at arrival when even the best predicted completion
+  /// misses its deadline (jobs without deadlines always pass).
+  bool admit_by_deadline = false;
+  PowerCapMode power_cap = PowerCapMode::kNone;
+  double power_cap_w = 0.0;  ///< fleet budget; must be > 0 unless kNone
+  /// Upper edge of the latency histogram (seconds); 0 derives 50x the
+  /// slowest service point in the matrix.
+  double latency_hist_max_s = 0.0;
+  std::size_t latency_hist_bins = 64;
+  /// Optional sink: job counters, SLA quantiles and fleet gauges are
+  /// mirrored under "cluster.*" after the run.  Null changes nothing.
+  telemetry::TelemetrySink* telemetry = nullptr;
+};
+
+/// Latency/energy SLA aggregate (one per app plus one fleet-wide).
+struct SlaStats {
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_deadline = 0;  ///< shed at admission
+  std::uint64_t rejected_power = 0;     ///< shed by the power cap
+  std::uint64_t deadline_misses = 0;    ///< completed after their deadline
+  Accumulator latency_s;  ///< sojourn time (completion - arrival)
+  Accumulator queue_s;    ///< queueing delay (start - arrival)
+  Accumulator energy_j;   ///< platform energy per completed job
+  P2Quantile p50{0.50};
+  P2Quantile p99{0.99};
+  P2Quantile p999{0.999};
+};
+
+/// Report formatting for a streaming quantile: "n/a" when the sampler is
+/// empty (the NaN contract of P2Quantile::value), fixed-point otherwise.
+std::string format_quantile(const P2Quantile& q, int digits = 4);
+
+struct ClusterReport {
+  SlaStats fleet;
+  std::vector<SlaStats> per_app;         ///< ServiceMatrix app order
+  std::vector<workload::App> app_order;  ///< mirrors ServiceMatrix
+  Histogram latency_hist{0.0, 1.0, 1};   ///< rebuilt by run()
+  std::size_t instances = 0;
+  double horizon_s = 0.0;     ///< last completion (or arrival) time
+  double busy_seconds = 0.0;  ///< serving time summed over instances
+  /// Start delays charged to the power cap (kDelay mode), summed over jobs.
+  double power_wait_seconds = 0.0;
+  double peak_power_w = 0.0;  ///< max concurrent fleet draw observed
+  /// Order-sensitive digest over (job id, completion time) in completion
+  /// order — two runs with equal digests completed the same jobs in the
+  /// same order at the same times.
+  std::uint64_t completion_digest = 0;
+
+  /// Fleet utilization: busy time over instances * horizon.
+  double utilization() const;
+  /// Per-app + fleet SLA rows (latency percentiles print "n/a" when no job
+  /// of that app completed).
+  TextTable sla_table() const;
+};
+
+class ClusterSim {
+ public:
+  /// Serve `arrivals` on `fleet`, with service times/energy from `matrix`.
+  /// Throws RequirementError on inconsistent configs (no instances, apps
+  /// missing from the matrix, power-cap mode without a budget, a cap no
+  /// single job fits under in kDelay mode).
+  static ClusterReport run(const std::vector<JobArrival>& arrivals,
+                           const FleetConfig& fleet,
+                           const ServiceMatrix& matrix);
+};
+
+}  // namespace vfimr::cluster

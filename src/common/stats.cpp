@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/require.hpp"
 
 namespace vfimr {
 
@@ -112,15 +115,19 @@ double coeff_variation(std::span<const double> xs) {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_{lo}, hi_{hi}, counts_(bins, 0) {
-  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
-  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  // Every bucket helper (bucket_lo, add, to_string) divides by the bucket
+  // count, so a zero-bucket histogram must never be constructible.
+  VFIMR_REQUIRE_MSG(bins >= 1, "Histogram needs >= 1 bucket, got " << bins);
+  VFIMR_REQUIRE_MSG(hi > lo, "Histogram needs hi > lo, got [" << lo << ", "
+                                                              << hi << ")");
 }
 
 Histogram::Histogram(double lo, double hi, std::vector<std::uint64_t> counts,
                      double sum)
     : lo_{lo}, hi_{hi}, counts_{std::move(counts)}, sum_{sum} {
-  if (counts_.empty()) throw std::invalid_argument("Histogram needs >= 1 bin");
-  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  VFIMR_REQUIRE_MSG(!counts_.empty(), "Histogram needs >= 1 bucket");
+  VFIMR_REQUIRE_MSG(hi > lo, "Histogram needs hi > lo, got [" << lo << ", "
+                                                              << hi << ")");
   for (auto c : counts_) total_ += c;
 }
 
@@ -244,7 +251,9 @@ void P2Quantile::add(double x) {
 }
 
 double P2Quantile::value() const {
-  if (n_ == 0) return 0.0;
+  // NaN, not 0.0: an empty sampler has no quantile, and callers that print
+  // SLA percentiles must be able to tell "no samples" from a true zero.
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (n_ >= 5) return q_[2];
   // Exact small-sample quantile over the stored observations.
   std::vector<double> xs(q_, q_ + n_);

@@ -55,7 +55,8 @@ double geomean(std::span<const double> xs);
 double coeff_variation(std::span<const double> xs);
 
 /// Fixed-width histogram over [lo, hi) with `bins` buckets.  Out-of-range
-/// samples are clamped into the first/last bucket.
+/// samples are clamped into the first/last bucket.  Construction requires
+/// bins >= 1 and hi > lo (RequirementError otherwise).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -106,6 +107,8 @@ class P2Quantile {
   explicit P2Quantile(double p);  // p in (0, 1)
 
   void add(double x);
+  /// Current quantile estimate; NaN before the first sample (an empty
+  /// sampler has no quantile — check count() or std::isnan before printing).
   double value() const;
   std::uint64_t count() const { return n_; }
   double p() const { return p_; }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/parallel_for.hpp"
+#include "common/require.hpp"
 #include "sysmodel/net_eval.hpp"
 
 namespace vfimr::sysmodel {
@@ -16,6 +17,22 @@ std::vector<SystemComparison> sweep_comparisons(
   std::vector<SystemComparison> out(profiles.size());
   parallel_for(profiles.size(), threads, [&](std::size_t i) {
     out[i] = compare_systems(profiles[i], sim, base_params);
+  });
+  return out;
+}
+
+std::vector<SystemReport> run_batch(const FullSystemSim& sim,
+                                    const std::vector<BatchRequest>& requests,
+                                    std::size_t threads) {
+  for (const BatchRequest& r : requests) {
+    VFIMR_REQUIRE_MSG(r.profile != nullptr,
+                      "run_batch request has a null profile");
+  }
+  if (threads == 0) threads = default_parallelism();
+  std::vector<SystemReport> out(requests.size());
+  parallel_for(requests.size(), threads, [&](std::size_t i) {
+    out[i] = sim.run(*requests[i].profile, requests[i].params,
+                     requests[i].baselines);
   });
   return out;
 }

@@ -28,6 +28,27 @@ std::vector<SystemComparison> sweep_comparisons(
     const FullSystemSim& sim, const PlatformParams& base_params = {},
     std::size_t threads = 0);
 
+/// One slot of a batched FullSystemSim evaluation: a (profile, platform,
+/// baselines) triple.  The profile is borrowed — it must outlive the
+/// run_batch call.
+struct BatchRequest {
+  const workload::AppProfile* profile = nullptr;
+  PlatformParams params;
+  PhaseBaselines baselines;
+};
+
+/// Batched evaluation entry point for callers that need many independent
+/// full-system runs at once (the cluster serving tier's service matrix,
+/// heterogeneous-fleet warmup): results[i] = sim.run(*requests[i].profile,
+/// requests[i].params, requests[i].baselines), computed under parallel_for
+/// with one pre-sized slot per request, so the output is bit-identical for
+/// any `threads` (0 = default_parallelism()).  Attach a shared
+/// NetworkEvaluator / PlatformCache through the request params to dedupe
+/// repeated evaluations across slots.
+std::vector<SystemReport> run_batch(const FullSystemSim& sim,
+                                    const std::vector<BatchRequest>& requests,
+                                    std::size_t threads = 0);
+
 /// The Auto-mode three-system comparison: explore every system in the
 /// analytical band, pick the EDP frontier, then confirm it (and the NVFI
 /// baseline it is judged against) cycle-accurately.  Each confirmation is

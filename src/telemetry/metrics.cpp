@@ -57,6 +57,18 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
   return *slot;
 }
 
+QuantileMetric& MetricsRegistry::quantile(const std::string& name, double p) {
+  std::lock_guard lock{mu_};
+  auto& slot = quantiles_[name];
+  if (!slot) {
+    slot = std::make_unique<QuantileMetric>(p);
+  } else if (slot->p() != p) {
+    throw std::invalid_argument("quantile '" + name +
+                                "' re-registered with different p");
+  }
+  return *slot;
+}
+
 json::MetricMap MetricsRegistry::snapshot() const {
   std::lock_guard lock{mu_};
   json::MetricMap out;
@@ -71,6 +83,11 @@ json::MetricMap MetricsRegistry::snapshot() const {
     out[name + ".p50"] = snap.quantile(0.50);
     out[name + ".p95"] = snap.quantile(0.95);
     out[name + ".p99"] = snap.quantile(0.99);
+  }
+  for (const auto& [name, q] : quantiles_) {
+    // An empty quantile has no value (NaN); omit it rather than emit a
+    // bogus number into the flat JSON.
+    if (q->count() > 0) out[name] = q->value();
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/require.hpp"
 #include "common/rng.hpp"
 
 namespace vfimr {
@@ -130,8 +131,12 @@ TEST(HistogramTest, ClampsOutOfRange) {
 }
 
 TEST(HistogramTest, InvalidConstruction) {
-  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
-  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  // Zero buckets / empty ranges are config errors (RequirementError) since
+  // the cluster tier: a zero-bucket Histogram used to construct fine and
+  // then crash in bucket_lo()/to_string().
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), RequirementError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), RequirementError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), RequirementError);
 }
 
 TEST(HistogramTest, ToStringContainsCounts) {

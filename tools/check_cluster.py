@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI gate for the cluster serving tier (DESIGN.md §13).
+
+Usage: check_cluster.py BENCH_cluster.json [MIN_JOBS_PER_SEC]
+
+Consumes the `bench_cluster.*` metrics written by bench_cluster_serving and
+enforces the serving tier's contract:
+
+  * schema — every gated metric is present (a silently skipped section
+    would otherwise pass vacuously).
+  * determinism_identical == 1 — the headline cell replayed on a
+    1-worker-evaluated and an 8-worker-evaluated service matrix produced
+    bit-identical SLA percentiles, counters and completion-order digest.
+    This is the ISSUE acceptance gate: worker threads only parallelize the
+    batched matrix evaluation, never the serving event loop.
+  * quantiles_monotone == 1 — p50 <= p99 <= p999 in every sweep cell with
+    completions (the P² estimators are independent; a crossing means a
+    streaming-stats regression).
+  * admitted_jobs > 0 — the sweep actually served work.
+  * jobs_per_sec >= MIN_JOBS_PER_SEC (default 10000) — serving throughput
+    of the headline cell, wall-clock over completed jobs with a warm
+    service matrix.  The floor is deliberately ~2 orders below a healthy
+    run (millions/s): it catches an accidental simulator call inside the
+    per-arrival path, not machine speed.
+"""
+
+import json
+import sys
+
+PREFIX = "bench_cluster."
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(
+            "usage: check_cluster.py BENCH_cluster.json [MIN_JOBS_PER_SEC]",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    min_jobs_per_sec = float(argv[2]) if len(argv) > 2 else 10_000.0
+
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    def metric(name):
+        key = PREFIX + name
+        if key not in doc:
+            print(f"check_cluster: FAIL: {argv[1]} has no {key}",
+                  file=sys.stderr)
+            sys.exit(1)
+        return float(doc[key])
+
+    cells = metric("config.cells")
+    identical = metric("check.determinism_identical")
+    monotone = metric("check.quantiles_monotone")
+    admitted = metric("check.admitted_jobs")
+    jobs = metric("throughput.jobs")
+    jobs_per_sec = metric("throughput.jobs_per_sec")
+    spot_err = metric("spotcheck.exec_rel_err")
+
+    print(
+        f"check_cluster: {cells:.0f} sweep cells, {admitted:.0f} admitted, "
+        f"headline {jobs:.0f} jobs at {jobs_per_sec:,.0f} jobs/s "
+        f"(floor {min_jobs_per_sec:,.0f}), 1v8-worker identical="
+        f"{identical:.0f}, monotone={monotone:.0f}, "
+        f"cycle spot check {spot_err:.2%} off"
+    )
+
+    failures = []
+    if identical != 1.0:
+        failures.append("1-vs-8-worker SLA stats are not bit-identical")
+    if monotone != 1.0:
+        failures.append("p50 <= p99 <= p999 violated in some sweep cell")
+    if admitted <= 0:
+        failures.append("sweep admitted no jobs")
+    if jobs_per_sec < min_jobs_per_sec:
+        failures.append(
+            f"serving throughput {jobs_per_sec:,.0f} jobs/s below floor "
+            f"{min_jobs_per_sec:,.0f}"
+        )
+
+    if failures:
+        for f_msg in failures:
+            print(f"check_cluster: FAIL: {f_msg}", file=sys.stderr)
+        sys.exit(1)
+    print("check_cluster: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
