@@ -43,21 +43,7 @@ struct Cell {
   cluster::ArrivalConfig arrivals;
 };
 
-/// Fleet capacity in jobs/second under a uniform app mix: each instance
-/// serves 1/mean_service jobs per second.
-double fleet_capacity(const cluster::ServiceMatrix& matrix,
-                      const std::vector<cluster::PlatformTypeSpec>& types) {
-  double capacity = 0.0;
-  for (std::size_t t = 0; t < types.size(); ++t) {
-    double mean = 0.0;
-    for (std::size_t a = 0; a < matrix.apps(); ++a) {
-      mean += matrix.at(a, t).exec_s;
-    }
-    mean /= static_cast<double>(matrix.apps());
-    capacity += static_cast<double>(types[t].count) / mean;
-  }
-  return capacity;
-}
+using cluster::fleet_capacity_jobs_per_s;
 
 /// Heterogeneous fleet of `n` instances: half VFI WiNoC, a quarter VFI
 /// mesh, the rest NVFI mesh baselines.
@@ -103,6 +89,9 @@ bool sla_identical(const cluster::ClusterReport& a,
            x.completed == y.completed &&
            x.rejected_deadline == y.rejected_deadline &&
            x.rejected_power == y.rejected_power &&
+           x.retries == y.retries && x.failovers == y.failovers &&
+           x.hedges == y.hedges && x.hedge_wins == y.hedge_wins &&
+           x.lost == y.lost && x.shed_retry == y.shed_retry &&
            x.latency_s.sum() == y.latency_s.sum() &&
            x.energy_j.sum() == y.energy_j.sum() && quantiles;
   };
@@ -198,7 +187,7 @@ int main(int argc, char** argv) {
   for (const std::size_t n : fleet_sizes) {
     std::vector<cluster::PlatformTypeSpec> fleet_types =
         make_fleet_types(n, base);
-    const double capacity = fleet_capacity(matrix, fleet_types);
+    const double capacity = fleet_capacity_jobs_per_s(matrix, fleet_types);
     for (const double rho : rhos) {
       for (int policy = 0; policy < 4; ++policy) {
         Cell c;
@@ -302,7 +291,7 @@ int main(int argc, char** argv) {
   headline.policy = cluster::SchedulerPolicy::kLeastLoaded;
   headline.telemetry = telemetry.sink();
   cluster::ArrivalConfig head_arr;
-  head_arr.rate_jobs_per_s = 0.9 * fleet_capacity(matrix, headline.types);
+  head_arr.rate_jobs_per_s = 0.9 * fleet_capacity_jobs_per_s(matrix, headline.types);
   head_arr.job_count = headline_jobs;
   head_arr.seed = 2015;
   const std::vector<cluster::JobArrival> head_jobs =

@@ -114,4 +114,19 @@ double ServiceMatrix::min_service_s(std::size_t app_index) const {
   return best;
 }
 
+double fleet_capacity_jobs_per_s(
+    const ServiceMatrix& matrix,
+    const std::vector<PlatformTypeSpec>& types) {
+  double capacity = 0.0;
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    double mean = 0.0;
+    for (std::size_t a = 0; a < matrix.apps(); ++a) {
+      mean += matrix.at(a, t).exec_s;
+    }
+    mean /= static_cast<double>(matrix.apps());
+    capacity += static_cast<double>(types[t].count) / mean;
+  }
+  return capacity;
+}
+
 }  // namespace vfimr::cluster

@@ -73,4 +73,10 @@ class ServiceMatrix {
   std::vector<ServicePoint> points_;  ///< app-major [app * types + type]
 };
 
+/// Fleet capacity in jobs/second under a uniform app mix: each instance
+/// serves 1/mean_service jobs per second, summed over type counts.  The
+/// load knob of the serving benches (offered rate = rho x capacity).
+double fleet_capacity_jobs_per_s(const ServiceMatrix& matrix,
+                                 const std::vector<PlatformTypeSpec>& types);
+
 }  // namespace vfimr::cluster

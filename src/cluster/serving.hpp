@@ -1,6 +1,6 @@
 #pragma once
 // ClusterSim: the open-arrival serving tier over a fleet of simulated VFI
-// platforms (DESIGN.md §13).
+// platforms (DESIGN.md §13), with fleet-level fault tolerance (§14).
 //
 // A deterministic discrete-event simulation in virtual time: jobs arrive
 // (cluster/arrivals.hpp), an admission/placement scheduler assigns each to
@@ -11,12 +11,24 @@
 // costs O(log fleet) per job, which is what makes "millions of arrivals"
 // a throughput target rather than a wall-clock problem.
 //
-// Determinism: the event loop is strictly ordered (time, then completions
-// before arrivals, then sequence number) and consumes no RNG, so a report
-// is a pure function of (arrivals, fleet, matrix).  Worker threads only
-// ever parallelize the batched ServiceMatrix evaluation, never this loop;
-// the 1-vs-N-worker bit-identity is regression-tested in
-// tests/test_cluster.cpp and gated in CI via tools/check_cluster.py.
+// Fault tolerance: an optional FleetFaultPlan (cluster/fleet_faults.hpp)
+// crashes or degrades instances over time.  Work lost to a crash is
+// re-placed through a bounded, deadline-aware retry policy with
+// deterministic exponential backoff; jobs exceeding their per-app latency
+// budget launch one speculative duplicate (hedged request) with first-wins
+// cancellation, and all partial work killed by crashes or cancellations is
+// charged to `wasted_energy_j` so degraded-fleet EDP stays honest.
+//
+// Determinism: the event loop is strictly ordered — at equal times,
+// completions before fault transitions before retry/hedge timers before
+// arrivals, each source tie-broken by sequence number — and consumes no
+// RNG, so a report is a pure function of (arrivals, fleet, matrix, plan).
+// Worker threads only ever parallelize the batched ServiceMatrix
+// evaluation, never this loop; the 1-vs-N-worker bit-identity (including
+// under a nonzero fault plan) is regression-tested in
+// tests/test_cluster.cpp and gated in CI via tools/check_cluster.py, as is
+// the zero-fault identity: an empty plan with hedging disabled reproduces
+// the fault-free loop bit-for-bit.
 
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +36,7 @@
 #include <vector>
 
 #include "cluster/arrivals.hpp"
+#include "cluster/fleet_faults.hpp"
 #include "cluster/service.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -60,6 +73,35 @@ enum class PowerCapMode : std::uint8_t {
 
 std::string power_cap_name(PowerCapMode mode);
 
+/// Retry policy for jobs displaced by an instance crash (and for arrivals
+/// that find every instance down).  Deterministic: the k-th re-placement of
+/// a job is delayed by backoff_base_s * backoff_mult^(k-1), capped at
+/// backoff_cap_s — no jitter, so a faulty run replays bit-identically.
+/// A retry whose scheduled time is at or past the job's deadline is shed
+/// immediately (counted in SlaStats::shed_retry), never looped.
+struct RetryPolicy {
+  /// Total placements per job including the first; 1 = no retries (any
+  /// displaced job is lost).  Must be >= 1.
+  std::size_t max_attempts = 1;
+  double backoff_base_s = 0.0;  ///< delay before the first re-placement
+  double backoff_mult = 2.0;    ///< growth factor per further re-placement
+  double backoff_cap_s = 0.0;   ///< upper bound on one delay; 0 = uncapped
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// Hedged-request policy: once an admitted job's sojourn time exceeds
+/// `latency_multiplier` x its app's mean ServiceMatrix service time, launch
+/// one speculative duplicate on the best other up instance.  First result
+/// wins; the loser is cancelled immediately (killed mid-run if started) and
+/// its spent energy is charged to ClusterReport::wasted_energy_j.  Ties are
+/// broken deterministically toward the earlier-started attempt.
+struct HedgePolicy {
+  double latency_multiplier = 0.0;  ///< 0 disables hedging
+
+  bool enabled() const { return latency_multiplier > 0.0; }
+};
+
 struct FleetConfig {
   /// Platform types (each expanded into `count` independent instances).
   /// Must match the ServiceMatrix the simulation runs against.
@@ -71,6 +113,12 @@ struct FleetConfig {
   bool admit_by_deadline = false;
   PowerCapMode power_cap = PowerCapMode::kNone;
   double power_cap_w = 0.0;  ///< fleet budget; must be > 0 unless kNone
+  /// Per-instance failure/repair timeline; empty = immortal fleet (the
+  /// pre-fault serving loop, bit-identical).  Instance count must match
+  /// the expanded fleet.
+  FleetFaultPlan faults;
+  RetryPolicy retry;
+  HedgePolicy hedge;
   /// Upper edge of the latency histogram (seconds); 0 derives 50x the
   /// slowest service point in the matrix.
   double latency_hist_max_s = 0.0;
@@ -78,6 +126,15 @@ struct FleetConfig {
   /// Optional sink: job counters, SLA quantiles and fleet gauges are
   /// mirrored under "cluster.*" after the run.  Null changes nothing.
   telemetry::TelemetrySink* telemetry = nullptr;
+
+  /// Total instances across all types.
+  std::size_t instance_count() const;
+  /// Throws RequirementError on structurally invalid configs: no platform
+  /// types, a type with zero instances, a power-cap mode without a positive
+  /// budget, a retry limit of zero, negative backoff/hedge knobs, or a
+  /// fault plan sized for a different fleet.  Called by ClusterSim::run;
+  /// callers building configs programmatically can validate early.
+  void validate() const;
 };
 
 /// Latency/energy SLA aggregate (one per app plus one fleet-wide).
@@ -88,6 +145,16 @@ struct SlaStats {
   std::uint64_t rejected_deadline = 0;  ///< shed at admission
   std::uint64_t rejected_power = 0;     ///< shed by the power cap
   std::uint64_t deadline_misses = 0;    ///< completed after their deadline
+  std::uint64_t retries = 0;     ///< re-placements after a displacement
+  std::uint64_t failovers = 0;   ///< attempts displaced by a crash
+  std::uint64_t hedges = 0;      ///< speculative duplicates launched
+  std::uint64_t hedge_wins = 0;  ///< completions won by the duplicate
+  /// Admitted jobs that never completed: retry budget exhausted (every
+  /// instance down, or displaced max_attempts times).
+  std::uint64_t lost = 0;
+  /// Admitted jobs dropped because their deadline passed (or would pass)
+  /// before a retry could be scheduled.
+  std::uint64_t shed_retry = 0;
   Accumulator latency_s;  ///< sojourn time (completion - arrival)
   Accumulator queue_s;    ///< queueing delay (start - arrival)
   Accumulator energy_j;   ///< platform energy per completed job
@@ -111,6 +178,11 @@ struct ClusterReport {
   /// Start delays charged to the power cap (kDelay mode), summed over jobs.
   double power_wait_seconds = 0.0;
   double peak_power_w = 0.0;  ///< max concurrent fleet draw observed
+  /// Energy burned on work that produced no completion: partial runs killed
+  /// by crashes plus cancelled hedge duplicates.
+  double wasted_energy_j = 0.0;
+  /// Instance-seconds down within [0, horizon] (from the fault plan).
+  double down_seconds = 0.0;
   /// Order-sensitive digest over (job id, completion time) in completion
   /// order — two runs with equal digests completed the same jobs in the
   /// same order at the same times.
@@ -118,6 +190,18 @@ struct ClusterReport {
 
   /// Fleet utilization: busy time over instances * horizon.
   double utilization() const;
+  /// Fraction of instance-time the fleet was serviceable: 1 -
+  /// down_seconds / (instances * horizon).  1 when the horizon is empty.
+  double availability() const;
+  /// Completed jobs per simulated second over the horizon.
+  double goodput_jobs_per_s() const;
+  /// Useful plus wasted platform energy — the number a degraded fleet is
+  /// billed for.
+  double total_energy_j() const;
+  /// Fleet energy-delay product: total (useful + wasted) energy x mean
+  /// completed-job latency.  Wasted work makes a faulty fleet pay twice:
+  /// once in energy, once in the retry-lengthened latency.
+  double fleet_edp_js() const;
   /// Per-app + fleet SLA rows (latency percentiles print "n/a" when no job
   /// of that app completed).
   TextTable sla_table() const;
@@ -126,9 +210,9 @@ struct ClusterReport {
 class ClusterSim {
  public:
   /// Serve `arrivals` on `fleet`, with service times/energy from `matrix`.
-  /// Throws RequirementError on inconsistent configs (no instances, apps
-  /// missing from the matrix, power-cap mode without a budget, a cap no
-  /// single job fits under in kDelay mode).
+  /// Throws RequirementError on inconsistent configs (FleetConfig::validate
+  /// plus: apps missing from the matrix, a matrix evaluated for a different
+  /// type count, a cap no single job fits under in kDelay mode).
   static ClusterReport run(const std::vector<JobArrival>& arrivals,
                            const FleetConfig& fleet,
                            const ServiceMatrix& matrix);

@@ -57,6 +57,93 @@ void emit_events(NocFaultKind kind, const std::vector<std::uint32_t>& ids,
 
 }  // namespace
 
+const char* platform_fault_name(PlatformFaultKind kind) {
+  switch (kind) {
+    case PlatformFaultKind::kCrash:
+      return "crash";
+    case PlatformFaultKind::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Candidate stream for one (instance, kind): a unit-rate (1/s) Poisson
+/// process with a thinning mark and a window length drawn per candidate.
+/// Every candidate consumes the same draws whether accepted or not, so the
+/// accepted set at rate r is a subset of the accepted set at any r' >= r.
+void emit_fleet_events(PlatformFaultKind kind, std::uint32_t instance,
+                       double rate_per_ks, double mean_window_s,
+                       double slowdown, double horizon_s, std::uint64_t seed,
+                       std::vector<PlatformFault>& out) {
+  const double accept = rate_per_ks / kMaxFleetFaultRatePerKs;
+  SplitMix64 mix{seed ^ (kind == PlatformFaultKind::kCrash ? 0xC4A54ULL
+                                                           : 0xDE64ADEULL)};
+  mix.next();
+  Rng rng{mix.next() + instance};
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0);  // candidate gap at the ceiling rate, 1/s
+    const double mark = rng.uniform();
+    const double window = rng.uniform(0.5, 1.5) * mean_window_s;
+    if (t >= horizon_s) break;
+    if (mark >= accept) continue;
+    PlatformFault f;
+    f.instance = instance;
+    f.kind = kind;
+    f.at_s = t;
+    f.until_s = t + window;
+    f.slowdown = kind == PlatformFaultKind::kDegrade ? slowdown : 1.0;
+    out.push_back(f);
+  }
+}
+
+}  // namespace
+
+std::vector<PlatformFault> make_fleet_faults(const FleetFaultSpec& spec,
+                                             std::size_t instances,
+                                             double horizon_s) {
+  VFIMR_REQUIRE_MSG(spec.crash_rate_per_ks >= 0.0 &&
+                        spec.crash_rate_per_ks <= kMaxFleetFaultRatePerKs,
+                    "crash_rate_per_ks must be in [0, "
+                        << kMaxFleetFaultRatePerKs << "], got "
+                        << spec.crash_rate_per_ks);
+  VFIMR_REQUIRE_MSG(spec.degrade_rate_per_ks >= 0.0 &&
+                        spec.degrade_rate_per_ks <= kMaxFleetFaultRatePerKs,
+                    "degrade_rate_per_ks must be in [0, "
+                        << kMaxFleetFaultRatePerKs << "], got "
+                        << spec.degrade_rate_per_ks);
+  VFIMR_REQUIRE_MSG(spec.degrade_slowdown >= 1.0,
+                    "degrade_slowdown must be >= 1, got "
+                        << spec.degrade_slowdown);
+  VFIMR_REQUIRE_MSG(spec.crash_rate_per_ks == 0.0 || spec.mean_repair_s > 0.0,
+                    "crash faults need mean_repair_s > 0, got "
+                        << spec.mean_repair_s);
+  VFIMR_REQUIRE_MSG(
+      spec.degrade_rate_per_ks == 0.0 || spec.mean_degrade_s > 0.0,
+      "degrade faults need mean_degrade_s > 0, got " << spec.mean_degrade_s);
+  VFIMR_REQUIRE_MSG(horizon_s >= 0.0, "horizon_s must be >= 0, got "
+                                          << horizon_s);
+
+  std::vector<PlatformFault> out;
+  if (!spec.any() || instances == 0 || horizon_s <= 0.0) return out;
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    emit_fleet_events(PlatformFaultKind::kCrash, i, spec.crash_rate_per_ks,
+                      spec.mean_repair_s, 1.0, horizon_s, spec.seed, out);
+    emit_fleet_events(PlatformFaultKind::kDegrade, i,
+                      spec.degrade_rate_per_ks, spec.mean_degrade_s,
+                      spec.degrade_slowdown, horizon_s, spec.seed, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlatformFault& a, const PlatformFault& b) {
+              if (a.at_s != b.at_s) return a.at_s < b.at_s;
+              if (a.instance != b.instance) return a.instance < b.instance;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return out;
+}
+
 FaultSchedule make_noc_schedule(const FaultSpec& spec,
                                 const std::vector<std::uint32_t>& edge_ids,
                                 const std::vector<std::uint32_t>& router_ids,

@@ -119,6 +119,60 @@ struct FaultSpec {
   bool any() const { return any_noc() || core_fail_prob > 0.0; }
 };
 
+// ---- Fleet-level platform faults (cluster serving tier, DESIGN.md §14).
+
+enum class PlatformFaultKind : std::uint8_t {
+  kCrash,    ///< instance down: in-flight and queued jobs are lost
+  kDegrade,  ///< instance keeps serving, `slowdown` x slower per job
+};
+
+/// Short human-readable name: "crash" / "degrade".
+const char* platform_fault_name(PlatformFaultKind kind);
+
+/// One failure window of one fleet instance, in serving-tier virtual time
+/// (seconds).  Windows may overlap; cluster::FleetFaultPlan normalizes a set
+/// of windows into a per-instance state timeline.
+struct PlatformFault {
+  std::uint32_t instance = 0;
+  PlatformFaultKind kind = PlatformFaultKind::kCrash;
+  double at_s = 0.0;
+  double until_s = 0.0;   ///< exclusive repair time; must be > at_s
+  double slowdown = 1.0;  ///< service-time multiplier while degraded (>= 1)
+};
+
+/// Ceiling of the thinning process behind make_fleet_faults: candidate
+/// events are drawn at one per instance-second and accepted with probability
+/// rate / ceiling, so rates are capped at 1000 events per instance-ks.
+inline constexpr double kMaxFleetFaultRatePerKs = 1000.0;
+
+/// Rate-based fleet fault model.  Rates are expected events per instance
+/// per 1000 simulated seconds (the serving tier's natural scale, mirroring
+/// FaultSpec's per-100k-cycle NoC rates); both must stay below
+/// kMaxFleetFaultRatePerKs.
+struct FleetFaultSpec {
+  double crash_rate_per_ks = 0.0;
+  double degrade_rate_per_ks = 0.0;
+  double mean_repair_s = 30.0;        ///< crash window length (x U[0.5,1.5])
+  double mean_degrade_s = 60.0;       ///< degrade window length (x U[0.5,1.5])
+  double degrade_slowdown = 2.0;      ///< service-time multiplier (>= 1)
+  std::uint64_t seed = 17;
+
+  bool any() const {
+    return crash_rate_per_ks > 0.0 || degrade_rate_per_ks > 0.0;
+  }
+};
+
+/// Expand `spec` into concrete per-instance fault windows over
+/// [0, horizon_s), sorted by (at_s, instance, kind).  Deterministic in
+/// (spec, instances, horizon_s) — and *nested* in the rates: events are
+/// thinned from a fixed max-rate candidate stream per (seed, instance,
+/// kind), so raising a rate only ever adds windows, never moves or removes
+/// existing ones.  That makes "more faults => no more goodput" a structural
+/// property a CI gate can assert exactly instead of statistically.
+std::vector<PlatformFault> make_fleet_faults(const FleetFaultSpec& spec,
+                                             std::size_t instances,
+                                             double horizon_s);
+
 /// Expand `spec` into a concrete NoC fault schedule over `horizon_cycles`.
 /// `edge_ids` are the faultable edges (usually every edge), `router_ids` the
 /// faultable switches and `wi_ids` the wireless-equipped nodes.  Empty

@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "cluster/arrivals.hpp"
+#include "cluster/fleet_faults.hpp"
 #include "cluster/service.hpp"
 #include "cluster/serving.hpp"
 #include "common/require.hpp"
@@ -293,6 +294,62 @@ TEST_F(ClusterSimTest, RunIsDeterministicForAnyWorkerCount) {
   EXPECT_EQ(a.fleet.energy_j.sum(), b.fleet.energy_j.sum());
   EXPECT_EQ(a.horizon_s, b.horizon_s);
   EXPECT_EQ(a.busy_seconds, b.busy_seconds);
+}
+
+TEST_F(ClusterSimTest, RunIsDeterministicUnderFaultsForAnyWorkerCount) {
+  // Same contract under a nonzero fault plan with retries and hedging live:
+  // crashes, backoff timers and speculative duplicates are all virtual-time
+  // events, so the digest must stay bit-identical across worker counts.
+  const auto profs = profiles();
+  const auto arrivals = cluster::make_arrivals(arrival_config(0.9, 4'000));
+  const double span = arrivals.back().time_s * 1.2;
+  faults::FleetFaultSpec spec;
+  spec.crash_rate_per_ks = 4.0 / (span / 1000.0);  // ~4 crashes/instance
+  spec.degrade_rate_per_ks = 0.5 * spec.crash_rate_per_ks;
+  spec.mean_repair_s = 0.03 * span;
+  spec.mean_degrade_s = 0.03 * span;
+  spec.degrade_slowdown = 2.0;
+  const cluster::FleetFaultPlan plan =
+      cluster::FleetFaultPlan::from_spec(spec, 3, span);
+  ASSERT_FALSE(plan.empty());
+
+  ClusterReport reports[2];
+  for (int i = 0; i < 2; ++i) {
+    sysmodel::NetworkEvaluator fresh_eval;
+    sysmodel::PlatformCache fresh_cache;
+    auto types = fleet_types(2, 1);
+    for (auto& t : types) {
+      t.params.net_eval = &fresh_eval;
+      t.params.platform_cache = &fresh_cache;
+    }
+    const ServiceMatrix m = ServiceMatrix::evaluate(
+        profs, types, sysmodel::FullSystemSim{}, i == 0 ? 1 : 8);
+    FleetConfig fleet;
+    fleet.types = types;
+    fleet.policy = SchedulerPolicy::kEdpGreedy;
+    fleet.faults = plan;
+    fleet.retry.max_attempts = 3;
+    fleet.retry.backoff_base_s = 0.01 * span;
+    fleet.hedge.latency_multiplier = 3.0;
+    reports[i] = ClusterSim::run(arrivals, fleet, m);
+  }
+  const ClusterReport& a = reports[0];
+  const ClusterReport& b = reports[1];
+  EXPECT_GT(a.fleet.failovers, 0u);  // the plan actually displaced work
+  EXPECT_EQ(a.completion_digest, b.completion_digest);
+  EXPECT_EQ(a.fleet.completed, b.fleet.completed);
+  EXPECT_EQ(a.fleet.retries, b.fleet.retries);
+  EXPECT_EQ(a.fleet.failovers, b.fleet.failovers);
+  EXPECT_EQ(a.fleet.hedges, b.fleet.hedges);
+  EXPECT_EQ(a.fleet.hedge_wins, b.fleet.hedge_wins);
+  EXPECT_EQ(a.fleet.lost, b.fleet.lost);
+  EXPECT_EQ(a.fleet.shed_retry, b.fleet.shed_retry);
+  EXPECT_EQ(a.fleet.p50.value(), b.fleet.p50.value());
+  EXPECT_EQ(a.fleet.p999.value(), b.fleet.p999.value());
+  EXPECT_EQ(a.fleet.latency_s.sum(), b.fleet.latency_s.sum());
+  EXPECT_EQ(a.fleet.energy_j.sum(), b.fleet.energy_j.sum());
+  EXPECT_EQ(a.wasted_energy_j, b.wasted_energy_j);
+  EXPECT_EQ(a.down_seconds, b.down_seconds);
 }
 
 TEST_F(ClusterSimTest, RepeatedRunsShareTheDigest) {

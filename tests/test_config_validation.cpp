@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "cluster/fleet_faults.hpp"
+#include "cluster/serving.hpp"
 #include "common/require.hpp"
 #include "noc/network.hpp"
 #include "noc/routing.hpp"
@@ -91,6 +93,85 @@ TEST(ConfigValidation, SystemSimRejectsBadNetworkParams) {
   params = sysmodel::PlatformParams{};
   params.sim_cycles = 0;
   expect_requirement([&] { sim.run(profile, params); }, "sim_cycles");
+}
+
+TEST(ConfigValidation, FleetConfigRejectsStructurallyInvalidFleets) {
+  auto valid = [] {
+    cluster::FleetConfig f;
+    cluster::PlatformTypeSpec t;
+    t.label = "winoc";
+    t.count = 2;
+    f.types.push_back(t);
+    return f;
+  };
+  valid().validate();  // the baseline passes
+
+  expect_requirement([] { cluster::FleetConfig{}.validate(); },
+                     ">= 1 platform type");
+
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.types[0].count = 0;
+        f.validate();
+      },
+      "count 0");
+
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.power_cap = cluster::PowerCapMode::kShed;  // budget left at 0
+        f.validate();
+      },
+      "power_cap_w > 0");
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.power_cap = cluster::PowerCapMode::kDelay;
+        f.power_cap_w = -5.0;
+        f.validate();
+      },
+      "power_cap_w > 0");
+
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.retry.max_attempts = 0;  // a retry limit of zero
+        f.validate();
+      },
+      "max_attempts");
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.retry.backoff_base_s = -0.1;
+        f.validate();
+      },
+      "backoff_base_s");
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.retry.backoff_mult = 0.0;
+        f.validate();
+      },
+      "backoff_mult");
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();
+        f.hedge.latency_multiplier = -1.0;
+        f.validate();
+      },
+      "latency_multiplier");
+
+  // A fault plan sized for a different fleet cannot be applied.
+  expect_requirement(
+      [&] {
+        cluster::FleetConfig f = valid();  // 2 instances
+        std::vector<faults::PlatformFault> w;
+        w.push_back({0, faults::PlatformFaultKind::kCrash, 1.0, 2.0, 1.0});
+        f.faults = cluster::FleetFaultPlan{w, 3};
+        f.validate();
+      },
+      "fault plan covers 3 instances");
 }
 
 TEST(ConfigValidation, PlatformRejectsNonDieSizedProfiles) {

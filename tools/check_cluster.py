@@ -22,6 +22,19 @@ enforces the serving tier's contract:
     service matrix.  The floor is deliberately ~2 orders below a healthy
     run (millions/s): it catches an accidental simulator call inside the
     per-arrival path, not machine speed.
+
+Also consumes the `bench_cluster.availability.*` section written by
+bench_cluster_availability (DESIGN.md §14) into the same file:
+
+  * availability.cells > 0 — the fault sweep ran.
+  * availability.zero_fault_identity == 1 — a retry-enabled config with an
+    empty fault plan replayed the fault-free serving loop bit-for-bit
+    (digest, counters, latency/energy sums).
+  * availability.goodput_monotone == 1 — within each (policy, fleet)
+    column, goodput never rises with the fault rate (fault plans are
+    superset-thinned, so this is structural).
+  * availability.availability_monotone == 1 — down-time at the shared plan
+    horizon grows exactly with the fault rate.
 """
 
 import json
@@ -57,6 +70,10 @@ def main(argv):
     jobs = metric("throughput.jobs")
     jobs_per_sec = metric("throughput.jobs_per_sec")
     spot_err = metric("spotcheck.exec_rel_err")
+    avail_cells = metric("availability.cells")
+    zero_fault = metric("availability.zero_fault_identity")
+    goodput_mono = metric("availability.goodput_monotone")
+    avail_mono = metric("availability.availability_monotone")
 
     print(
         f"check_cluster: {cells:.0f} sweep cells, {admitted:.0f} admitted, "
@@ -64,6 +81,11 @@ def main(argv):
         f"(floor {min_jobs_per_sec:,.0f}), 1v8-worker identical="
         f"{identical:.0f}, monotone={monotone:.0f}, "
         f"cycle spot check {spot_err:.2%} off"
+    )
+    print(
+        f"check_cluster: availability sweep {avail_cells:.0f} cells, "
+        f"zero-fault identity={zero_fault:.0f}, goodput monotone="
+        f"{goodput_mono:.0f}, availability monotone={avail_mono:.0f}"
     )
 
     failures = []
@@ -77,6 +99,18 @@ def main(argv):
         failures.append(
             f"serving throughput {jobs_per_sec:,.0f} jobs/s below floor "
             f"{min_jobs_per_sec:,.0f}"
+        )
+    if avail_cells <= 0:
+        failures.append("availability sweep ran no cells")
+    if zero_fault != 1.0:
+        failures.append(
+            "zero-fault run is not bit-identical to the fault-free loop"
+        )
+    if goodput_mono != 1.0:
+        failures.append("goodput rose with the fault rate in some column")
+    if avail_mono != 1.0:
+        failures.append(
+            "down-time is not monotone in the fault rate (superset broken)"
         )
 
     if failures:
