@@ -270,6 +270,66 @@ int main(int argc, char** argv) {
                b.wasted_energy_j == 0.0;
   }
 
+  // ---- Faulty-tier attribution (DESIGN.md §15): replay one degraded cell
+  // (retry+hedge, largest fleet, one expected crash per instance) with the
+  // serving-tier observer on.  The sink-on run must replay the sweep's
+  // sink-off report bit-for-bit, and its p99-cohort decomposition — where
+  // retry backoff and degraded service show up as first-class columns —
+  // lands in results/cluster_attribution_faulty.csv for the EXPERIMENTS.md
+  // walkthrough and tools/check_cluster_obs.py.
+  bool obs_identity = true;
+  bool obs_attrib_exact = true;
+  {
+    std::size_t pick = cells.size();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].policy == "retry+hedge" &&
+          cells[i].fleet_size == fleet_sizes.back() &&
+          cells[i].fault_level == 1.0) {
+        pick = i;
+      }
+    }
+    if (pick < cells.size()) {
+      telemetry::TelemetrySink local_sink;
+      telemetry::TelemetrySink* obs_sink =
+          telemetry.sink() != nullptr ? telemetry.sink() : &local_sink;
+      const std::vector<cluster::JobArrival> arrivals =
+          cluster::make_arrivals(cells[pick].arrivals);
+      cluster::FleetConfig fleet = cells[pick].fleet;
+      fleet.telemetry = obs_sink;
+      fleet.obs.enabled = true;
+      fleet.obs.label = "avail-obs";
+      const cluster::ClusterReport traced =
+          cluster::ClusterSim::run(arrivals, fleet, matrix);
+      const cluster::ClusterReport& bare = reports[pick];
+      obs_identity = traced.completion_digest == bare.completion_digest &&
+                     traced.fleet.completed == bare.fleet.completed &&
+                     traced.fleet.latency_s.sum() ==
+                         bare.fleet.latency_s.sum() &&
+                     traced.fleet.energy_j.sum() == bare.fleet.energy_j.sum();
+      if (traced.obs != nullptr) {
+        const cluster::ClusterObsReport& o = *traced.obs;
+        std::cout << "== faulty-cell tail attribution (retry+hedge, fleet "
+                  << cells[pick].fleet_size << ", level 1.0)\n"
+                  << o.attribution_table().to_string()
+                  << o.monitors_table().to_string();
+        for (const cluster::JobAttribution& row : o.tail) {
+          obs_attrib_exact =
+              obs_attrib_exact && row.comp.sum() == row.latency_s;
+        }
+        try {
+          const std::string path =
+              bench::results_path("cluster_attribution_faulty.csv");
+          o.attribution_csv().write_csv(path);
+          std::cout << "(csv: " << path << ")\n\n";
+        } catch (const std::exception& e) {
+          std::cout << "(obs csv not written: " << e.what() << ")\n\n";
+        }
+      } else {
+        obs_identity = false;
+      }
+    }
+  }
+
   json::MetricMap m;
   {
     // Merge with bench_cluster_serving's metrics when the file exists.
@@ -279,6 +339,9 @@ int main(int argc, char** argv) {
       m = json::load_file(out_path);
     }
   }
+  m["bench_cluster.availability.obs_identity"] = obs_identity ? 1.0 : 0.0;
+  m["bench_cluster.availability.obs_attribution_exact"] =
+      obs_attrib_exact ? 1.0 : 0.0;
   m["bench_cluster.availability.cells"] = static_cast<double>(cells.size());
   m["bench_cluster.availability.seconds"] = cells_s;
   m["bench_cluster.availability.zero_fault_identity"] = identity ? 1.0 : 0.0;
@@ -292,9 +355,12 @@ int main(int argc, char** argv) {
             << "\ngoodput monotone in fault rate: "
             << (goodput_monotone ? "yes" : "NO — BUG")
             << "\navailability monotone in fault rate: "
-            << (availability_monotone ? "yes" : "NO — BUG") << "\nwrote "
-            << out_path << " (" << m.size() << " metrics)\n";
+            << (availability_monotone ? "yes" : "NO — BUG")
+            << "\nobserver sink-on replay bit-identical: "
+            << (obs_identity ? "yes" : "NO — BUG") << "\nwrote " << out_path
+            << " (" << m.size() << " metrics)\n";
 
-  const bool ok = identity && goodput_monotone && availability_monotone;
+  const bool ok = identity && goodput_monotone && availability_monotone &&
+                  obs_identity && obs_attrib_exact;
   return ok ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 // steady-state path — with one cycle-accurate spot check of the busiest
 // pair; see tools/check_cluster.py for the gates.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <iostream>
@@ -24,6 +25,7 @@
 
 #include "bench/bench_util.hpp"
 #include "cluster/arrivals.hpp"
+#include "cluster/fleet_faults.hpp"
 #include "cluster/service.hpp"
 #include "cluster/serving.hpp"
 #include "common/json_lite.hpp"
@@ -363,9 +365,180 @@ int main(int argc, char** argv) {
               << rel_err * 100.0 << "% off)\n";
   }
 
+  // ---- Observability cell (DESIGN.md §15): one deadline+powercap cell at
+  // fleet 16, rho 0.8, replayed over identical arrivals sink-off (timed)
+  // and sink-on with spans, rollups and monitors (timed).  Gates
+  // (tools/check_cluster_obs.py): the sink-off report stays bit-identical,
+  // the instrumented loop costs a bounded multiple of the bare loop, and
+  // every attribution row sums back to its job's latency exactly.  A
+  // second pair under a fault plan guards the faulty loop's identity too,
+  // and the clean traced run refreshes results/cluster_attribution.csv and
+  // results/cluster_timeseries.csv in place.  With --trace-out the runs
+  // share the scope sink, so the Chrome trace grows one lane per fleet
+  // instance (attempt spans, busy/queue-depth counters) plus the job,
+  // monitor and fleet-signal tracks.
+  bool obs_identity = true;
+  bool obs_identity_faulty = true;
+  bool obs_attrib_exact = true;
+  {
+    telemetry::TelemetrySink local_sink;
+    telemetry::TelemetrySink* obs_sink =
+        telemetry.sink() != nullptr ? telemetry.sink() : &local_sink;
+
+    cluster::ArrivalConfig arr;
+    arr.rate_jobs_per_s = 0.8 * fleet_capacity_jobs_per_s(matrix, types);
+    arr.job_count = jobs_per_cell;
+    arr.seed = 2015;
+    arr.deadline_factor = 4.0;
+    arr.service_hint_s = hints;
+    const std::vector<cluster::JobArrival> obs_jobs =
+        cluster::make_arrivals(arr);
+
+    cluster::FleetConfig off;
+    off.types = types;
+    off.policy = cluster::SchedulerPolicy::kEdpGreedy;
+    off.queue = cluster::QueueDiscipline::kEarliestDeadline;
+    off.admit_by_deadline = true;
+    off.power_cap = cluster::PowerCapMode::kDelay;
+    {
+      // Same 60%-of-nominal budget as the sweep's powercap cell, so the
+      // power-proximity monitor has a binding cap to watch.
+      double nominal = 0.0;
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        double mean = 0.0;
+        for (std::size_t a = 0; a < matrix.apps(); ++a) {
+          mean += matrix.at(a, t).power_w;
+        }
+        nominal += static_cast<double>(types[t].count) * mean /
+                   static_cast<double>(matrix.apps());
+      }
+      off.power_cap_w = 0.6 * nominal;
+    }
+
+    const auto run_timed = [&](const cluster::FleetConfig& fleet,
+                               double& seconds) {
+      const auto t0 = std::chrono::steady_clock::now();
+      cluster::ClusterReport r =
+          cluster::ClusterSim::run(obs_jobs, fleet, matrix);
+      const auto t1 = std::chrono::steady_clock::now();
+      seconds = std::chrono::duration<double>(t1 - t0).count();
+      return r;
+    };
+
+    double off_s = 0.0;
+    double on_s = 0.0;
+    const cluster::ClusterReport plain = run_timed(off, off_s);
+    cluster::FleetConfig on = off;
+    on.telemetry = obs_sink;
+    on.obs.enabled = true;
+    on.obs.label = "serving-obs";
+    const cluster::ClusterReport traced = run_timed(on, on_s);
+
+    obs_identity = sla_identical(plain, traced) && traced.obs != nullptr;
+    const double traced_ratio = on_s / std::max(off_s, 1e-9);
+    m["bench_cluster.obs.sink_off_seconds"] = off_s;
+    m["bench_cluster.obs.traced_seconds"] = on_s;
+    m["bench_cluster.obs.traced_ratio"] = traced_ratio;
+    m["bench_cluster.obs.sink_identity"] = obs_identity ? 1.0 : 0.0;
+    // Machine-portable overhead key: serving throughput and matrix cost
+    // move with the host in opposite directions, so committed-vs-fresh
+    // drift in the product flags a serving-loop regression rather than a
+    // slower runner (tools/check_sweep_overhead.py gates it loosely).
+    m["bench_cluster.obs.loop_vs_matrix"] = jobs_per_sec * matrix_s;
+
+    if (traced.obs != nullptr) {
+      const cluster::ClusterObsReport& o = *traced.obs;
+      std::cout << "\n== serving-tier observability (fleet 16, rho 0.8, "
+                   "deadline+powercap)\n"
+                << o.attribution_table().to_string()
+                << o.monitors_table().to_string();
+      for (const cluster::JobAttribution& row : o.tail) {
+        obs_attrib_exact = obs_attrib_exact && row.comp.sum() == row.latency_s;
+      }
+      m["bench_cluster.obs.jobs_tracked"] =
+          static_cast<double>(o.jobs_tracked);
+      m["bench_cluster.obs.completed"] = static_cast<double>(o.completed);
+      m["bench_cluster.obs.epoch_s"] = o.epoch_s;
+      m["bench_cluster.obs.series"] = static_cast<double>(o.series.size());
+      m["bench_cluster.obs.attribution_rows"] =
+          static_cast<double>(o.tail.size());
+      m["bench_cluster.obs.p99_threshold_s"] = o.p99_threshold_s;
+      m["bench_cluster.obs.p999_threshold_s"] = o.p999_threshold_s;
+      m["bench_cluster.obs.sla_burn_breach_fraction"] =
+          o.sla_burn.breach_fraction();
+      m["bench_cluster.obs.sla_burn_first_breach_s"] =
+          o.sla_burn.first_breach_s;
+      m["bench_cluster.obs.power_breach_fraction"] =
+          o.power_proximity.breach_fraction();
+      try {
+        const std::string attr_path =
+            bench::results_path("cluster_attribution.csv");
+        o.attribution_csv().write_csv(attr_path);
+        const std::string ts_path =
+            bench::results_path("cluster_timeseries.csv");
+        o.timeseries_csv().write_csv(ts_path);
+        std::cout << "(csv: " << attr_path << ", " << ts_path << ")\n";
+      } catch (const std::exception& e) {
+        std::cout << "(obs csv not written: " << e.what() << ")\n";
+      }
+    }
+
+    // Faulty pair: retry + hedging under a seeded crash/degrade plan, so
+    // the identity gate also covers the failover/backoff/hedge hook sites.
+    double mean_service = 0.0;
+    for (std::size_t a = 0; a < matrix.apps(); ++a) {
+      mean_service += matrix.mean_service_s(a);
+    }
+    mean_service /= static_cast<double>(matrix.apps());
+
+    cluster::FleetConfig foff = off;
+    foff.retry.max_attempts = 3;
+    foff.retry.backoff_base_s = 0.5 * mean_service;
+    foff.retry.backoff_cap_s = 8.0 * foff.retry.backoff_base_s;
+    foff.hedge.latency_multiplier = 3.0;
+    const double plan_horizon =
+        1.2 * static_cast<double>(arr.job_count) / arr.rate_jobs_per_s;
+    faults::FleetFaultSpec spec;
+    spec.crash_rate_per_ks = 1.0 / (plan_horizon / 1000.0);
+    spec.degrade_rate_per_ks = 0.5 * spec.crash_rate_per_ks;
+    spec.mean_repair_s = 0.05 * plan_horizon;
+    spec.mean_degrade_s = 0.05 * plan_horizon;
+    spec.degrade_slowdown = 2.0;
+    spec.seed = 7;
+    foff.faults = cluster::FleetFaultPlan::from_spec(
+        spec, foff.instance_count(), plan_horizon);
+
+    double foff_s = 0.0;
+    double fon_s = 0.0;
+    const cluster::ClusterReport fplain = run_timed(foff, foff_s);
+    cluster::FleetConfig fon = foff;
+    fon.telemetry = obs_sink;
+    fon.obs.enabled = true;
+    fon.obs.label = "serving-obs-faulty";
+    const cluster::ClusterReport ftraced = run_timed(fon, fon_s);
+    obs_identity_faulty =
+        sla_identical(fplain, ftraced) && ftraced.obs != nullptr;
+    if (ftraced.obs != nullptr) {
+      for (const cluster::JobAttribution& row : ftraced.obs->tail) {
+        obs_attrib_exact = obs_attrib_exact && row.comp.sum() == row.latency_s;
+      }
+    }
+    m["bench_cluster.obs.sink_identity_faulty"] =
+        obs_identity_faulty ? 1.0 : 0.0;
+    m["bench_cluster.obs.attribution_exact"] = obs_attrib_exact ? 1.0 : 0.0;
+
+    std::cout << "obs sink-off bit-identical: "
+              << (obs_identity ? "yes" : "NO — BUG") << " (clean), "
+              << (obs_identity_faulty ? "yes" : "NO — BUG")
+              << " (faulty); attribution sums exact: "
+              << (obs_attrib_exact ? "yes" : "NO — BUG") << "; traced ratio "
+              << fmt(traced_ratio, 2) << "x\n";
+  }
+
   json::save_file(out_path, m);
   std::cout << "wrote " << out_path << " (" << m.size() << " metrics)\n";
 
-  const bool ok = identical && monotone && admitted_total > 0;
+  const bool ok = identical && monotone && admitted_total > 0 &&
+                  obs_identity && obs_identity_faulty && obs_attrib_exact;
   return ok ? 0 : 1;
 }

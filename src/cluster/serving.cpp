@@ -4,7 +4,9 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
+#include <utility>
 
 #include "common/require.hpp"
 
@@ -91,6 +93,20 @@ void FleetConfig::validate() const {
                       "fault plan covers " << faults.instances()
                                            << " instances but the fleet has "
                                            << instance_count());
+  }
+  if (obs.enabled) {
+    VFIMR_REQUIRE_MSG(obs.epoch_s >= 0.0,
+                      "obs.epoch_s must be >= 0 (0 = derive), got "
+                          << obs.epoch_s);
+    VFIMR_REQUIRE_MSG(obs.sla_window_epochs >= 1,
+                      "obs.sla_window_epochs must be >= 1");
+    VFIMR_REQUIRE_MSG(obs.sla_burn_budget > 0.0 && obs.sla_burn_budget <= 1.0,
+                      "obs.sla_burn_budget must be in (0, 1], got "
+                          << obs.sla_burn_budget);
+    VFIMR_REQUIRE_MSG(obs.power_proximity > 0.0 && obs.power_proximity <= 1.0,
+                      "obs.power_proximity must be in (0, 1], got "
+                          << obs.power_proximity);
+    VFIMR_REQUIRE_MSG(!obs.label.empty(), "obs.label must be non-empty");
   }
 }
 
@@ -218,7 +234,8 @@ struct Timer {
   double time_s = 0.0;
   std::uint64_t seq = 0;
   std::uint32_t job = 0;
-  bool hedge = false;  ///< false = retry re-placement
+  bool hedge = false;       ///< false = retry re-placement
+  double scheduled_s = 0.0; ///< when the timer was armed (observer only)
 };
 struct TimerLater {
   bool operator()(const Timer& a, const Timer& b) const {
@@ -328,6 +345,44 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
   telemetry::QuantileMetric* tele_p999 =
       metrics ? &metrics->quantile("cluster.latency_s.p999", 0.999) : nullptr;
 
+  // Optional serving-tier observer (DESIGN.md §15).  Opt-in on top of the
+  // sink because span storage scales with admitted jobs.  Every hook below
+  // is a single `if (obs)` test and the observer writes nothing back into
+  // the loop, so the sink-off path is bit-identical by construction
+  // (regression-tested and CI-gated).
+  std::unique_ptr<ClusterObserver> obs_owner;
+  ClusterObserver* obs = nullptr;
+  if (fleet.obs.enabled && fleet.telemetry != nullptr) {
+    double epoch = fleet.obs.epoch_s;
+    if (epoch <= 0.0) {
+      // Derive: mean service time across the whole matrix — coarse enough
+      // to roll up, fine enough to see queue transients.
+      double total = 0.0;
+      for (std::size_t a = 0; a < matrix.apps(); ++a) {
+        for (std::size_t t = 0; t < matrix.types(); ++t) {
+          total += matrix.at(a, t).exec_s;
+        }
+      }
+      epoch = total / static_cast<double>(matrix.apps() * matrix.types());
+      if (!(epoch > 0.0)) epoch = 1e-9;
+    }
+    std::vector<std::string> instance_labels;
+    instance_labels.reserve(insts.size());
+    for (const Instance& inst : insts) {
+      instance_labels.push_back(fleet.types[inst.type].label);
+    }
+    std::vector<std::string> app_names;
+    app_names.reserve(matrix.apps());
+    for (const workload::App app : matrix.app_order()) {
+      app_names.push_back(workload::app_name(app));
+    }
+    obs_owner = std::make_unique<ClusterObserver>(
+        *fleet.telemetry, fleet.obs, epoch, std::move(instance_labels),
+        std::move(app_names),
+        fleet.power_cap != PowerCapMode::kNone ? fleet.power_cap_w : 0.0);
+    obs = obs_owner.get();
+  }
+
   // Deterministic exponential backoff before the job's (tries+1)-th
   // placement; no jitter, so faulty runs replay bit-identically.
   auto backoff_delay = [&](std::uint32_t tries) {
@@ -347,15 +402,18 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
     if (job.tries >= fleet.retry.max_attempts) {
       ++report.fleet.lost;
       ++report.per_app[job.app_row].lost;
+      if (obs != nullptr) obs->on_lost(job_id, now);
       return;
     }
     const double fire = now + backoff_delay(job.tries);
     if (job.deadline_abs_s > 0.0 && fire >= job.deadline_abs_s) {
       ++report.fleet.shed_retry;
       ++report.per_app[job.app_row].shed_retry;
+      if (obs != nullptr) obs->on_shed_retry(job_id, now);
       return;
     }
-    timers.push(Timer{fire, timer_seq++, job_id, false});
+    timers.push(Timer{fire, timer_seq++, job_id, false, now});
+    if (obs != nullptr) obs->on_retry_scheduled(job_id, now, fire);
   };
 
   // Placement: score every up instance (optionally excluding one — the
@@ -411,7 +469,7 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
 
   // Queue a fresh attempt of `job_id` on instance `i`.
   auto enqueue_attempt = [&](std::uint32_t job_id, std::size_t i,
-                             std::uint8_t slot) {
+                             std::uint8_t slot, double now) {
     Job& job = jobs[job_id];
     Instance& inst = insts[i];
     const ServicePoint& pt = matrix.at(job.app_row, inst.type);
@@ -436,6 +494,10 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
     entry.attempt = aid;
     inst.queue.push(entry);
     inst.queued_service_s += a.queued_exec_s;
+    if (obs != nullptr) {
+      obs->on_enqueue(aid, job_id, static_cast<std::uint32_t>(i), slot, now,
+                      a.base_exec_s);
+    }
   };
 
   // Try to start the head-of-queue attempt on an idle instance; returns
@@ -490,6 +552,9 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
     report.per_app[jobs[a.job].app_row].queue_s.add(queue_delay);
     completions.push(
         Completion{inst.running_until, completion_seq++, i, head.attempt});
+    if (obs != nullptr) {
+      obs->on_start(head.attempt, now, a.actual_exec_s, running_power);
+    }
   };
 
   // Kill the attempt running on instance `i` (crash or first-wins): frees
@@ -597,6 +662,10 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
         tele_p99->add(latency);
         tele_p999->add(latency);
       }
+      if (obs != nullptr) {
+        obs->on_complete(done.attempt, now, latency, running_power,
+                         job.deadline_abs_s > 0.0 && now > job.deadline_abs_s);
+      }
 
       // First wins: cancel the sibling attempt (the hedge's loser), killing
       // it mid-run if it already started.
@@ -606,11 +675,18 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
         Attempt& s = attempts[static_cast<std::uint32_t>(sib)];
         if (s.running) {
           kill_running(s.instance, now);
+          if (obs != nullptr) {
+            obs->on_kill_running(static_cast<std::uint32_t>(sib), now, false,
+                                 running_power);
+          }
           freed_sibling_inst = static_cast<std::int32_t>(s.instance);
         } else {
           s.cancelled = true;
           insts[s.instance].queued_service_s -= s.queued_exec_s;
           job.live[a.slot ^ 1] = kNone32;
+          if (obs != nullptr) {
+            obs->on_cancel_queued(static_cast<std::uint32_t>(sib), now, false);
+          }
         }
       }
 
@@ -630,6 +706,9 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
       const InstanceState prev = inst.state;
       inst.state = ch.state;
       inst.slowdown = ch.state == InstanceState::kDegraded ? ch.slowdown : 1.0;
+      if (obs != nullptr) {
+        obs->on_fault(ch.instance, ch.state, inst.slowdown, now);
+      }
       if (ch.state != InstanceState::kDown || prev == InstanceState::kDown) {
         // Repair or degrade-level change: only future placements and starts
         // see the new state; a running job keeps its started service rate.
@@ -639,7 +718,11 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
       // queue is lost, and every displaced job re-enters through the retry
       // policy — unless its hedge sibling is still live elsewhere.
       std::vector<std::uint32_t> displaced;
-      if (inst.busy) displaced.push_back(kill_running(ch.instance, now));
+      if (inst.busy) {
+        const std::uint32_t aid = kill_running(ch.instance, now);
+        if (obs != nullptr) obs->on_kill_running(aid, now, true, running_power);
+        displaced.push_back(aid);
+      }
       while (!inst.queue.empty()) {
         const QueueEntry e = inst.queue.top();
         inst.queue.pop();
@@ -648,6 +731,7 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
         a.cancelled = true;
         jobs[a.job].live[a.slot] = kNone32;
         displaced.push_back(e.attempt);
+        if (obs != nullptr) obs->on_cancel_queued(e.attempt, now, true);
       }
       inst.queued_service_s = 0.0;
       if (inst.blocked_since >= 0.0) {
@@ -693,12 +777,14 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
         job.hedged = true;
         ++report.fleet.hedges;
         ++report.per_app[job.app_row].hedges;
-        enqueue_attempt(t.job, p.best, 1);
+        if (obs != nullptr) obs->on_hedge(t.job, now);
+        enqueue_attempt(t.job, p.best, 1, now);
         try_start(static_cast<std::uint32_t>(p.best), now);
         continue;
       }
       // Retry re-placement.  The job has no live attempts (that is the only
       // path that schedules one), so it cannot have completed meanwhile.
+      if (obs != nullptr) obs->on_retry_fired(t.job, now, t.scheduled_s);
       ++job.tries;
       const Placement p = place(job.app_row, now, job.deadline_abs_s, kNone32);
       if (p.best == insts.size()) {
@@ -711,11 +797,12 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
           p.finish > job.deadline_abs_s) {
         ++report.fleet.shed_retry;
         ++report.per_app[job.app_row].shed_retry;
+        if (obs != nullptr) obs->on_shed_retry(t.job, now);
         continue;
       }
       ++report.fleet.retries;
       ++report.per_app[job.app_row].retries;
-      enqueue_attempt(t.job, p.best, 0);
+      enqueue_attempt(t.job, p.best, 0, now);
       try_start(static_cast<std::uint32_t>(p.best), now);
       continue;
     }
@@ -744,7 +831,9 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
       job.deadline_abs_s = deadline_abs;
       job.tries = 1;
       jobs.push_back(job);
-      schedule_retry(static_cast<std::uint32_t>(jobs.size() - 1), now);
+      const auto job_id = static_cast<std::uint32_t>(jobs.size() - 1);
+      if (obs != nullptr) obs->on_admit(job_id, row, now, deadline_abs);
+      schedule_retry(job_id, now);
       continue;
     }
     const ServicePoint& svc = matrix.at(row, insts[p.best].type);
@@ -754,12 +843,14 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
         p.finish > deadline_abs) {
       ++report.fleet.rejected_deadline;
       ++report.per_app[row].rejected_deadline;
+      if (obs != nullptr) obs->on_rejected(row, now, "deadline");
       continue;
     }
     if (fleet.power_cap == PowerCapMode::kShed &&
         running_power + svc.power_w > fleet.power_cap_w) {
       ++report.fleet.rejected_power;
       ++report.per_app[row].rejected_power;
+      if (obs != nullptr) obs->on_rejected(row, now, "power");
       continue;
     }
 
@@ -773,14 +864,19 @@ ClusterReport ClusterSim::run(const std::vector<JobArrival>& arrivals,
     jobs.push_back(job);
     const auto job_id = static_cast<std::uint32_t>(jobs.size() - 1);
 
-    enqueue_attempt(job_id, p.best, 0);
+    if (obs != nullptr) obs->on_admit(job_id, row, now, deadline_abs);
+    enqueue_attempt(job_id, p.best, 0, now);
     if (fleet.hedge.enabled()) {
-      timers.push(Timer{now + hedge_budget_s[row], timer_seq++, job_id, true});
+      timers.push(
+          Timer{now + hedge_budget_s[row], timer_seq++, job_id, true, now});
     }
     try_start(static_cast<std::uint32_t>(p.best), now);
   }
 
   report.down_seconds = fleet.faults.down_seconds(report.horizon_s);
+  if (obs != nullptr) {
+    report.obs = obs->finalize(report.horizon_s, fleet.faults);
+  }
 
   // Mirror the final aggregates into the sink.
   if (metrics != nullptr) {

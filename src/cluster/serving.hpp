@@ -32,11 +32,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/arrivals.hpp"
 #include "cluster/fleet_faults.hpp"
+#include "cluster/observer.hpp"
 #include "cluster/service.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -126,6 +128,12 @@ struct FleetConfig {
   /// Optional sink: job counters, SLA quantiles and fleet gauges are
   /// mirrored under "cluster.*" after the run.  Null changes nothing.
   telemetry::TelemetrySink* telemetry = nullptr;
+  /// Serving-tier observability (DESIGN.md §15): per-job lifecycle spans,
+  /// windowed time-series rollups and SLA/power monitors.  Requires a sink
+  /// *and* obs.enabled — span storage scales with admitted jobs, so the
+  /// million-job throughput cells leave it off.  Never feeds back into the
+  /// loop: sink-off runs stay bit-identical.
+  ObsConfig obs;
 
   /// Total instances across all types.
   std::size_t instance_count() const;
@@ -187,6 +195,9 @@ struct ClusterReport {
   /// order — two runs with equal digests completed the same jobs in the
   /// same order at the same times.
   std::uint64_t completion_digest = 0;
+  /// Spans, rollups, monitors and the tail-latency attribution — present
+  /// only when FleetConfig::obs was enabled with a sink attached.
+  std::shared_ptr<const ClusterObsReport> obs;
 
   /// Fleet utilization: busy time over instances * horizon.
   double utilization() const;

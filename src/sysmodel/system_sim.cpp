@@ -328,8 +328,11 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     }
     sim_us += seconds * 1e6;
   };
-  // Busy/idle attribution, whole-chip and (on VFI systems) per island.
-  auto note_phase = [&](const TaskSimResult& actual) {
+  // Busy/idle attribution, whole-chip and (on VFI systems) per island, plus
+  // the epoch-resolved utilization/power rollups (telemetry::TimeSeries) the
+  // DVFS-governor roadmap item consumes.  `core_energy_j` is the phase's
+  // core energy; samples land at the phase's start on the simulated axis.
+  auto note_phase = [&](const TaskSimResult& actual, double core_energy_j) {
     if (tele == nullptr) return;
     auto& metrics = tele->metrics();
     double busy = 0.0;
@@ -346,6 +349,14 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     metrics.gauge(label + ".sys.busy_s").add(busy);
     metrics.gauge(label + ".sys.idle_s")
         .add(actual.makespan_s * static_cast<double>(n) - busy);
+    if (actual.makespan_s > 0.0) {
+      const double epoch = tele->config().sys_timeseries_epoch_s;
+      const double at_s = sim_us / 1e6;
+      metrics.timeseries(label + ".sys.utilization", epoch)
+          .record(at_s, busy / (actual.makespan_s * static_cast<double>(n)));
+      metrics.timeseries(label + ".sys.power_w", epoch)
+          .record(at_s, core_energy_j / actual.makespan_s);
+    }
   };
 
   for (int iter = 0; iter < profile.iterations; ++iter) {
@@ -375,10 +386,11 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     const TaskSimResult map_nominal = simulate_phase(
         map_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.map_s += map_actual.makespan_s;
-    report.core_energy_j +=
+    const double map_energy_j =
         parallel_energy(profile.phases.map, map_actual, map_nominal, ms_map);
+    report.core_energy_j += map_energy_j;
     account_phase(map_actual);
-    note_phase(map_actual);
+    note_phase(map_actual, map_energy_j);
     trace_phase("map", map_actual.makespan_s);
 
     // Reduce.
@@ -395,11 +407,12 @@ SystemReport FullSystemSim::run(const workload::AppProfile& profile,
     const TaskSimResult red_nominal = simulate_phase(
         red_tasks, nominal_cores, 1.0, StealingPolicy::kPhoenixDefault);
     report.phases.reduce_s += red_actual.makespan_s;
-    report.core_energy_j +=
-        parallel_energy(profile.phases.reduce, red_actual, red_nominal,
-                        ms_red);
+    const double red_energy_j = parallel_energy(profile.phases.reduce,
+                                                red_actual, red_nominal,
+                                                ms_red);
+    report.core_energy_j += red_energy_j;
     account_phase(red_actual);
-    note_phase(red_actual);
+    note_phase(red_actual, red_energy_j);
     trace_phase("reduce", red_actual.makespan_s);
 
     // Merge (serial, master).

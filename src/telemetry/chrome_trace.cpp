@@ -115,6 +115,18 @@ std::string to_chrome_json(const Tracer& tracer) {
       case TraceEvent::Phase::kCounter:
         out += "C";
         break;
+      case TraceEvent::Phase::kAsyncBegin:
+        out += "b";
+        break;
+      case TraceEvent::Phase::kAsyncEnd:
+        out += "e";
+        break;
+      case TraceEvent::Phase::kFlowStart:
+        out += "s";
+        break;
+      case TraceEvent::Phase::kFlowFinish:
+        out += "f";
+        break;
     }
     out += "\",\"name\":";
     append_json_string(out, ev.name);
@@ -130,6 +142,19 @@ std::string to_chrome_json(const Tracer& tracer) {
     }
     if (ev.phase == TraceEvent::Phase::kInstant) {
       out += ",\"s\":\"t\"";  // thread-scoped marker
+    }
+    if (ev.phase == TraceEvent::Phase::kAsyncBegin ||
+        ev.phase == TraceEvent::Phase::kAsyncEnd ||
+        ev.phase == TraceEvent::Phase::kFlowStart ||
+        ev.phase == TraceEvent::Phase::kFlowFinish) {
+      // Async/flow events correlate through (cat, id); Chrome requires both.
+      out += ",\"cat\":";
+      append_json_string(out, ev.cat != nullptr ? ev.cat : "");
+      out += ",\"id\":";
+      out += std::to_string(ev.id);
+      if (ev.phase == TraceEvent::Phase::kFlowFinish) {
+        out += ",\"bp\":\"e\"";  // bind to the enclosing slice
+      }
     }
     if (!ev.args.empty()) {
       out += ",\"args\":{";

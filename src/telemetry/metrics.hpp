@@ -22,6 +22,7 @@
 #include "common/json_lite.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace vfimr::telemetry {
 
@@ -124,15 +125,27 @@ class MetricsRegistry {
   /// Creates on first use; later calls must repeat the same p
   /// (std::invalid_argument otherwise).
   QuantileMetric& quantile(const std::string& name, double p);
+  /// Windowed epoch rollups over simulated seconds; later calls must repeat
+  /// the same epoch width (std::invalid_argument otherwise).
+  TimeSeries& timeseries(const std::string& name, double epoch_s);
 
   /// Flat metric map: counters/gauges by name; histograms expand into
-  /// name.count / name.mean / name.p50 / name.p95 / name.p99; quantile
-  /// instruments report their estimate under their own name (omitted while
-  /// empty — an absent metric, not a fake zero).
+  /// name.count / name.mean / name.p50 / name.p95 / name.p99 (the derived
+  /// stats are omitted while empty — an absent metric, not a fake zero);
+  /// quantile instruments report their estimate under their own name
+  /// (likewise omitted while empty); time series expand into name.samples /
+  /// name.epochs.
   json::MetricMap snapshot() const;
 
-  /// Human-readable per-run summary (sorted by metric name).
+  /// Human-readable per-run summary (sorted by metric name).  Unlike
+  /// snapshot(), empty histogram/quantile stats appear as explicit "n/a"
+  /// rows so a summary never prints a bogus 0 (or NaN) for a metric that
+  /// received no samples.
   TextTable summary_table() const;
+
+  /// One row per (series, epoch) bucket across every registered time
+  /// series, epochs ascending — the results/*_timeseries.csv shape.
+  TextTable timeseries_table() const;
 
  private:
   mutable std::mutex mu_;
@@ -140,6 +153,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
   std::map<std::string, std::unique_ptr<QuantileMetric>> quantiles_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> timeseries_;
 };
 
 }  // namespace vfimr::telemetry

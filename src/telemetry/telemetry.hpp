@@ -25,6 +25,10 @@ struct TelemetryConfig {
   /// simulator; phases with more tasks keep counting in the metrics but
   /// stop adding trace spans past the cap.
   std::uint64_t max_task_events_per_phase = 4'096;
+  /// Epoch width (simulated seconds) for the per-application utilization /
+  /// power time series the full-system simulator records at phase
+  /// boundaries.  The cluster tier picks its own epoch (ObsConfig).
+  double sys_timeseries_epoch_s = 0.25;
 };
 
 class TelemetrySink {

@@ -1,0 +1,69 @@
+#include "telemetry/timeseries.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vfimr::telemetry {
+
+TimeSeries::TimeSeries(double epoch_s) : epoch_s_{epoch_s} {
+  if (!(epoch_s > 0.0)) {
+    throw std::invalid_argument("TimeSeries needs epoch_s > 0");
+  }
+}
+
+std::int64_t TimeSeries::epoch_of(double t_s) const {
+  return static_cast<std::int64_t>(std::floor(t_s / epoch_s_));
+}
+
+void TimeSeries::record(double t_s, double value) {
+  const std::int64_t epoch = epoch_of(t_s);
+  std::lock_guard lock{mu_};
+  EpochStats& e = epochs_[epoch];
+  if (e.count == 0) {
+    e.min = value;
+    e.max = value;
+  } else {
+    if (value < e.min) e.min = value;
+    if (value > e.max) e.max = value;
+  }
+  e.sum += value;
+  ++e.count;
+  ++samples_;
+}
+
+std::uint64_t TimeSeries::samples() const {
+  std::lock_guard lock{mu_};
+  return samples_;
+}
+
+std::vector<std::pair<std::int64_t, EpochStats>> TimeSeries::snapshot() const {
+  std::lock_guard lock{mu_};
+  std::vector<std::pair<std::int64_t, EpochStats>> out;
+  out.reserve(epochs_.size());
+  for (const auto& [epoch, stats] : epochs_) out.emplace_back(epoch, stats);
+  return out;
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  if (other.epoch_s_ != epoch_s_) {
+    throw std::invalid_argument("TimeSeries::merge epoch width mismatch");
+  }
+  // Snapshot first: taking both locks at once would need a global order.
+  const auto theirs = other.snapshot();
+  std::lock_guard lock{mu_};
+  for (const auto& [epoch, stats] : theirs) {
+    EpochStats& e = epochs_[epoch];
+    if (e.count == 0) {
+      e.min = stats.min;
+      e.max = stats.max;
+    } else {
+      if (stats.min < e.min) e.min = stats.min;
+      if (stats.max > e.max) e.max = stats.max;
+    }
+    e.sum += stats.sum;
+    e.count += stats.count;
+    samples_ += stats.count;
+  }
+}
+
+}  // namespace vfimr::telemetry

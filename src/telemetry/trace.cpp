@@ -84,4 +84,56 @@ void Tracer::counter(TrackId track, const char* series, double ts_us,
   emit(std::move(ev));
 }
 
+void Tracer::async_begin(TrackId track, std::string name, const char* cat,
+                         std::uint64_t id, double ts_us,
+                         std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kAsyncBegin;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.id = id;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  ev.args.assign(args.begin(), args.end());
+  emit(std::move(ev));
+}
+
+void Tracer::async_end(TrackId track, std::string name, const char* cat,
+                       std::uint64_t id, double ts_us,
+                       std::initializer_list<TraceArg> args) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kAsyncEnd;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.id = id;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  ev.args.assign(args.begin(), args.end());
+  emit(std::move(ev));
+}
+
+void Tracer::flow_start(TrackId track, std::string name, const char* cat,
+                        std::uint64_t id, double ts_us) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kFlowStart;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.id = id;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  emit(std::move(ev));
+}
+
+void Tracer::flow_finish(TrackId track, std::string name, const char* cat,
+                         std::uint64_t id, double ts_us) {
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kFlowFinish;
+  ev.track = track;
+  ev.ts_us = ts_us;
+  ev.id = id;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  emit(std::move(ev));
+}
+
 }  // namespace vfimr::telemetry

@@ -35,14 +35,20 @@ struct TraceArg {
 
 struct TraceEvent {
   enum class Phase : std::uint8_t {
-    kComplete,  ///< Chrome "X": a span with ts + dur
-    kInstant,   ///< Chrome "i": a point-in-time marker
-    kCounter,   ///< Chrome "C": a sampled counter series
+    kComplete,    ///< Chrome "X": a span with ts + dur
+    kInstant,     ///< Chrome "i": a point-in-time marker
+    kCounter,     ///< Chrome "C": a sampled counter series
+    kAsyncBegin,  ///< Chrome "b": nestable async span begin (cat + id)
+    kAsyncEnd,    ///< Chrome "e": nestable async span end (cat + id)
+    kFlowStart,   ///< Chrome "s": flow arrow tail (cat + id)
+    kFlowFinish,  ///< Chrome "f": flow arrow head (cat + id)
   };
   Phase phase = Phase::kInstant;
   TrackId track = 0;
   double ts_us = 0.0;
-  double dur_us = 0.0;  ///< kComplete only
+  double dur_us = 0.0;       ///< kComplete only
+  std::uint64_t id = 0;      ///< async/flow correlation id
+  const char* cat = nullptr; ///< async/flow category (static storage)
   std::string name;
   std::vector<TraceArg> args;
 };
@@ -68,6 +74,25 @@ class Tracer {
   void instant(TrackId track, std::string name, double ts_us,
                std::initializer_list<TraceArg> args = {});
   void counter(TrackId track, const char* series, double ts_us, double value);
+
+  /// Nestable async span (Chrome "b"/"e"): spans with the same (cat, id)
+  /// nest into one lane regardless of which track emits them — the cluster
+  /// tier draws one span tree per job this way.  `cat` must have static
+  /// storage duration (call sites pass string literals).
+  void async_begin(TrackId track, std::string name, const char* cat,
+                   std::uint64_t id, double ts_us,
+                   std::initializer_list<TraceArg> args = {});
+  void async_end(TrackId track, std::string name, const char* cat,
+                 std::uint64_t id, double ts_us,
+                 std::initializer_list<TraceArg> args = {});
+
+  /// Flow arrow (Chrome "s" -> "f"): links a point on one track to a later
+  /// point on another (retry/hedge hand-offs).  Start and finish must agree
+  /// on (name, cat, id).
+  void flow_start(TrackId track, std::string name, const char* cat,
+                  std::uint64_t id, double ts_us);
+  void flow_finish(TrackId track, std::string name, const char* cat,
+                   std::uint64_t id, double ts_us);
 
   std::vector<TrackInfo> tracks() const;
   std::uint64_t events() const {

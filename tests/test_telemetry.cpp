@@ -61,6 +61,32 @@ TEST(Metrics, SnapshotExpandsHistograms) {
   EXPECT_TRUE(m.count("h.p99"));
 }
 
+TEST(Metrics, EmptyInstrumentsPrintNaInSummary) {
+  // Regression: a histogram or quantile that received no samples used to
+  // print NaN/0 for its derived stats.  The summary must say "n/a" and the
+  // flat snapshot must omit the derived keys entirely.
+  MetricsRegistry reg;
+  reg.histogram("empty.hist", 0.0, 1.0, 4);
+  reg.quantile("empty.q", 0.99);
+  reg.histogram("full.hist", 0.0, 4.0, 4).add(2.0);
+  reg.quantile("full.q", 0.5).add(3.0);
+
+  const std::string text = reg.summary_table().to_string();
+  EXPECT_NE(text.find("n/a"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("-nan"), std::string::npos);
+  EXPECT_NE(text.find("empty.hist.count"), std::string::npos);
+  EXPECT_NE(text.find("full.q"), std::string::npos);
+
+  const json::MetricMap m = reg.snapshot();
+  EXPECT_EQ(m.at("empty.hist.count"), 0.0);
+  EXPECT_FALSE(m.count("empty.hist.mean"));
+  EXPECT_FALSE(m.count("empty.hist.p50"));
+  EXPECT_FALSE(m.count("empty.q"));
+  EXPECT_TRUE(m.count("full.hist.mean"));
+  EXPECT_EQ(m.at("full.q"), 3.0);
+}
+
 TEST(Metrics, CountersAreThreadSafe) {
   MetricsRegistry reg;
   Counter& c = reg.counter("n");
@@ -125,6 +151,30 @@ TEST(ChromeTrace, ExportShapeAndEscaping) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(ChromeTrace, AsyncAndFlowEventsCarryCatIdAndBindingPoint) {
+  Tracer tr;
+  const TrackId a = tr.track("proc", "lane A");
+  const TrackId b = tr.track("proc", "lane B");
+  tr.async_begin(a, "job 7", "job", 7, 1.0, {{"deadline", 9.0}});
+  tr.async_end(a, "job 7", "job", 7, 5.0);
+  tr.flow_start(a, "retry", "retry", 42, 2.0);
+  tr.flow_finish(b, "retry", "retry", 42, 3.0);
+
+  const std::string json = to_chrome_json(tr);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"retry\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  // Perfetto binds a flow arrow to its enclosing slice only with "bp":"e"
+  // on the finish edge.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline\""), std::string::npos);
 }
 
 // ----------------------------------------------- simulation determinism

@@ -1,0 +1,194 @@
+// Tests for telemetry::TimeSeries (DESIGN.md §15): epoch bucketing
+// semantics, registry binding, merge associativity, and the property that
+// the windowed rollup of any sample stream equals an exact recompute from
+// the raw samples — for random epoch widths, sample orders and thread
+// splits.
+
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "harness/generators.hpp"
+#include "harness/property.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace vfimr::telemetry {
+namespace {
+
+TEST(TimeSeries, BucketsByEpochWidth) {
+  TimeSeries ts{0.5};
+  EXPECT_EQ(ts.epoch_s(), 0.5);
+  EXPECT_EQ(ts.epoch_of(0.0), 0);
+  EXPECT_EQ(ts.epoch_of(0.49), 0);
+  EXPECT_EQ(ts.epoch_of(0.5), 1);
+  EXPECT_EQ(ts.epoch_of(-0.25), -1);
+  EXPECT_EQ(ts.epoch_start_s(3), 1.5);
+
+  ts.record(0.1, 2.0);
+  ts.record(0.2, 4.0);
+  ts.record(0.6, -1.0);
+  EXPECT_EQ(ts.samples(), 3u);
+
+  const auto snap = ts.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, 0);
+  EXPECT_EQ(snap[0].second.count, 2u);
+  EXPECT_EQ(snap[0].second.sum, 6.0);
+  EXPECT_EQ(snap[0].second.min, 2.0);
+  EXPECT_EQ(snap[0].second.max, 4.0);
+  EXPECT_EQ(snap[0].second.mean(), 3.0);
+  EXPECT_EQ(snap[1].first, 1);
+  EXPECT_EQ(snap[1].second.count, 1u);
+  EXPECT_EQ(snap[1].second.min, -1.0);
+  EXPECT_EQ(snap[1].second.max, -1.0);
+}
+
+TEST(TimeSeries, RejectsNonPositiveEpoch) {
+  EXPECT_THROW(TimeSeries{0.0}, std::invalid_argument);
+  EXPECT_THROW(TimeSeries{-1.0}, std::invalid_argument);
+}
+
+TEST(TimeSeries, MergeRejectsEpochMismatch) {
+  TimeSeries a{1.0};
+  TimeSeries b{2.0};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(TimeSeries, RegistryBindsEpochWidth) {
+  MetricsRegistry reg;
+  TimeSeries& ts = reg.timeseries("s", 0.25);
+  EXPECT_EQ(&reg.timeseries("s", 0.25), &ts);
+  EXPECT_THROW(reg.timeseries("s", 0.5), std::invalid_argument);
+
+  ts.record(0.3, 1.0);
+  ts.record(0.9, 2.0);
+  const json::MetricMap m = reg.snapshot();
+  EXPECT_EQ(m.at("s.samples"), 2.0);
+  EXPECT_EQ(m.at("s.epochs"), 2.0);
+
+  // One row per populated epoch, epochs ascending.
+  const TextTable table = reg.timeseries_table();
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("epoch_start_s"), std::string::npos);
+  EXPECT_NE(text.find("0.250000"), std::string::npos);
+}
+
+/// Exact recompute of the rollup from the raw stream, using the same
+/// floor-based epoch index and left-to-right accumulation order as
+/// TimeSeries::record over a time-sorted-stable replay of the stream.
+std::map<std::int64_t, EpochStats> recompute(
+    const std::vector<std::pair<double, double>>& stream, double epoch_s) {
+  std::map<std::int64_t, EpochStats> out;
+  for (const auto& [t, v] : stream) {
+    const auto e =
+        static_cast<std::int64_t>(std::floor(t / epoch_s));
+    EpochStats& s = out[e];
+    if (s.count == 0) {
+      s.min = v;
+      s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    s.sum += v;
+    ++s.count;
+  }
+  return out;
+}
+
+TEST(TimeSeriesProperty, RollupEqualsExactRecompute) {
+  test::for_each_seed(40, [](Rng& rng, std::uint64_t) {
+    const double epoch_s = rng.uniform(1e-3, 10.0);
+    const std::size_t n = rng.uniform_u64(400);
+    std::vector<std::pair<double, double>> stream;
+    for (std::size_t i = 0; i < n; ++i) {
+      stream.emplace_back(rng.uniform(-5.0, 100.0),
+                          rng.uniform(-10.0, 10.0));
+    }
+
+    TimeSeries ts{epoch_s};
+    for (const auto& [t, v] : stream) ts.record(t, v);
+    EXPECT_EQ(ts.samples(), n);
+
+    const auto expect = recompute(stream, epoch_s);
+    const auto got = ts.snapshot();
+    ASSERT_EQ(got.size(), expect.size());
+    std::int64_t prev = 0;
+    bool first = true;
+    for (const auto& [epoch, stats] : got) {
+      if (!first) {
+        EXPECT_GT(epoch, prev);  // snapshot ascends, no dups
+      }
+      prev = epoch;
+      first = false;
+      const auto it = expect.find(epoch);
+      ASSERT_NE(it, expect.end()) << "unexpected epoch " << epoch;
+      EXPECT_EQ(stats.count, it->second.count);
+      EXPECT_EQ(stats.sum, it->second.sum);  // same accumulation order
+      EXPECT_EQ(stats.min, it->second.min);
+      EXPECT_EQ(stats.max, it->second.max);
+    }
+  });
+}
+
+TEST(TimeSeriesProperty, MergedPerThreadSeriesIsOrderIndependent) {
+  // Dyadic sample values make per-epoch sums exact, so the merged rollup
+  // must be identical no matter how the stream was split across series or
+  // in which order the shards merge.
+  test::for_each_seed(30, [](Rng& rng, std::uint64_t) {
+    const double epoch_s = rng.uniform(0.1, 2.0);
+    const std::size_t n = 1 + rng.uniform_u64(300);
+    std::vector<std::pair<double, double>> stream;
+    for (std::size_t i = 0; i < n; ++i) {
+      stream.emplace_back(
+          rng.uniform(0.0, 50.0),
+          0.25 * static_cast<double>(rng.uniform_u64(64)));
+    }
+
+    TimeSeries serial{epoch_s};
+    for (const auto& [t, v] : stream) serial.record(t, v);
+
+    TimeSeries shard_a{epoch_s};
+    TimeSeries shard_b{epoch_s};
+    TimeSeries shard_c{epoch_s};
+    for (std::size_t i = 0; i < n; ++i) {
+      (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c)
+          .record(stream[i].first, stream[i].second);
+    }
+
+    TimeSeries ab{epoch_s};
+    ab.merge(shard_a);
+    ab.merge(shard_b);
+    ab.merge(shard_c);
+    TimeSeries ba{epoch_s};
+    ba.merge(shard_c);
+    ba.merge(shard_b);
+    ba.merge(shard_a);
+
+    const auto s = serial.snapshot();
+    const auto x = ab.snapshot();
+    const auto y = ba.snapshot();
+    ASSERT_EQ(x.size(), s.size());
+    ASSERT_EQ(y.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(x[i].first, s[i].first);
+      EXPECT_EQ(y[i].first, s[i].first);
+      EXPECT_EQ(x[i].second.count, s[i].second.count);
+      EXPECT_EQ(y[i].second.count, s[i].second.count);
+      EXPECT_EQ(x[i].second.sum, y[i].second.sum);  // order-independent
+      EXPECT_EQ(x[i].second.sum, s[i].second.sum);  // dyadic => exact
+      EXPECT_EQ(x[i].second.min, s[i].second.min);
+      EXPECT_EQ(x[i].second.max, s[i].second.max);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vfimr::telemetry

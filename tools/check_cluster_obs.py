@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""CI gate for serving-tier observability (DESIGN.md §15).
+
+Usage: check_cluster_obs.py BENCH_cluster.json ATTRIBUTION.csv \
+           TIMESERIES.csv [ATTRIBUTION_FAULTY.csv] [MAX_TRACED_RATIO]
+
+Consumes the `bench_cluster.obs.*` metrics written by bench_cluster_serving
+(and `bench_cluster.availability.obs_*` from bench_cluster_availability when
+present) plus the CSV artifacts, and enforces the observability contract:
+
+  * sink-off bit-identity — `obs.sink_identity` and
+    `obs.sink_identity_faulty` must be 1: attaching the observer changed no
+    completion digest, counter or latency/energy sum, clean or faulty.
+  * bounded overhead — `obs.traced_ratio` (sink-on over sink-off wall time,
+    same arrivals, same process) must stay under MAX_TRACED_RATIO (default
+    8; the sink-off denominator is milliseconds on the small preset, so the
+    bound is generous by design — it catches accidentally quadratic trace
+    emission, not cache noise).
+  * attribution exactness — for every CSV row, the documented
+    left-to-right sum (((service + degraded) + backoff) + hedge_wait) +
+    queue must reproduce latency_s *bit-exactly* in Python.  The C++ side
+    prints %.17g so IEEE doubles round-trip; any inequality means the
+    components were not constructed as the residual-nudged decomposition
+    the report promises.  `obs.attribution_exact` must agree.
+  * time-series shape — rows group by series; within a series, epochs
+    strictly ascend, counts are positive, min <= mean <= max, mean equals
+    sum/count bit-exactly, and epoch_start_s equals epoch * epoch_s.
+"""
+
+import csv
+import json
+import sys
+
+PREFIX = "bench_cluster."
+
+ATTR_COLUMNS = [
+    "job", "app", "arrival_s", "latency_s", "service_s", "degraded_s",
+    "backoff_s", "hedge_wait_s", "queue_s", "attempts", "hedged",
+    "hedge_won", "cohort",
+]
+TS_COLUMNS = [
+    "series", "epoch_s", "epoch", "epoch_start_s", "count", "sum", "mean",
+    "min", "max",
+]
+
+# queue_s is a residual and may be driven a few ULPs negative by
+# cancellation-heavy paths; anything visibly negative is a real bug.
+QUEUE_FLOOR = -1e-9
+
+
+def fail(msg):
+    print(f"check_cluster_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_csv(path, columns):
+    with open(path, newline="", encoding="utf-8") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        fail(f"{path} is empty")
+    if rows[0] != columns:
+        fail(f"{path} header {rows[0]} != expected {columns}")
+    out = []
+    for i, row in enumerate(rows[1:], start=2):
+        if len(row) != len(columns):
+            fail(f"{path}:{i} has {len(row)} cells, expected {len(columns)}")
+        out.append(dict(zip(columns, row)))
+    return out
+
+
+def check_attribution(path):
+    rows = read_csv(path, ATTR_COLUMNS)
+    if not rows:
+        fail(f"{path} has no attribution rows (empty p99 cohort?)")
+    p999 = 0
+    for i, r in enumerate(rows, start=2):
+        latency = float(r["latency_s"])
+        total = (
+            (
+                (float(r["service_s"]) + float(r["degraded_s"]))
+                + float(r["backoff_s"])
+            )
+            + float(r["hedge_wait_s"])
+        ) + float(r["queue_s"])
+        if total != latency:
+            fail(
+                f"{path}:{i} components sum to {total!r}, latency is "
+                f"{latency!r} (job {r['job']}) — exactness contract broken"
+            )
+        for col in ("service_s", "degraded_s", "backoff_s", "hedge_wait_s"):
+            if float(r[col]) < 0.0:
+                fail(f"{path}:{i} negative {col} = {r[col]}")
+        if float(r["queue_s"]) < QUEUE_FLOOR:
+            fail(f"{path}:{i} queue_s {r['queue_s']} below the ULP floor")
+        if r["cohort"] not in ("p99", "p999"):
+            fail(f"{path}:{i} unknown cohort {r['cohort']!r}")
+        p999 += r["cohort"] == "p999"
+        if r["hedge_won"] == "1" and r["hedged"] != "1":
+            fail(f"{path}:{i} hedge_won without hedged")
+    print(
+        f"check_cluster_obs: {path}: {len(rows)} tail rows "
+        f"({p999} in the p999 cohort), every component sum exact"
+    )
+    return len(rows)
+
+
+def check_timeseries(path):
+    rows = read_csv(path, TS_COLUMNS)
+    if not rows:
+        fail(f"{path} has no epoch rows")
+    series = {}
+    for i, r in enumerate(rows, start=2):
+        name = r["series"]
+        epoch = int(r["epoch"])
+        epoch_s = float(r["epoch_s"])
+        count = int(r["count"])
+        total = float(r["sum"])
+        mean = float(r["mean"])
+        lo, hi = float(r["min"]), float(r["max"])
+        if count <= 0:
+            fail(f"{path}:{i} epoch row with count {count}")
+        if mean != total / count:
+            fail(f"{path}:{i} mean {mean!r} != sum/count {total / count!r}")
+        if not (lo <= mean <= hi):
+            fail(f"{path}:{i} min {lo} <= mean {mean} <= max {hi} violated")
+        if float(r["epoch_start_s"]) != epoch * epoch_s:
+            fail(f"{path}:{i} epoch_start_s inconsistent with epoch * epoch_s")
+        if name in series:
+            prev_epoch, prev_width = series[name]
+            if epoch <= prev_epoch:
+                fail(
+                    f"{path}:{i} series {name!r} epoch {epoch} does not "
+                    f"ascend past {prev_epoch}"
+                )
+            if epoch_s != prev_width:
+                fail(f"{path}:{i} series {name!r} changed epoch width")
+        series[name] = (epoch, epoch_s)
+    print(
+        f"check_cluster_obs: {path}: {len(rows)} epoch rows across "
+        f"{len(series)} series, monotone and self-consistent"
+    )
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(
+            "usage: check_cluster_obs.py BENCH_cluster.json ATTRIBUTION.csv"
+            " TIMESERIES.csv [ATTRIBUTION_FAULTY.csv] [MAX_TRACED_RATIO]",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    faulty_csv = argv[4] if len(argv) > 4 else None
+    max_ratio = float(argv[5]) if len(argv) > 5 else 8.0
+
+    with open(argv[1], encoding="utf-8") as f:
+        doc = json.load(f)
+
+    def metric(name):
+        key = PREFIX + name
+        if key not in doc:
+            fail(f"{argv[1]} has no {key}")
+        return float(doc[key])
+
+    identity = metric("obs.sink_identity")
+    identity_faulty = metric("obs.sink_identity_faulty")
+    exact = metric("obs.attribution_exact")
+    ratio = metric("obs.traced_ratio")
+    tracked = metric("obs.jobs_tracked")
+    series = metric("obs.series")
+
+    print(
+        f"check_cluster_obs: sink identity clean={identity:.0f} "
+        f"faulty={identity_faulty:.0f}, in-process exactness={exact:.0f}, "
+        f"{tracked:.0f} jobs tracked across {series:.0f} series, "
+        f"traced ratio {ratio:.2f}x (cap {max_ratio:.1f}x)"
+    )
+
+    failures = []
+    if identity != 1.0:
+        failures.append("sink-on run diverged from the sink-off report")
+    if identity_faulty != 1.0:
+        failures.append("faulty sink-on run diverged from its sink-off twin")
+    if exact != 1.0:
+        failures.append("bench-side attribution sums were not exact")
+    if ratio > max_ratio:
+        failures.append(
+            f"traced overhead {ratio:.2f}x exceeds the {max_ratio:.1f}x cap"
+        )
+    avail_key = PREFIX + "availability.obs_identity"
+    if avail_key in doc:
+        if float(doc[avail_key]) != 1.0:
+            failures.append("availability obs replay diverged")
+        if float(doc.get(PREFIX + "availability.obs_attribution_exact", 0)) != 1.0:
+            failures.append("availability attribution sums were not exact")
+
+    if failures:
+        for msg in failures:
+            print(f"check_cluster_obs: FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+
+    rows = check_attribution(argv[2])
+    if rows != int(metric("obs.attribution_rows")):
+        fail(
+            f"{argv[2]} row count {rows} != obs.attribution_rows "
+            f"{metric('obs.attribution_rows'):.0f}"
+        )
+    check_timeseries(argv[3])
+    if faulty_csv:
+        check_attribution(faulty_csv)
+    print("check_cluster_obs: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -7,7 +7,9 @@ Validates that the Chrome trace-event file emitted by --trace-out is
 well-formed and Perfetto-loadable in shape:
 
   * top-level object with a "traceEvents" array;
-  * every event carries name/ph/pid/tid, with ph in {M, X, i, C};
+  * every event carries name/ph/pid/tid, with ph in {M, X, i, C} plus the
+    observability phases {b, e, s, f} (nestable async spans and flow
+    arrows, DESIGN.md §15), which must also carry an id;
   * "X" (complete) events have numeric ts and dur >= 0;
   * process_name / thread_name metadata exists, and the expected track
     kinds from a full-system run are present (MapReduce core rows, VFI
@@ -23,7 +25,8 @@ import csv
 import json
 import sys
 
-ALLOWED_PH = {"M", "X", "i", "C"}
+ALLOWED_PH = {"M", "X", "i", "C", "b", "e", "s", "f"}
+ID_PH = {"b", "e", "s", "f"}
 
 
 def fail(msg):
@@ -49,6 +52,8 @@ def check_trace(path):
         ph = ev["ph"]
         if ph not in ALLOWED_PH:
             fail(f"event {i} has unexpected ph {ph!r}")
+        if ph in ID_PH and not isinstance(ev.get("id"), (int, float)):
+            fail(f"{ph!r} event {i} needs a numeric id")
         if ph == "X":
             ts, dur = ev.get("ts"), ev.get("dur")
             if not isinstance(ts, (int, float)) or not isinstance(
