@@ -109,6 +109,7 @@ bool sla_identical(const cluster::ClusterReport& a,
 
 int main(int argc, char** argv) {
   bench::TelemetryScope telemetry{argc, argv};
+  bench::CacheDirScope cache{argc, argv};
   bool small = false;
   sysmodel::Fidelity fidelity = sysmodel::Fidelity::kAuto;
   std::string out_path = "BENCH_cluster.json";
@@ -145,6 +146,11 @@ int main(int argc, char** argv) {
   }
   sysmodel::NetworkEvaluator evaluator;
   sysmodel::PlatformCache platforms;
+  // With --cache-dir / VFIMR_CACHE_DIR set, the ServiceMatrix warmup's
+  // evaluations resolve through the persistent store: a warm cache serves
+  // the whole service matrix from disk instead of re-simulating it.
+  evaluator.attach_store(cache.store());
+  platforms.attach_store(cache.store());
   base.net_eval = &evaluator;
   base.platform_cache = &platforms;
   const sysmodel::FullSystemSim sim;

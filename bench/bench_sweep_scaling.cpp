@@ -241,6 +241,107 @@ int main(int argc, char** argv) {
             << "frontier match:               "
             << (frontier_match ? "yes" : "NO — BUG") << "\n";
 
+  // ---- Evaluation store: cold vs warm incremental sweep over a scratch
+  // disk store (DESIGN.md §16).  The cold pass simulates every point and
+  // commits the results (flush included in the timing — durability is part
+  // of the cost); the warm pass opens the same directory with all-fresh
+  // in-memory state, so everything it serves comes off disk.  Gates folded
+  // into the exit code: warm evaluates nothing, its evaluator simulates
+  // nothing, and both passes' reports are bit-identical to the reference
+  // sweep — the disk tier's "a hit is indistinguishable from a fresh run"
+  // contract, timed at bench scale.
+  std::cout << "\nEvaluation store (cold vs warm incremental sweep)\n";
+  namespace fs = std::filesystem;
+  std::error_code store_ec;
+  const fs::path store_root =
+      fs::temp_directory_path() / "vfimr_bench_sweep_store";
+  fs::remove_all(store_root, store_ec);
+
+  sysmodel::IncrementalSweepResult cold_run;
+  sysmodel::IncrementalSweepResult warm_run;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  double disk_hit_rate = 0.0;
+  std::uint64_t warm_sim_misses = 0;
+  {
+    store::EvalStore st{store_root.string()};
+    sysmodel::NetworkEvaluator cold_eval;
+    cold_eval.attach_store(&st);
+    sysmodel::PlatformCache cold_platforms;
+    cold_platforms.attach_store(&st);
+    sysmodel::PlatformParams sp = params;
+    sp.net_eval = &cold_eval;
+    sp.platform_cache = &cold_platforms;
+    sysmodel::IncrementalOptions opts;
+    opts.store = &st;
+    opts.sweep_name = "bench-sweep";
+    const auto s0 = std::chrono::steady_clock::now();
+    cold_run = sysmodel::incremental_sweep_comparisons(profiles, sim, sp,
+                                                       opts);
+    cold_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           s0)
+                 .count();
+  }
+  {
+    store::EvalStore st{store_root.string()};
+    sysmodel::NetworkEvaluator warm_eval;
+    warm_eval.attach_store(&st);
+    sysmodel::PlatformCache warm_platforms;
+    warm_platforms.attach_store(&st);
+    sysmodel::PlatformParams sp = params;
+    sp.net_eval = &warm_eval;
+    sp.platform_cache = &warm_platforms;
+    sysmodel::IncrementalOptions opts;
+    opts.store = &st;
+    opts.sweep_name = "bench-sweep";
+    const auto s0 = std::chrono::steady_clock::now();
+    warm_run = sysmodel::incremental_sweep_comparisons(profiles, sim, sp,
+                                                       opts);
+    warm_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           s0)
+                 .count();
+    disk_hit_rate = st.stats().hit_rate();
+    warm_sim_misses = warm_eval.stats().misses;
+  }
+  fs::remove_all(store_root, store_ec);
+
+  bool store_identical = cold_run.comparisons.size() == ref_results.size() &&
+                         warm_run.comparisons.size() == ref_results.size();
+  for (std::size_t i = 0; store_identical && i < ref_results.size(); ++i) {
+    for (const auto* run : {&cold_run, &warm_run}) {
+      store_identical =
+          store_identical && run->valid[i] != 0 &&
+          reports_identical(run->comparisons[i].nvfi_mesh,
+                            ref_results[i].nvfi_mesh) &&
+          reports_identical(run->comparisons[i].vfi_mesh,
+                            ref_results[i].vfi_mesh) &&
+          reports_identical(run->comparisons[i].vfi_winoc,
+                            ref_results[i].vfi_winoc);
+    }
+  }
+  const bool store_ok = store_identical && warm_run.evaluated_points == 0 &&
+                        warm_run.reused_points == profiles.size() &&
+                        warm_sim_misses == 0;
+
+  m["bench_sweep.store.cold_s"] = cold_s;
+  m["bench_sweep.store.warm_s"] = warm_s;
+  m["bench_sweep.store.warm_speedup"] = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  m["bench_sweep.store.disk_hit_rate"] = disk_hit_rate;
+  m["bench_sweep.store.cold_evaluated"] =
+      static_cast<double>(cold_run.evaluated_points);
+  m["bench_sweep.store.warm_reused"] =
+      static_cast<double>(warm_run.reused_points);
+  m["bench_sweep.store.warm_sim_misses"] =
+      static_cast<double>(warm_sim_misses);
+  m["bench_sweep.store.identical"] = store_ok ? 1.0 : 0.0;
+  std::cout << "cold (simulate + commit):     " << cold_s << " s\n"
+            << "warm (all from disk):         " << warm_s << " s  ("
+            << (warm_s > 0.0 ? cold_s / warm_s : 0.0) << "x)\n"
+            << "warm disk hit rate:           " << disk_hit_rate * 100.0
+            << "%\n"
+            << "disk results bit-identical:   "
+            << (store_ok ? "yes" : "NO — BUG") << "\n";
+
   json::save_file(out_path, m);
 
   std::cout << "\nfast path vs reference (both 1 thread): "
@@ -250,5 +351,7 @@ int main(int argc, char** argv) {
             << "fast/reference results bit-identical:   "
             << (identical ? "yes" : "NO — BUG") << "\n"
             << "wrote " << out_path << " (" << m.size() << " metrics)\n";
-  return (identical && frontier_match && counters_consistent) ? 0 : 1;
+  return (identical && frontier_match && counters_consistent && store_ok)
+             ? 0
+             : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "common/json_lite.hpp"
 #include "common/table.hpp"
+#include "store/eval_store.hpp"
 #include "sysmodel/system_sim.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/profile.hpp"
@@ -93,6 +94,70 @@ class TelemetryScope {
   std::string trace_path_;
   std::string metrics_path_;
   std::unique_ptr<telemetry::TelemetrySink> sink_;
+};
+
+/// Evaluation-store directory: the VFIMR_CACHE_DIR environment variable
+/// when set and non-empty, else empty — the disk tier defaults to OFF, so
+/// an unconfigured run touches no store files and is bit-identical to the
+/// pre-store benches.  Mirrors results_dir()'s "one tree regardless of
+/// CWD" contract for the cache.
+inline std::string cache_dir() {
+  if (const char* env = std::getenv("VFIMR_CACHE_DIR")) {
+    if (*env != '\0') return env;
+  }
+  return {};
+}
+
+/// Uniform disk-tier hookup for the paper benches, the store twin of
+/// TelemetryScope: strips `--cache-dir[=]DIR` from argv and owns an
+/// EvalStore while the flag or VFIMR_CACHE_DIR selects a directory (the
+/// flag wins).  store() is nullptr when neither is set — benches attach it
+/// to NetworkEvaluator / PlatformCache unconditionally, and a null store
+/// keeps them purely in-memory.
+class CacheDirScope {
+ public:
+  CacheDirScope(int& argc, char** argv) {
+    std::string dir = cache_dir();
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--cache-dir=", 0) == 0) {
+        dir = arg.substr(sizeof("--cache-dir=") - 1);
+      } else if (arg == "--cache-dir" && i + 1 < argc) {
+        dir = argv[++i];
+      } else {
+        argv[keep++] = argv[i];
+      }
+    }
+    argc = keep;
+    if (!dir.empty()) {
+      store_ = std::make_unique<store::EvalStore>(dir);
+      std::cout << "(cache: " << store_->dir() << ", " << store_->keys()
+                << " keys in " << store_->segments() << " segments)\n";
+    }
+  }
+
+  CacheDirScope(const CacheDirScope&) = delete;
+  CacheDirScope& operator=(const CacheDirScope&) = delete;
+
+  /// Null when no cache directory was requested (flag or env).
+  store::EvalStore* store() { return store_.get(); }
+
+  ~CacheDirScope() {
+    if (store_ == nullptr) return;
+    try {
+      store_->flush();
+      const store::StoreStats s = store_->stats();
+      std::cout << "(cache: " << s.hits << " hits / " << s.misses
+                << " misses, " << s.bytes_read << " B read, "
+                << s.bytes_written << " B written)\n";
+    } catch (const std::exception& e) {
+      std::cout << "(cache not flushed: " << e.what() << ")\n";
+    }
+  }
+
+ private:
+  std::unique_ptr<store::EvalStore> store_;
 };
 
 /// Bench output directory: the VFIMR_RESULTS_DIR environment variable when

@@ -30,6 +30,30 @@ class Accumulator {
   /// Merge another accumulator into this one (parallel reduction).
   void merge(const Accumulator& other);
 
+  /// Exact internal state, for canonical serialization (store/codec.hpp).
+  /// raw()/from_raw() round-trip bit-identically: derived figures like
+  /// variance() would not (m2 = variance * n re-rounds), so the store
+  /// persists the raw fields instead.
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Raw raw() const { return Raw{n_, mean_, m2_, sum_, min_, max_}; }
+  static Accumulator from_raw(const Raw& r) {
+    Accumulator a;
+    a.n_ = r.n;
+    a.mean_ = r.mean;
+    a.m2_ = r.m2;
+    a.sum_ = r.sum;
+    a.min_ = r.min;
+    a.max_ = r.max;
+    return a;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

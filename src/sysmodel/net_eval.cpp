@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <string_view>
 
 #include "common/require.hpp"
 #include "noc/analytical.hpp"
 #include "noc/traffic.hpp"
+#include "store/codec.hpp"
+#include "store/eval_store.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vfimr::sysmodel {
@@ -305,36 +308,73 @@ NetworkEval NetworkEvaluator::evaluate(const BuiltPlatform& platform,
   const bool analytical = analytical_band(params.fidelity);
 
   std::shared_ptr<Entry> entry;
-  bool inserted = false;
   {
     std::lock_guard<std::mutex> lock{mutex_};
     auto [it, fresh] = cache_.try_emplace(key);
     if (fresh) it->second = std::make_shared<Entry>();
     entry = it->second;
-    inserted = fresh;
-  }
-  auto& counter = analytical ? (inserted ? analytical_misses_
-                                         : analytical_hits_)
-                             : (inserted ? cycle_misses_ : cycle_hits_);
-  counter.fetch_add(1, std::memory_order_relaxed);
-  if (params.telemetry != nullptr) {
-    auto& metrics = params.telemetry->metrics();
-    metrics
-        .counter(inserted ? "net_eval.cache_misses" : "net_eval.cache_hits")
-        .add(1);
-    const std::string band = analytical ? "analytical" : "cycle";
-    metrics
-        .counter("net_eval." + band +
-                 (inserted ? ".cache_misses" : ".cache_hits"))
-        .add(1);
   }
 
+  // Hit/miss classification happens under the entry mutex, where the tier
+  // that actually resolves the request is known: memory (entry ready), disk
+  // (store probe decodes), or compute.  A thread that blocked behind the
+  // computing thread counts a memory hit — by the time it runs, that is
+  // what it got.
+  const std::string band = analytical ? "analytical" : "cycle";
+  const auto count = [&](std::atomic<std::uint64_t>& counter,
+                         const char* total_name, bool band_split) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    if (params.telemetry != nullptr) {
+      auto& metrics = params.telemetry->metrics();
+      metrics.counter(total_name).add(1);
+      if (band_split) {
+        const std::string_view suffix =
+            std::string_view{total_name}.substr(sizeof("net_eval.") - 1);
+        metrics.counter("net_eval." + band + "." + std::string{suffix})
+            .add(1);
+      }
+    }
+  };
+
   std::lock_guard<std::mutex> lock{entry->mutex};
-  if (!entry->ready) {
-    entry->value = evaluate_network_banded(platform, node_traffic,
-                                           packet_flits, params, noc_power,
-                                           label);
-    entry->ready = true;
+  if (entry->ready) {
+    count(analytical ? analytical_hits_ : cycle_hits_, "net_eval.cache_hits",
+          /*band_split=*/true);
+    return entry->value;
+  }
+
+  if (store_ != nullptr) {
+    // Disk tier: same content-addressed key, domain-prefixed so evaluator
+    // records can never alias another record family in a shared store.
+    std::string bytes;
+    if (store_->get(
+            store::domain_key(store::KeyDomain::kNetworkEval, key), bytes) &&
+        store::decode_network_eval(bytes, entry->value)) {
+      entry->ready = true;
+      count(disk_hits_, "net_eval.disk_hits", /*band_split=*/false);
+      if (params.telemetry != nullptr) {
+        params.telemetry->metrics().counter("store.bytes").add(
+            static_cast<std::uint64_t>(bytes.size()));
+      }
+      return entry->value;
+    }
+    count(disk_misses_, "net_eval.disk_misses", /*band_split=*/false);
+  }
+
+  count(analytical ? analytical_misses_ : cycle_misses_,
+        "net_eval.cache_misses", /*band_split=*/true);
+  entry->value = evaluate_network_banded(platform, node_traffic, packet_flits,
+                                         params, noc_power, label);
+  entry->ready = true;
+  if (store_ != nullptr) {
+    std::string store_key =
+        store::domain_key(store::KeyDomain::kNetworkEval, key);
+    std::string value = store::encode_network_eval(entry->value);
+    if (params.telemetry != nullptr) {
+      params.telemetry->metrics().counter("store.bytes").add(
+          static_cast<std::uint64_t>(store_key.size() + value.size()));
+    }
+    store_->put(store_key, std::move(value));
   }
   return entry->value;
 }

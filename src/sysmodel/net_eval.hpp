@@ -33,6 +33,21 @@
 // promotions recorded via note_promotion() appear as
 // `net_eval.promotions`.  Cache hits do not re-emit the NoC trace events of
 // the original run.
+//
+// Disk tier: attach_store() adds a persistent tier between the in-memory
+// memo and the simulator.  Lookups then go memory -> disk -> compute: a
+// memory miss probes the store under the same content-addressed key
+// (domain-prefixed, see store/eval_store.hpp), and only a disk miss runs
+// the simulation — whose result is written back so later processes (other
+// sweep shards, warm re-runs) load it instead of recomputing.  A decoded
+// disk hit is bit-identical to a fresh run because the key already captures
+// every input and the codec round-trips every output field exactly; stores
+// written by a different format or codec version simply miss (stale data is
+// recomputed, never trusted).  Disk traffic shows up in stats() as
+// `disk_hits` / `disk_misses` and in telemetry as `net_eval.disk_hits`,
+// `net_eval.disk_misses`, and `store.bytes` (bytes moved to or from disk).
+// `misses` continues to count *simulations*, so `misses == 0` on a warm
+// re-run is the "no evaluator recomputed anything" gate.
 
 #include <atomic>
 #include <cstdint>
@@ -44,6 +59,10 @@
 #include "common/matrix.hpp"
 #include "power/noc_power.hpp"
 #include "sysmodel/platform.hpp"
+
+namespace vfimr::store {
+class EvalStore;
+}
 
 namespace vfimr::sysmodel {
 
@@ -92,10 +111,15 @@ class NetworkEvaluator {
     std::uint64_t cycle_misses = 0;
     /// Frontier promotions recorded by sweep drivers (note_promotion).
     std::uint64_t promotions = 0;
+    /// Disk tier (attach_store): memory misses resolved from / written to
+    /// the persistent store.  Every disk miss is also a simulation, so
+    /// `misses` keeps meaning "evaluations actually computed".
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_misses = 0;
 
-    std::uint64_t total() const { return hits + misses; }
+    std::uint64_t total() const { return hits + disk_hits + misses; }
     double hit_rate() const {
-      return total() > 0 ? static_cast<double>(hits) /
+      return total() > 0 ? static_cast<double>(hits + disk_hits) /
                                static_cast<double>(total())
                          : 0.0;
     }
@@ -117,6 +141,13 @@ class NetworkEvaluator {
   /// `net_eval.promotions` telemetry counter when `sink` is non-null).
   void note_promotion(telemetry::TelemetrySink* sink = nullptr);
 
+  /// Attach (or detach, with nullptr) the persistent disk tier.  The store
+  /// is probed on memory misses and written on computes; it must outlive
+  /// every evaluate() call.  Not thread-safe against concurrent evaluate()
+  /// — attach before handing the evaluator to workers.
+  void attach_store(store::EvalStore* store) { store_ = store; }
+  store::EvalStore* store() const { return store_; }
+
   Stats stats() const {
     Stats s;
     s.analytical_hits = analytical_hits_.load(std::memory_order_relaxed);
@@ -126,6 +157,8 @@ class NetworkEvaluator {
     s.hits = s.analytical_hits + s.cycle_hits;
     s.misses = s.analytical_misses + s.cycle_misses;
     s.promotions = promotions_.load(std::memory_order_relaxed);
+    s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+    s.disk_misses = disk_misses_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -149,6 +182,9 @@ class NetworkEvaluator {
   std::atomic<std::uint64_t> cycle_hits_{0};
   std::atomic<std::uint64_t> cycle_misses_{0};
   std::atomic<std::uint64_t> promotions_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> disk_misses_{0};
+  store::EvalStore* store_ = nullptr;
 };
 
 }  // namespace vfimr::sysmodel

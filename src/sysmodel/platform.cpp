@@ -1,6 +1,8 @@
 #include "sysmodel/platform.hpp"
 
 #include "common/require.hpp"
+#include "store/codec.hpp"
+#include "store/eval_store.hpp"
 #include "sysmodel/net_eval.hpp"
 #include "winoc/thread_mapping.hpp"
 
@@ -53,7 +55,8 @@ bool parse_fidelity(const std::string& name, Fidelity& out) {
 
 BuiltPlatform build_platform(const workload::AppProfile& profile,
                              const PlatformParams& params,
-                             const power::VfTable& table) {
+                             const power::VfTable& table,
+                             const vfi::VfiDesign* precomputed) {
   VFIMR_REQUIRE_MSG(profile.threads == 64,
                     "platform construction targets the 8x8 die");
   BuiltPlatform built;
@@ -75,10 +78,13 @@ BuiltPlatform build_platform(const workload::AppProfile& profile,
     return built;
   }
 
-  // VFI systems share the Fig. 3 design flow.
+  // VFI systems share the Fig. 3 design flow (skipped when the caller
+  // supplies a stored design — see the header contract).
   built.has_vfi = true;
-  built.vfi = vfi::design_vfi(profile.utilization, profile.traffic,
-                              profile.master_threads, table, params.vfi);
+  built.vfi = precomputed != nullptr
+                  ? *precomputed
+                  : vfi::design_vfi(profile.utilization, profile.traffic,
+                                    profile.master_threads, table, params.vfi);
 
   if (params.kind == SystemKind::kVfiMesh) {
     Rng rng{params.smallworld.seed};
@@ -165,19 +171,45 @@ std::shared_ptr<const BuiltPlatform> PlatformCache::get(
     const power::VfTable& table) {
   const std::string key = platform_key(profile, params, table);
   std::shared_ptr<Entry> entry;
-  bool inserted = false;
   {
     std::lock_guard<std::mutex> lock{mutex_};
     auto [it, fresh] = cache_.try_emplace(key);
     if (fresh) it->second = std::make_shared<Entry>();
     entry = it->second;
-    inserted = fresh;
   }
-  (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+
+  // Classify under the entry mutex, where the resolving tier is known
+  // (memory -> disk -> design flow); `misses()` keeps meaning "design flows
+  // actually run".  NVFI platforms skip the disk tier: their construction
+  // has no expensive design to save, and kind is in the key so they can
+  // never collide with a stored VFI design.
   std::lock_guard<std::mutex> lock{entry->mutex};
-  if (entry->value == nullptr) {
-    entry->value = std::make_shared<const BuiltPlatform>(
-        build_platform(profile, params, table));
+  if (entry->value != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry->value;
+  }
+  const bool use_store =
+      store_ != nullptr && params.kind != SystemKind::kNvfiMesh;
+  if (use_store) {
+    std::string bytes;
+    vfi::VfiDesign design;
+    if (store_->get(
+            store::domain_key(store::KeyDomain::kPlatformDesign, key),
+            bytes) &&
+        store::decode_vfi_design(bytes, design)) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      entry->value = std::make_shared<const BuiltPlatform>(
+          build_platform(profile, params, table, &design));
+      return entry->value;
+    }
+    disk_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  entry->value = std::make_shared<const BuiltPlatform>(
+      build_platform(profile, params, table));
+  if (use_store) {
+    store_->put(store::domain_key(store::KeyDomain::kPlatformDesign, key),
+                store::encode_vfi_design(entry->value->vfi));
   }
   return entry->value;
 }

@@ -25,6 +25,10 @@
 #include "winoc/design.hpp"
 #include "workload/profile.hpp"
 
+namespace vfimr::store {
+class EvalStore;
+}
+
 namespace vfimr::sysmodel {
 
 class NetworkEvaluator;
@@ -151,10 +155,16 @@ struct BuiltPlatform {
 };
 
 /// Run the VFI design flow (if applicable), map threads and build the
-/// interconnect for `profile` under `params`.
+/// interconnect for `profile` under `params`.  When `precomputed` is
+/// non-null and the system has VFIs, the (expensive, simulated-annealing)
+/// design flow is skipped and the given design used verbatim — everything
+/// downstream of the design (thread mapping, WiNoC layout, routing) is
+/// deterministic in (profile, params), so a stored design rebuilds the
+/// exact platform the original run used.
 BuiltPlatform build_platform(const workload::AppProfile& profile,
                              const PlatformParams& params,
-                             const power::VfTable& table);
+                             const power::VfTable& table,
+                             const vfi::VfiDesign* precomputed = nullptr);
 
 /// Memoizing, thread-safe platform-construction service for design-space
 /// sweeps.  Keys are the raw bytes of every input that steers
@@ -175,10 +185,26 @@ class PlatformCache {
       const workload::AppProfile& profile, const PlatformParams& params,
       const power::VfTable& table);
 
+  /// Attach (or detach, with nullptr) a persistent disk tier.  For VFI
+  /// systems, a memory miss probes the store for the stored VfiDesign —
+  /// the expensive simulated-annealing output — and rebuilds the rest of
+  /// the platform deterministically around it; a disk miss runs the full
+  /// design flow and writes the design back.  NVFI platforms never touch
+  /// the store (no design to save).  Attach before handing the cache to
+  /// worker threads; the store must outlive every get().
+  void attach_store(store::EvalStore* store) { store_ = store; }
+  store::EvalStore* store() const { return store_; }
+
   std::size_t size() const;
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t disk_hits() const {
+    return disk_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t disk_misses() const {
+    return disk_misses_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -190,6 +216,9 @@ class PlatformCache {
   std::unordered_map<std::string, std::shared_ptr<Entry>> cache_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> disk_misses_{0};
+  store::EvalStore* store_ = nullptr;
 };
 
 /// Aggregate network figures extracted from a cycle-accurate run.

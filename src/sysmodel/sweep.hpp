@@ -18,6 +18,10 @@
 #include "sysmodel/system_sim.hpp"
 #include "workload/profile.hpp"
 
+namespace vfimr::store {
+class EvalStore;
+}
+
 namespace vfimr::sysmodel {
 
 /// Runs compare_systems(profiles[i], sim, base_params) for every profile,
@@ -48,6 +52,66 @@ struct BatchRequest {
 std::vector<SystemReport> run_batch(const FullSystemSim& sim,
                                     const std::vector<BatchRequest>& requests,
                                     std::size_t threads = 0);
+
+/// Content-addressed identity of one comparison sweep point: the raw bytes
+/// of every input that steers compare_systems(profile, sim, base_params) —
+/// the profile's full workload content (utilization, traffic, phase model,
+/// per-phase matrices), every PlatformParams value field (pointers and the
+/// telemetry label excluded: memo services and tracing are proven
+/// bit-identical to their absence), and the simulator's power-model
+/// parameters and V/F ladder.  Equal keys denote the same comparison, so a
+/// stored result under this key is bit-identical to re-running the point.
+std::string comparison_point_key(const workload::AppProfile& profile,
+                                 const FullSystemSim& sim,
+                                 const PlatformParams& base_params);
+
+/// Configuration of an incremental (store-backed) comparison sweep.
+struct IncrementalOptions {
+  /// Required.  Point results are looked up / written under
+  /// KeyDomain::kSweepPoint; the manifest under kSweepManifest.
+  store::EvalStore* store = nullptr;
+  /// Manifest name for this sweep (e.g. "fig8").  The driver records the
+  /// point-key hash list (input order) under this name after every run, so
+  /// tools and later runs can see which points changed.  Empty skips the
+  /// manifest.
+  std::string sweep_name;
+  /// Shard ownership for multi-process population: this process evaluates
+  /// only points with index % shard_count == shard_index.  Results other
+  /// shards have already committed are still merged in; points owned by an
+  /// absent shard come back invalid (valid[i] == 0).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+};
+
+/// Outcome of an incremental sweep.  comparisons[i] corresponds to
+/// profiles[i] and is populated iff valid[i] != 0 — on a single-shard run
+/// every point is valid; on a sharded run points owned by other shards are
+/// valid only once those shards have flushed their results into the store.
+struct IncrementalSweepResult {
+  std::vector<SystemComparison> comparisons;  ///< input order
+  std::vector<std::uint8_t> valid;   ///< comparisons[i] is populated
+  std::vector<std::uint8_t> reused;  ///< loaded from the store, not computed
+  std::size_t reused_points = 0;     ///< served from the store
+  std::size_t evaluated_points = 0;  ///< computed (and written back)
+  std::size_t skipped_points = 0;    ///< owned by another shard, not stored
+  /// Manifest bookkeeping: whether a prior manifest existed under
+  /// sweep_name, and how many of this run's point keys it already listed
+  /// (points whose inputs did not change since that run).
+  bool had_prior_manifest = false;
+  std::size_t manifest_prior_matches = 0;
+};
+
+/// Incremental twin of sweep_comparisons: each point is keyed by
+/// comparison_point_key and resolved store-first.  Only points whose inputs
+/// changed (key not in the store) are re-evaluated — in parallel, then
+/// written back and flushed — and prior results are merged in input order.
+/// With shard_count > 1 the point list is partitioned round-robin so N
+/// worker processes can populate one store concurrently (segment commits
+/// are process-safe; see store/eval_store.hpp).
+IncrementalSweepResult incremental_sweep_comparisons(
+    const std::vector<workload::AppProfile>& profiles,
+    const FullSystemSim& sim, const PlatformParams& base_params,
+    const IncrementalOptions& options, std::size_t threads = 0);
 
 /// The Auto-mode three-system comparison: explore every system in the
 /// analytical band, pick the EDP frontier, then confirm it (and the NVFI

@@ -1,0 +1,631 @@
+// Tests for the persistent evaluation store (DESIGN.md §16): byte codec
+// round-trips, segment framing robustness (truncation, bit rot, foreign
+// versions — every failure degrades to a recompute, never to wrong data),
+// the tiered NetworkEvaluator / PlatformCache lookup, and the incremental
+// sweep driver.  The load-bearing property throughout: a disk hit is
+// bit-identical to a fresh computation, clean and faulty, in both fidelity
+// bands.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/bytes.hpp"
+#include "store/codec.hpp"
+#include "store/eval_store.hpp"
+#include "sysmodel/net_eval.hpp"
+#include "sysmodel/sweep.hpp"
+#include "sysmodel/system_sim.hpp"
+#include "workload/profile.hpp"
+
+namespace vfimr::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped scratch directory for one test, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path{(fs::temp_directory_path() / ("vfimr_store_test_" + name))
+                 .string()} {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// The one committed segment file of a freshly-flushed store.
+std::string only_segment(const std::string& dir) {
+  std::string found;
+  for (const auto& e : fs::directory_iterator{dir}) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) {
+      EXPECT_TRUE(found.empty()) << "expected a single segment";
+      found = e.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty());
+  return found;
+}
+
+TEST(Bytes, ScalarsStringsVectorsRoundTrip) {
+  ByteWriter w;
+  w.put(std::uint32_t{0xDEADBEEF});
+  w.put(std::uint64_t{42});
+  w.put(3.25);
+  w.put_string("hello");
+  w.put_vector(std::vector<std::uint32_t>{1, 2, 3});
+
+  ByteReader r{w.bytes()};
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  double c = 0.0;
+  std::string s;
+  std::vector<std::uint32_t> v;
+  r.get(a);
+  r.get(b);
+  r.get(c);
+  r.get_string(s);
+  r.get_vector(v);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 42u);
+  EXPECT_EQ(c, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(Bytes, TruncatedInputLatchesNotOk) {
+  ByteWriter w;
+  w.put(std::uint64_t{7});
+  std::string bytes{w.bytes()};
+  bytes.resize(bytes.size() - 1);
+  ByteReader r{bytes};
+  std::uint64_t x = 99;
+  r.get(x);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(x, 0u);  // a failed read zeroes the output, never leaves junk
+  // Once not-ok, later reads stay not-ok and keep returning zeroed values.
+  std::uint32_t y = 55;
+  r.get(y);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(y, 0u);
+}
+
+TEST(Bytes, HugeDeclaredLengthIsRejectedNotAllocated) {
+  ByteWriter w;
+  w.put(std::uint64_t{1} << 60);  // claimed element count, no payload
+  ByteReader r{w.bytes()};
+  std::vector<double> v;
+  r.get_vector(v);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Bytes, Crc32AndFnvKnownValues) {
+  // IEEE 802.3 CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  // FNV-1a 64-bit offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(EvalStore, PutGetFlushReopen) {
+  TempDir tmp{"basic"};
+  {
+    EvalStore st{tmp.path};
+    std::string v;
+    EXPECT_FALSE(st.get("missing", v));
+    st.put("k1", "v1");
+    st.put("k2", std::string(100'000, 'x'));  // spans the record path
+    EXPECT_TRUE(st.get("k1", v));  // visible before flush
+    EXPECT_EQ(v, "v1");
+    st.flush();
+  }
+  EvalStore st{tmp.path};
+  std::string v;
+  EXPECT_TRUE(st.get("k1", v));
+  EXPECT_EQ(v, "v1");
+  EXPECT_TRUE(st.get("k2", v));
+  EXPECT_EQ(v.size(), 100'000u);
+  EXPECT_EQ(v[0], 'x');
+  EXPECT_FALSE(st.get("k3", v));
+  const StoreStats s = st.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.corrupt_records, 0u);
+  EXPECT_EQ(st.keys(), 2u);
+}
+
+TEST(EvalStore, DomainKeysNeverCollide) {
+  const std::string key = "same payload";
+  EXPECT_NE(domain_key(KeyDomain::kNetworkEval, key),
+            domain_key(KeyDomain::kPlatformDesign, key));
+  TempDir tmp{"domains"};
+  EvalStore st{tmp.path};
+  st.put(domain_key(KeyDomain::kNetworkEval, key), "eval");
+  st.put(domain_key(KeyDomain::kPlatformDesign, key), "design");
+  std::string v;
+  ASSERT_TRUE(st.get(domain_key(KeyDomain::kNetworkEval, key), v));
+  EXPECT_EQ(v, "eval");
+  ASSERT_TRUE(st.get(domain_key(KeyDomain::kPlatformDesign, key), v));
+  EXPECT_EQ(v, "design");
+}
+
+TEST(EvalStore, TruncatedTailKeepsCommittedPrefix) {
+  TempDir tmp{"truncate"};
+  {
+    EvalStore st{tmp.path, /*shards=*/1};  // one segment, ordered records
+    st.put("first", "AAAA");
+    st.put("second", "BBBB");
+    st.flush();
+  }
+  const std::string seg = only_segment(tmp.path + "/v1");
+  const auto full_size = fs::file_size(seg);
+  fs::resize_file(seg, full_size - 2);  // tear the tail record
+
+  EvalStore st{tmp.path};
+  std::string v;
+  const bool got_first = st.get("first", v);
+  const bool got_second = st.get("second", v);
+  // Record order inside the segment is insertion order, so the torn record
+  // is the second one: the committed prefix must survive, the torn tail
+  // must miss — and nothing may ever return wrong bytes.
+  EXPECT_TRUE(got_first);
+  EXPECT_FALSE(got_second);
+  EXPECT_GE(st.stats().corrupt_records, 1u);
+}
+
+TEST(EvalStore, BitFlipIsAMissNeverWrongData) {
+  TempDir tmp{"bitflip"};
+  {
+    EvalStore st{tmp.path, 1};
+    st.put("key", std::string(256, 'Z'));
+    st.flush();
+  }
+  const std::string seg = only_segment(tmp.path + "/v1");
+  {
+    std::fstream f{seg, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(static_cast<std::streamoff>(fs::file_size(seg)) - 10);
+    f.put('!');  // flip bytes inside the value region
+  }
+  EvalStore st{tmp.path};
+  std::string v;
+  EXPECT_FALSE(st.get("key", v));  // CRC catches it: miss, not wrong data
+  EXPECT_GE(st.stats().corrupt_records, 1u);
+}
+
+TEST(EvalStore, ForeignFormatVersionRecordIsSkipped) {
+  TempDir tmp{"version"};
+  EvalStore{tmp.path}.flush();  // create the v<N> directory
+  const std::string key = "future key";
+  const std::string val = "future value";
+  // Hand-craft a record whose format field is from the future.  The store
+  // must count it stale and treat the key as absent — stale data is
+  // recomputed, never trusted.
+  ByteWriter w;
+  w.put(std::uint32_t{0x56465354});            // magic
+  w.put(kStoreFormatVersion + 1);              // foreign format
+  w.put(static_cast<std::uint64_t>(key.size()));
+  w.put(static_cast<std::uint64_t>(val.size()));
+  w.put(fnv1a64(key));
+  std::string joined = key + val;
+  w.put(crc32(joined));
+  std::string bytes{w.bytes()};
+  bytes += joined;
+  std::ofstream{tmp.path + "/v1/seg-s0-999-0.seg", std::ios::binary}.write(
+      bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  EvalStore st{tmp.path};
+  std::string v;
+  EXPECT_FALSE(st.get(key, v));
+  EXPECT_EQ(st.stats().stale_records, 1u);
+  EXPECT_EQ(st.stats().records_scanned, 0u);
+}
+
+TEST(EvalStore, MetaRecordsOverwriteLatestWins) {
+  TempDir tmp{"meta"};
+  EvalStore st{tmp.path};
+  std::string v;
+  EXPECT_FALSE(st.get_meta("manifest", v));
+  ASSERT_TRUE(st.put_meta("manifest", "generation 1"));
+  ASSERT_TRUE(st.get_meta("manifest", v));
+  EXPECT_EQ(v, "generation 1");
+  ASSERT_TRUE(st.put_meta("manifest", "generation 2"));  // unlike put():
+  ASSERT_TRUE(st.get_meta("manifest", v));               // replaces
+  EXPECT_EQ(v, "generation 2");
+
+  // Corrupt the meta file: must read as absent, never as wrong bytes.
+  for (const auto& e : fs::directory_iterator{tmp.path + "/v1"}) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("meta-", 0) == 0) {
+      std::fstream f{e.path().string(),
+                     std::ios::in | std::ios::out | std::ios::binary};
+      f.seekp(-1, std::ios::end);
+      f.put('?');
+    }
+  }
+  EXPECT_FALSE(st.get_meta("manifest", v));
+}
+
+}  // namespace
+}  // namespace vfimr::store
+
+namespace vfimr::sysmodel {
+namespace {
+
+using store::EvalStore;
+using TempDir = ::vfimr::store::TempDir;
+
+PlatformParams small_params(SystemKind kind) {
+  PlatformParams p;
+  p.kind = kind;
+  p.sim_cycles = 3'000;
+  p.drain_cycles = 20'000;
+  return p;
+}
+
+/// Field-by-field bit-identity (mirrors tests/test_net_eval.cpp).
+void expect_identical(const NetworkEval& a, const NetworkEval& b) {
+  EXPECT_EQ(a.avg_latency_cycles, b.avg_latency_cycles);
+  EXPECT_EQ(a.energy_per_flit_j, b.energy_per_flit_j);
+  EXPECT_EQ(a.wireless_utilization, b.wireless_utilization);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.metrics.packets_injected, b.metrics.packets_injected);
+  EXPECT_EQ(a.metrics.packets_ejected, b.metrics.packets_ejected);
+  EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+  EXPECT_EQ(a.metrics.fault_events, b.metrics.fault_events);
+  EXPECT_EQ(a.metrics.packets_lost, b.metrics.packets_lost);
+  EXPECT_EQ(a.metrics.energy.switch_traversals,
+            b.metrics.energy.switch_traversals);
+  EXPECT_EQ(a.metrics.energy.buffer_writes, b.metrics.energy.buffer_writes);
+}
+
+TEST(StoreCodec, NetworkEvalRoundTripIsBitExact) {
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kVfiWinoc);
+  const BuiltPlatform built = build_platform(profile, params, sim.vf_table());
+  const NetworkEval fresh = evaluate_network_traffic(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+
+  const std::string bytes = store::encode_network_eval(fresh);
+  NetworkEval decoded;
+  ASSERT_TRUE(store::decode_network_eval(bytes, decoded));
+  expect_identical(decoded, fresh);
+  // Re-encoding the decoded value must reproduce the exact byte string:
+  // the canonical encoding is injective over every field, including the
+  // latency Accumulator's internal Welford state.
+  EXPECT_EQ(store::encode_network_eval(decoded), bytes);
+}
+
+TEST(StoreCodec, RejectsForeignVersionKindAndTrailingGarbage) {
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kNvfiMesh);
+  const BuiltPlatform built = build_platform(profile, params, sim.vf_table());
+  const NetworkEval fresh = evaluate_network_traffic(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  const std::string bytes = store::encode_network_eval(fresh);
+  NetworkEval out;
+
+  std::string wrong_version = bytes;
+  wrong_version[0] = static_cast<char>(wrong_version[0] + 1);
+  EXPECT_FALSE(store::decode_network_eval(wrong_version, out));
+
+  // A VfiDesign payload is not a NetworkEval: kind tag mismatch.
+  vfi::VfiDesign design = built.vfi;
+  EXPECT_FALSE(
+      store::decode_network_eval(store::encode_vfi_design(design), out));
+
+  std::string trailing = bytes + "x";
+  EXPECT_FALSE(store::decode_network_eval(trailing, out));
+
+  EXPECT_FALSE(store::decode_network_eval(bytes.substr(0, bytes.size() - 1),
+                                          out));
+}
+
+TEST(TieredNetEval, DiskHitBitIdenticalCleanBothBands) {
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  TempDir tmp{"tier_clean"};
+  for (Fidelity band : {Fidelity::kCycleAccurate, Fidelity::kAnalytical}) {
+    PlatformParams params = small_params(SystemKind::kVfiWinoc);
+    params.fidelity = band;
+    const BuiltPlatform built =
+        build_platform(profile, params, sim.vf_table());
+    const NetworkEval fresh = evaluate_network_banded(
+        built, built.node_traffic, profile.packet_flits, params,
+        sim.models().noc);
+
+    // Writer process: memory miss + disk miss -> simulate, persist.
+    {
+      EvalStore st{tmp.path};
+      NetworkEvaluator writer;
+      writer.attach_store(&st);
+      const NetworkEval computed = writer.evaluate(
+          built, built.node_traffic, profile.packet_flits, params,
+          sim.models().noc);
+      expect_identical(computed, fresh);
+      EXPECT_EQ(writer.stats().misses, 1u);
+      EXPECT_EQ(writer.stats().disk_misses, 1u);
+      st.flush();
+    }
+    // Reader process: cold memory, warm disk — no simulation runs, and the
+    // served value is bit-identical to the fresh one.
+    EvalStore st{tmp.path};
+    NetworkEvaluator reader;
+    reader.attach_store(&st);
+    const NetworkEval served = reader.evaluate(
+        built, built.node_traffic, profile.packet_flits, params,
+        sim.models().noc);
+    expect_identical(served, fresh);
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+    EXPECT_EQ(reader.stats().misses, 0u);
+    EXPECT_EQ(reader.stats().hits, 0u);
+    // A replay in the same process resolves in memory, not on disk.
+    (void)reader.evaluate(built, built.node_traffic, profile.packet_flits,
+                          params, sim.models().noc);
+    EXPECT_EQ(reader.stats().hits, 1u);
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+  }
+}
+
+TEST(TieredNetEval, DiskHitBitIdenticalUnderFaults) {
+  const auto profile = workload::make_profile(workload::App::kWC);
+  const FullSystemSim sim;
+  PlatformParams params = small_params(SystemKind::kVfiWinoc);
+  params.faults.link_rate = 40.0;
+  params.faults.router_rate = 20.0;
+  params.faults.wi_rate = 40.0;
+  params.faults.transient_fraction = 0.7;
+  params.faults.seed = 77;
+  const BuiltPlatform built = build_platform(profile, params, sim.vf_table());
+  const NetworkEval fresh = evaluate_network_traffic(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+
+  TempDir tmp{"tier_faulty"};
+  {
+    EvalStore st{tmp.path};
+    NetworkEvaluator writer;
+    writer.attach_store(&st);
+    (void)writer.evaluate(built, built.node_traffic, profile.packet_flits,
+                          params, sim.models().noc);
+    st.flush();
+  }
+  EvalStore st{tmp.path};
+  NetworkEvaluator reader;
+  reader.attach_store(&st);
+  const NetworkEval served = reader.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  expect_identical(served, fresh);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().misses, 0u);
+
+  // A reseeded fault schedule is a different simulation: disk miss, fresh
+  // compute — the store never aliases across fault specs.
+  PlatformParams reseeded = params;
+  reseeded.faults.seed = 78;
+  (void)reader.evaluate(built, built.node_traffic, profile.packet_flits,
+                        reseeded, sim.models().noc);
+  EXPECT_EQ(reader.stats().disk_misses, 1u);
+  EXPECT_EQ(reader.stats().misses, 1u);
+}
+
+TEST(TieredNetEval, CorruptStoreFallsBackToComputeNeverWrongData) {
+  namespace fs = std::filesystem;
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kVfiWinoc);
+  const BuiltPlatform built = build_platform(profile, params, sim.vf_table());
+  const NetworkEval fresh = evaluate_network_traffic(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+
+  TempDir tmp{"tier_corrupt"};
+  {
+    EvalStore st{tmp.path, 1};
+    NetworkEvaluator writer;
+    writer.attach_store(&st);
+    (void)writer.evaluate(built, built.node_traffic, profile.packet_flits,
+                          params, sim.models().noc);
+    st.flush();
+  }
+  // Rot every segment byte past the header region: the CRC must reject the
+  // record, and the tiered lookup must recompute the correct answer.
+  for (const auto& e : fs::directory_iterator{tmp.path + "/v1"}) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) {
+      std::fstream f{e.path().string(),
+                     std::ios::in | std::ios::out | std::ios::binary};
+      f.seekp(-4, std::ios::end);
+      f.write("ROT!", 4);
+    }
+  }
+  EvalStore st{tmp.path};
+  NetworkEvaluator reader;
+  reader.attach_store(&st);
+  const NetworkEval served = reader.evaluate(
+      built, built.node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  expect_identical(served, fresh);  // recomputed, not served rotten bytes
+  EXPECT_EQ(reader.stats().disk_hits, 0u);
+  EXPECT_EQ(reader.stats().misses, 1u);
+}
+
+TEST(PlatformCacheStore, StoredDesignRebuildsBitIdenticalPlatform) {
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kVfiWinoc);
+
+  TempDir tmp{"platform"};
+  std::string cold_design_bytes;
+  NetworkEval cold_eval;
+  {
+    EvalStore st{tmp.path};
+    PlatformCache cold;
+    cold.attach_store(&st);
+    const auto built = cold.get(profile, params, sim.vf_table());
+    EXPECT_EQ(cold.misses(), 1u);
+    EXPECT_EQ(cold.disk_misses(), 1u);
+    cold_design_bytes = store::encode_vfi_design(built->vfi);
+    cold_eval = evaluate_network_traffic(*built, built->node_traffic,
+                                         profile.packet_flits, params,
+                                         sim.models().noc);
+    st.flush();
+  }
+  EvalStore st{tmp.path};
+  PlatformCache warm;
+  warm.attach_store(&st);
+  const auto rebuilt = warm.get(profile, params, sim.vf_table());
+  EXPECT_EQ(warm.disk_hits(), 1u);
+  EXPECT_EQ(warm.misses(), 0u);
+  // The design is byte-identical, and everything rebuilt around it —
+  // mapping, interconnect, traffic — drives an identical evaluation.
+  EXPECT_EQ(store::encode_vfi_design(rebuilt->vfi), cold_design_bytes);
+  const NetworkEval warm_eval = evaluate_network_traffic(
+      *rebuilt, rebuilt->node_traffic, profile.packet_flits, params,
+      sim.models().noc);
+  expect_identical(warm_eval, cold_eval);
+}
+
+TEST(PlatformCacheStore, NvfiPlatformsNeverTouchTheStore) {
+  const auto profile = workload::make_profile(workload::App::kHist);
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kNvfiMesh);
+  TempDir tmp{"nvfi"};
+  EvalStore st{tmp.path};
+  PlatformCache cache;
+  cache.attach_store(&st);
+  (void)cache.get(profile, params, sim.vf_table());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.disk_hits(), 0u);
+  EXPECT_EQ(cache.disk_misses(), 0u);
+  EXPECT_EQ(st.keys(), 0u);
+}
+
+std::vector<workload::AppProfile> sweep_profiles() {
+  return {workload::make_profile(workload::App::kHist),
+          workload::make_profile(workload::App::kWC)};
+}
+
+TEST(IncrementalSweep, WarmRunReusesEverythingBitIdentically) {
+  const auto profiles = sweep_profiles();
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kVfiWinoc);
+  TempDir tmp{"sweep"};
+
+  IncrementalSweepResult cold;
+  {
+    EvalStore st{tmp.path};
+    IncrementalOptions opts;
+    opts.store = &st;
+    opts.sweep_name = "test-sweep";
+    cold = incremental_sweep_comparisons(profiles, sim, params, opts);
+    EXPECT_EQ(cold.evaluated_points, profiles.size());
+    EXPECT_EQ(cold.reused_points, 0u);
+    EXPECT_FALSE(cold.had_prior_manifest);
+  }
+  // The cold run matches the classic (non-incremental) sweep bit-for-bit.
+  const auto reference = sweep_comparisons(profiles, sim, params);
+  ASSERT_EQ(cold.comparisons.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(cold.valid[i]);
+    EXPECT_EQ(store::encode_system_comparison(cold.comparisons[i]),
+              store::encode_system_comparison(reference[i]));
+  }
+
+  // Warm run in a fresh process: everything reused, nothing evaluated, and
+  // the prior manifest accounts for every point.
+  EvalStore st{tmp.path};
+  IncrementalOptions opts;
+  opts.store = &st;
+  opts.sweep_name = "test-sweep";
+  const auto warm = incremental_sweep_comparisons(profiles, sim, params, opts);
+  EXPECT_EQ(warm.reused_points, profiles.size());
+  EXPECT_EQ(warm.evaluated_points, 0u);
+  EXPECT_TRUE(warm.had_prior_manifest);
+  EXPECT_EQ(warm.manifest_prior_matches, profiles.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(warm.valid[i]);
+    EXPECT_EQ(store::encode_system_comparison(warm.comparisons[i]),
+              store::encode_system_comparison(reference[i]));
+  }
+
+  // Changing any simulation input changes the point keys: the store has
+  // nothing for them and every point re-evaluates.
+  PlatformParams changed = params;
+  changed.sim_cycles += 1'000;
+  const auto moved =
+      incremental_sweep_comparisons(profiles, sim, changed, opts);
+  EXPECT_EQ(moved.evaluated_points, profiles.size());
+  EXPECT_EQ(moved.reused_points, 0u);
+  EXPECT_TRUE(moved.had_prior_manifest);
+  EXPECT_EQ(moved.manifest_prior_matches, 0u);
+}
+
+TEST(IncrementalSweep, ShardsPartitionThenMergeToAFullSweep) {
+  const auto profiles = sweep_profiles();
+  const FullSystemSim sim;
+  const PlatformParams params = small_params(SystemKind::kVfiMesh);
+  TempDir tmp{"shards"};
+
+  {  // Shard 0 of 2 evaluates only its own point; the other stays invalid.
+    EvalStore st{tmp.path};
+    IncrementalOptions opts;
+    opts.store = &st;
+    opts.shard_index = 0;
+    opts.shard_count = 2;
+    const auto r = incremental_sweep_comparisons(profiles, sim, params, opts);
+    EXPECT_EQ(r.evaluated_points, 1u);
+    EXPECT_EQ(r.skipped_points, 1u);
+    EXPECT_TRUE(r.valid[0]);
+    EXPECT_FALSE(r.valid[1]);
+  }
+  {  // Shard 1 of 2, opened after shard 0 committed: merges point 0 from
+     // the store and evaluates point 1.
+    EvalStore st{tmp.path};
+    IncrementalOptions opts;
+    opts.store = &st;
+    opts.shard_index = 1;
+    opts.shard_count = 2;
+    const auto r = incremental_sweep_comparisons(profiles, sim, params, opts);
+    EXPECT_EQ(r.evaluated_points, 1u);
+    EXPECT_EQ(r.reused_points, 1u);
+    EXPECT_EQ(r.skipped_points, 0u);
+    EXPECT_TRUE(r.valid[0]);
+    EXPECT_TRUE(r.valid[1]);
+  }
+  // A single-shard merge run reuses both points and matches the classic
+  // sweep bit-for-bit.
+  EvalStore st{tmp.path};
+  IncrementalOptions opts;
+  opts.store = &st;
+  const auto merged = incremental_sweep_comparisons(profiles, sim, params,
+                                                    opts);
+  EXPECT_EQ(merged.reused_points, profiles.size());
+  EXPECT_EQ(merged.evaluated_points, 0u);
+  const auto reference = sweep_comparisons(profiles, sim, params);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(merged.valid[i]);
+    EXPECT_EQ(store::encode_system_comparison(merged.comparisons[i]),
+              store::encode_system_comparison(reference[i]));
+  }
+}
+
+}  // namespace
+}  // namespace vfimr::sysmodel
